@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the corresponding experiment builder once (timed by pytest-benchmark),
+prints the same rows/series the paper reports, and asserts the paper's
+qualitative *shape* (who wins, roughly by what factor, where the sweet
+spots fall).  Absolute numbers differ -- our substrate is a simulator, not
+the authors' 2001 Linux cluster -- and the assertions are written against
+shape, not magnitude.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+(the -s shows the regenerated tables; omit it to just check shapes)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment builder exactly once under pytest-benchmark."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

@@ -1,0 +1,41 @@
+"""Ablation: partitioner panel -- what buys what?
+
+ACEHeterogeneous = capacity awareness + constrained splitting.
+SFCHybrid        = capacity awareness + splitting + curve-span locality.
+GreedyLPT        = capacity awareness, no splitting.
+ACEComposite     = splitting + locality, no capacity awareness.
+
+Expected shape on a loaded cluster: every capacity-aware scheme beats the
+capacity-blind default on execution time; the splitting schemes
+(ACEHeterogeneous, SFCHybrid) achieve the lowest imbalance against
+capacity targets.
+"""
+
+from repro.runtime.ablation import partitioner_panel
+
+
+def test_partitioner_panel(run_experiment):
+    data = run_experiment(partitioner_panel, iterations=30, seed=7)
+    rows = {r["partitioner"]: r for r in data["rows"]}
+    print()
+    print("partitioner panel (8-node loaded cluster):")
+    for name, row in sorted(
+        rows.items(), key=lambda kv: kv[1]["seconds"]
+    ):
+        print(
+            f"  {name:>17}: {row['seconds']:7.1f}s, "
+            f"mean imbalance {row['mean_imbalance_pct']:5.1f}%"
+        )
+    # Capacity awareness beats the capacity-blind default.
+    for aware in ("ACEHeterogeneous", "SFCHybrid", "GreedyLPT"):
+        assert rows[aware]["seconds"] < rows["ACEComposite"]["seconds"], aware
+    # Constrained splitting gives the tightest fit to capacity targets.
+    for splitter in ("ACEHeterogeneous", "SFCHybrid"):
+        assert (
+            rows[splitter]["mean_imbalance_pct"]
+            < rows["GreedyLPT"]["mean_imbalance_pct"]
+        )
+        assert (
+            rows[splitter]["mean_imbalance_pct"]
+            < rows["ACEComposite"]["mean_imbalance_pct"]
+        )

@@ -1,0 +1,54 @@
+"""Extension sweeps: probe-cost sensitivity and heterogeneity scaling.
+
+Two measurable versions of claims the paper makes qualitatively:
+
+- section 6.1.4 picks the sensing frequency "to balance" overheads against
+  adaptation -- the balance point depends on how much a probe costs;
+- section 7 expects the improvement to be "more significant in the case of
+  [...] greater heterogeneity and load dynamics".
+"""
+
+from repro.runtime.ablation import heterogeneity_sweep, probe_cost_sensitivity
+
+
+def test_probe_cost_erodes_sensing_benefit(run_experiment):
+    data = run_experiment(
+        probe_cost_sensitivity, probe_costs=(0.0, 0.5, 2.0, 8.0)
+    )
+    print()
+    print("dynamic-sensing benefit vs probe cost "
+          f"(sensing every {data['sensing_interval']} its):")
+    benefits = []
+    for row in data["rows"]:
+        print(
+            f"  probe {row['probe_cost_s']:4.1f}s: dynamic "
+            f"{row['dynamic_s']:6.1f}s vs once {row['once_s']:6.1f}s "
+            f"-> benefit {row['benefit_pct']:5.1f}%"
+        )
+        benefits.append(row["benefit_pct"])
+    # Monotone erosion: pricier probes, smaller benefit.
+    assert benefits == sorted(benefits, reverse=True)
+    # Free probes help a lot; the paper's 0.5 s barely dents the benefit.
+    assert benefits[0] > 20.0
+    assert benefits[1] > 0.8 * benefits[0]
+
+
+def test_improvement_grows_with_heterogeneity(run_experiment):
+    data = run_experiment(
+        heterogeneity_sweep, load_levels=(0.0, 0.5, 1.0, 2.0, 4.0)
+    )
+    print()
+    print(f"system-sensitive improvement vs load level "
+          f"({data['procs']} procs, half loaded):")
+    series = []
+    for row in data["rows"]:
+        print(
+            f"  load {row['load_level']:3.1f}: "
+            f"{row['improvement_pct']:5.1f}%"
+        )
+        series.append(row["improvement_pct"])
+    # No heterogeneity -> no advantage (within granularity noise).
+    assert abs(series[0]) < 5.0
+    # Strictly growing with heterogeneity.
+    assert all(b > a for a, b in zip(series, series[1:]))
+    assert series[-1] > 20.0

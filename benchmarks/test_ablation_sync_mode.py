@@ -1,0 +1,71 @@
+"""Ablation: composite vs level-based decomposition under the two
+synchronization models.
+
+SAMR partitioner taxonomies (reference [17]) distinguish *composite*
+decompositions (one distribution of the whole hierarchy) from *level-based*
+ones (each refinement level balanced separately).  Which wins depends on
+the runtime's synchronization discipline:
+
+- under **bulk** synchronization (one barrier per coarse iteration), only
+  total per-rank work matters -- composite schemes are optimal and
+  level-based ones pay extra communication for nothing;
+- under **per-level** synchronization (a barrier after every substep of
+  every level, strict Berger-Oliger), a rank with no work on some level
+  idles through all of that level's substeps -- per-level balance is the
+  whole game.
+
+Expected shape: roughly equal under bulk; level-wise decisively faster
+under per-level sync.
+"""
+
+from repro.cluster import Cluster
+from repro.kernels.workloads import paper_rm3d_trace
+from repro.partition import ACEHeterogeneous, LevelPartitioner
+from repro.runtime import RuntimeConfig, SamrRuntime
+
+
+def _run(partitioner, sync_mode: str) -> float:
+    runtime = SamrRuntime(
+        paper_rm3d_trace(num_regrids=8),
+        Cluster.paper_four_node(),
+        partitioner,
+        config=RuntimeConfig(
+            iterations=40, regrid_interval=5, sync_mode=sync_mode
+        ),
+    )
+    return runtime.run().total_seconds
+
+
+def test_levelwise_wins_under_per_level_sync(run_experiment):
+    def sweep():
+        out = {}
+        for mode in ("bulk", "per_level"):
+            for label, part in (
+                ("composite", ACEHeterogeneous()),
+                ("level-wise", LevelPartitioner(ACEHeterogeneous())),
+            ):
+                out[(mode, label)] = _run(part, mode)
+        return out
+
+    results = run_experiment(sweep)
+    print()
+    print("decomposition x synchronization model (seconds):")
+    print(f"{'':>12} {'composite':>10} {'level-wise':>11}")
+    for mode in ("bulk", "per_level"):
+        print(
+            f"{mode:>12} {results[(mode, 'composite')]:>10.1f} "
+            f"{results[(mode, 'level-wise')]:>11.1f}"
+        )
+    # Bulk: composite at least as good (level-wise buys nothing).
+    assert (
+        results[("bulk", "composite")]
+        <= results[("bulk", "level-wise")] * 1.05
+    )
+    # Per-level: level-wise wins big.
+    assert (
+        results[("per_level", "level-wise")]
+        < 0.75 * results[("per_level", "composite")]
+    )
+    # The per-level model is never cheaper than bulk (more barriers).
+    for label in ("composite", "level-wise"):
+        assert results[("per_level", label)] >= results[("bulk", label)]

@@ -1,0 +1,36 @@
+"""Extension: weak scaling of the partitioned SAMR runtime.
+
+Per-processor work is held constant while the cluster grows; ideal weak
+scaling keeps execution time flat.  On a *loaded* cluster the makespan is
+gated by the slowest of an ever-larger node sample, so efficiency decays
+-- more gently for the capacity-aware partitioner, which keeps routing
+work away from the stragglers.
+"""
+
+from repro.runtime.ablation import weak_scaling
+
+
+def test_weak_scaling(run_experiment):
+    data = run_experiment(
+        weak_scaling, processor_counts=(2, 4, 8, 16), iterations=20
+    )
+    print()
+    print(
+        f"weak scaling ({data['cells_per_proc_y']} transverse cells/proc):"
+    )
+    print(f"{'procs':>6} {'het (s)':>9} {'eff':>6} {'comp (s)':>10} {'eff':>6}")
+    for r in data["rows"]:
+        print(
+            f"{r['procs']:>6} {r['het_s']:>9.1f} {r['het_efficiency']:>6.2f} "
+            f"{r['comp_s']:>10.1f} {r['comp_efficiency']:>6.2f}"
+        )
+    rows = data["rows"]
+    # Capacity awareness wins at every size.
+    for r in rows:
+        assert r["het_s"] < r["comp_s"], r
+    # Efficiency decays monotonically for both (loaded-cluster reality) ...
+    for key in ("het_efficiency", "comp_efficiency"):
+        effs = [r[key] for r in rows]
+        assert effs == sorted(effs, reverse=True)
+        # ... but stays in a sane band (no pathological collapse).
+        assert effs[-1] > 0.3

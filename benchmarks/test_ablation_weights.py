@@ -1,0 +1,26 @@
+"""Ablation: capacity-weight choice (paper section 8 future work).
+
+The paper uses equal weights (w_p = w_m = w_b = 1/3) and notes that
+weights "can in fact be chosen more carefully according to the
+computational needs of a particular application".  We run the RM3D
+workload -- a compute-bound application -- on a cluster whose only
+heterogeneity is CPU load, under four weight profiles.
+
+Expected shape: the compute-bound profile (w_p-heavy) beats the paper's
+equal weights, which in turn beat profiles that emphasize the
+uninformative resources (memory / bandwidth are uniform on this cluster).
+"""
+
+from repro.runtime.ablation import weight_ablation
+
+
+def test_weight_choice_matches_application_profile(run_experiment):
+    data = run_experiment(weight_ablation, iterations=30)
+    by_profile = {r["profile"]: r["seconds"] for r in data["rows"]}
+    print()
+    print(f"weight ablation on a {data['cluster']} cluster:")
+    for profile, seconds in sorted(by_profile.items(), key=lambda kv: kv[1]):
+        print(f"  {profile:>14}: {seconds:7.1f}s")
+    assert by_profile["compute-bound"] < by_profile["equal (paper)"]
+    assert by_profile["equal (paper)"] < by_profile["memory-bound"]
+    assert by_profile["equal (paper)"] < by_profile["comm-bound"]

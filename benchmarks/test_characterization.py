@@ -1,0 +1,67 @@
+"""Partitioner characterization panel (related-work reference [17]).
+
+One row per partitioner, five metrics each, over the paper's RM3D trace
+with the 16/19/31/34 % capacity vector.  The multi-objective trade-offs:
+the splitting schemes buy imbalance at the cost of fragmentation; the
+curve/graph schemes buy communication volume at the cost of imbalance.
+"""
+
+from repro.kernels.workloads import paper_rm3d_trace
+from repro.partition import (
+    ACEComposite,
+    ACEHeterogeneous,
+    GraphPartitioner,
+    GreedyLPT,
+    LevelPartitioner,
+    SFCHybrid,
+)
+from repro.runtime.characterization import characterize
+from repro.runtime.experiment import PAPER_CAPACITIES
+
+
+def test_characterization_panel(run_experiment):
+    workload = paper_rm3d_trace(num_regrids=8)
+
+    def sweep():
+        return [
+            characterize(p, workload, PAPER_CAPACITIES)
+            for p in (
+                ACEHeterogeneous(),
+                SFCHybrid(),
+                GreedyLPT(),
+                GraphPartitioner(),
+                ACEComposite(),
+                LevelPartitioner(ACEHeterogeneous()),
+            )
+        ]
+
+    rows = run_experiment(sweep)
+    print()
+    print(
+        f"{'partitioner':>17} {'imb(mean/max)%':>16} {'comm kB':>9} "
+        f"{'migr kB':>9} {'frag':>6} {'time ms':>8}"
+    )
+    for r in rows:
+        print(
+            f"{r.partitioner:>17} "
+            f"{r.mean_imbalance_pct:7.1f}/{r.max_imbalance_pct:<7.1f} "
+            f"{r.mean_comm_kb:>9.1f} {r.mean_migration_kb:>9.1f} "
+            f"{r.fragmentation:>6.2f} {r.mean_partition_ms:>8.2f}"
+        )
+    by_name = {r.partitioner: r for r in rows}
+    # The splitting, capacity-aware schemes dominate on imbalance ...
+    for splitter in ("ACEHeterogeneous", "SFCHybrid"):
+        assert by_name[splitter].mean_imbalance_pct < 5.0
+        # ... paying for it in fragmentation (they produce extra boxes).
+        assert by_name[splitter].fragmentation > 1.0
+    # No-split schemes keep fragmentation at exactly 1.
+    for whole in ("GreedyLPT", "GraphPartitioner"):
+        assert by_name[whole].fragmentation == 1.0
+        assert by_name[whole].mean_imbalance_pct > 5.0
+    # The graph partitioner minimizes communication volume.
+    assert by_name["GraphPartitioner"].mean_comm_kb == min(
+        r.mean_comm_kb for r in rows
+    )
+    # Everything partitions a paper-scale epoch in a few milliseconds.
+    for r in rows:
+        assert r.mean_partition_ms < 100.0

@@ -1,0 +1,43 @@
+"""Fig. 7 / Table I: total execution time, system-sensitive vs default.
+
+Paper (32-node Linux cluster, RM3D, 3 levels on 128x32x32, capacities
+sensed once before the start):
+
+    procs   improvement
+        4            7 %
+        8            6 %
+       16           18 %
+       32           18 %
+
+Expected shape: the system-sensitive partitioner wins at every processor
+count, execution time falls with processor count, and the improvement is
+larger on the bigger (more heterogeneous) configurations.
+"""
+
+from repro.runtime.experiment import execution_time_comparison
+from repro.runtime.reporting import format_fig7_table1
+
+
+def test_fig07_table1_execution_time(run_experiment):
+    data = run_experiment(
+        execution_time_comparison,
+        processor_counts=(4, 8, 16, 32),
+        iterations=40,
+        seeds=(7, 19, 31),
+    )
+    print()
+    print(format_fig7_table1(data))
+
+    rows = {r["procs"]: r for r in data["rows"]}
+    # Who wins: system-sensitive, at every P.
+    for row in rows.values():
+        assert row["improvement_pct"] > 0, row
+    # Rough factor: single-digit to ~25 % improvements, as in the paper.
+    for row in rows.values():
+        assert 2.0 < row["improvement_pct"] < 35.0, row
+    # Strong scaling: more processors -> shorter runs, for both schemes.
+    for key in ("system_sensitive_s", "default_s"):
+        times = [rows[p][key] for p in (4, 8, 16, 32)]
+        assert times == sorted(times, reverse=True)
+    # The gain grows with cluster size (4 -> 32), the paper's crossover.
+    assert rows[32]["improvement_pct"] > rows[4]["improvement_pct"]

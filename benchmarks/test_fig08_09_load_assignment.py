@@ -1,0 +1,47 @@
+"""Figs. 8 and 9: per-processor work assignment vs regrid number.
+
+Paper setup: 4 processors with relative capacities fixed at ~16/19/31/34 %
+(two machines synthetically loaded), the application regridding every 5
+iterations; the y-axis is the work load assigned to each processor at each
+regrid.
+
+Expected shape:
+- Fig. 8 (default ACEComposite): the four series coincide -- equal work to
+  every processor regardless of capacity;
+- Fig. 9 (ACEHeterogeneous): the series order by capacity and track
+  16/19/31/34 % of the total at every regrid.
+"""
+
+import numpy as np
+
+from repro.runtime.experiment import PAPER_CAPACITIES, load_assignment_tracking
+from repro.runtime.reporting import format_load_assignment
+
+
+def test_fig08_default_equal_assignment(run_experiment):
+    data = run_experiment(load_assignment_tracking, "composite", num_regrids=8)
+    print()
+    print(format_load_assignment(data))
+    loads = np.asarray(data["loads"])
+    shares = loads / loads.sum(axis=1, keepdims=True)
+    # Equal distribution at every regrid, irrespective of capacity.
+    np.testing.assert_allclose(shares, 0.25, atol=0.03)
+
+
+def test_fig09_heterogeneous_tracks_capacity(run_experiment):
+    data = run_experiment(
+        load_assignment_tracking, "heterogeneous", num_regrids=8
+    )
+    print()
+    print(format_load_assignment(data))
+    loads = np.asarray(data["loads"])
+    shares = loads / loads.sum(axis=1, keepdims=True)
+    caps = np.asarray(data["capacities"])
+    np.testing.assert_allclose(caps, PAPER_CAPACITIES, atol=0.01)
+    # Every regrid's assignment is proportional to relative capacity.
+    np.testing.assert_allclose(
+        shares, np.tile(caps, (len(loads), 1)), atol=0.05
+    )
+    # The series are strictly ordered smallest -> largest capacity.
+    for row in shares:
+        assert row[0] < row[2] and row[1] < row[3]

@@ -1,0 +1,110 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Unlike the table/figure benches (which run an experiment once and assert
+its shape), these time the inner kernels pytest-benchmark style: SFC
+encoding, Berger-Rigoutsos clustering, partitioning one paper-scale epoch,
+HDDA redistribution, and one AMR solver step.  They guard against
+performance regressions in the code the runtime calls thousands of times.
+"""
+
+import numpy as np
+
+from repro.amr.clustering import berger_rigoutsos
+from repro.hdda import HDDA, HierarchicalIndexSpace
+from repro.kernels.rm3d import RM3DKernel
+from repro.kernels.workloads import paper_rm3d_trace
+from repro.partition import ACEComposite, ACEHeterogeneous
+from repro.runtime.experiment import PAPER_CAPACITIES
+from repro.util.geometry import Box
+from repro.util.sfc import hilbert_encode_many
+
+
+def test_bench_hilbert_encoding(benchmark):
+    rng = np.random.default_rng(0)
+    coords = rng.integers(0, 1 << 10, size=(100_000, 3))
+    keys = benchmark(hilbert_encode_many, coords, 10)
+    assert len(keys) == 100_000
+    # Injective: as many distinct keys as distinct coordinates.
+    assert len(np.unique(keys)) == len(np.unique(coords, axis=0))
+
+
+def test_bench_berger_rigoutsos(benchmark):
+    rng = np.random.default_rng(1)
+    mask = np.zeros((128, 128), dtype=bool)
+    for _ in range(12):  # scattered blobs
+        x, y = rng.integers(0, 112, size=2)
+        mask[x : x + 16, y : y + 16] = rng.random((16, 16)) < 0.7
+    boxes = benchmark(berger_rigoutsos, mask, efficiency=0.7, min_size=2)
+    assert len(boxes) > 1
+
+
+def test_bench_partition_heterogeneous(benchmark):
+    epoch = paper_rm3d_trace(num_regrids=8).epoch(7)
+    caps = np.tile(PAPER_CAPACITIES, 8) / 8  # 32 ranks
+    part = ACEHeterogeneous()
+    result = benchmark(part.partition, epoch, caps)
+    result.validate_covers(epoch)
+
+
+def test_bench_partition_composite(benchmark):
+    epoch = paper_rm3d_trace(num_regrids=8).epoch(7)
+    caps = np.full(32, 1 / 32)
+    part = ACEComposite()
+    result = benchmark(part.partition, epoch, caps)
+    result.validate_covers(epoch)
+
+
+def test_bench_hdda_redistribution(benchmark):
+    space = HierarchicalIndexSpace(Box((0, 0), (256, 256)), max_levels=2)
+    tiles = [
+        Box((i * 8, j * 8), ((i + 1) * 8, (j + 1) * 8))
+        for i in range(32)
+        for j in range(32)
+    ]
+    a1 = {b: (i % 8) for i, b in enumerate(tiles)}
+    a2 = {b: ((i + 3) % 8) for i, b in enumerate(tiles)}
+
+    def roundtrip():
+        h = HDDA(space, num_procs=8)
+        h.apply_assignment(a1)
+        plan = h.apply_assignment(a2)
+        return h, plan
+
+    h, plan = benchmark(roundtrip)
+    assert plan.total_blocks > 0
+    h.check_invariants()
+
+
+def test_bench_rm3d_step(benchmark):
+    kernel = RM3DKernel(domain_shape=(64, 16, 16))
+    u = kernel.initial_condition(Box((0, 0, 0), (64, 16, 16)), 1.0)
+    dt = kernel.stable_dt(u, 1.0, 0.3)
+    out = benchmark(kernel.step, u, dt, 1.0)
+    assert out.shape == u.shape
+
+
+def test_bench_rm3d_muscl_step(benchmark):
+    kernel = RM3DKernel(domain_shape=(64, 16, 16), order=2)
+    u = kernel.initial_condition(Box((0, 0, 0), (64, 16, 16)), 1.0)
+    dt = kernel.stable_dt(u, 1.0, 0.3)
+    out = benchmark(kernel.step, u, dt, 1.0)
+    assert out.shape == u.shape
+
+
+def test_bench_multigrid_vcycle(benchmark):
+    import numpy as np
+
+    from repro.solvers import PoissonMultigrid
+
+    n = 128
+    dx = 1.0 / n
+    x = (np.arange(n) + 0.5) * dx
+    X, Y = np.meshgrid(x, x, indexing="ij")
+    f = 2 * np.pi**2 * np.sin(np.pi * X) * np.sin(np.pi * Y)
+    mg = PoissonMultigrid((n, n), dx=dx)
+
+    def solve():
+        return mg.solve(f, tol=1e-8)
+
+    u, info = benchmark(solve)
+    assert info["converged"]

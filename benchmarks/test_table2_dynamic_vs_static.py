@@ -1,0 +1,39 @@
+"""Table II: execution time with dynamic sensing vs sensing only once.
+
+Paper (identical synthetic load dynamics in both cases):
+
+    procs   dynamic (s)   once (s)    speedup
+        2         423.7      805.5      1.90x
+        4         292.0      450.0      1.54x
+        6         272.0      442.0      1.63x
+        8         225.0      430.0      1.91x
+
+Expected shape: dynamic sensing wins at every processor count, by a
+substantial factor (roughly 1.3-2x); execution time falls with processor
+count in both configurations.
+"""
+
+from repro.runtime.experiment import dynamic_vs_static_sensing
+from repro.runtime.reporting import format_table2
+
+
+def test_table2_dynamic_vs_static_sensing(run_experiment):
+    data = run_experiment(
+        dynamic_vs_static_sensing,
+        processor_counts=(2, 4, 6, 8),
+        iterations=120,
+        sensing_interval=20,
+        seeds=(5, 11, 23),
+    )
+    print()
+    print(format_table2(data))
+    rows = {r["procs"]: r for r in data["rows"]}
+    for row in rows.values():
+        speedup = row["once_s"] / row["dynamic_s"]
+        # Dynamic sensing wins everywhere, by a paper-scale factor.
+        assert speedup > 1.25, row
+        assert speedup < 3.0, row
+    # Both columns scale down with more processors.
+    for key in ("dynamic_s", "once_s"):
+        times = [rows[p][key] for p in (2, 4, 6, 8)]
+        assert times == sorted(times, reverse=True)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Distributed execution of the real RM3D solver on a simulated cluster.
+
+The deepest integration in the library: the actual 3-D Richtmyer-Meshkov
+Euler kernel runs under the Berger-Oliger integrator while the
+system-sensitive partitioner owns the decomposition -- its split boxes
+*become* the hierarchy's patch layout at every regrid, each simulated rank
+owns its assigned patches, and compute / ghost-exchange / migration /
+sensing costs accrue on the simulated cluster clock.
+
+Because ghost filling reads the composite grid and restriction accumulates
+in a fixed order, the solution is **bitwise identical** to a sequential
+run -- partitioning changes *when* you finish, never *what* you compute.
+This example demonstrates both facts.
+
+Run:  python examples/distributed_rm3d.py
+"""
+
+import numpy as np
+
+from repro import ACEComposite, ACEHeterogeneous, Box, Cluster, RM3DKernel
+from repro.amr.ghost import GhostFiller
+from repro.amr.hierarchy import GridHierarchy
+from repro.amr.integrator import BergerOligerIntegrator
+from repro.runtime.distributed import DistributedAmrRun, DistributedRunConfig
+
+SHAPE = (32, 8, 8)
+STEPS = 8
+
+
+def make_hierarchy() -> GridHierarchy:
+    return GridHierarchy(
+        Box((0, 0, 0), SHAPE), RM3DKernel(domain_shape=SHAPE), max_levels=3
+    )
+
+
+def main() -> None:
+    # --- sequential reference -------------------------------------------
+    h_ref = make_hierarchy()
+    integ = BergerOligerIntegrator(h_ref, regrid_interval=3, cfl=0.3)
+    integ.setup()
+    for _ in range(STEPS):
+        integ.advance()
+    reference = GhostFiller(h_ref).fetch(h_ref.domain, 0)
+
+    # --- distributed runs under both partitioners ------------------------
+    print(f"RM3D {SHAPE}, {STEPS} steps, 4-node loaded cluster "
+          "(capacities ~16/19/31/34%)\n")
+    for partitioner in (ACEHeterogeneous(), ACEComposite()):
+        h = make_hierarchy()
+        run = DistributedAmrRun(
+            h,
+            Cluster.paper_four_node(),
+            partitioner,
+            config=DistributedRunConfig(
+                steps=STEPS, regrid_interval=3, cfl=0.3
+            ),
+        )
+        result = run.run()
+        solution = GhostFiller(h).fetch(h.domain, 0)
+        identical = np.array_equal(solution, reference)
+        loads = result.loads_history[-1]
+        shares = "/".join(f"{s:.0%}" for s in loads / loads.sum())
+        print(f"{partitioner.name}:")
+        print(f"  simulated time : {result.total_seconds:7.2f}s "
+              f"({result.num_regrids} regrids, "
+              f"migration {result.migration_seconds:.2f}s)")
+        print(f"  final shares   : [{shares}]")
+        print(f"  level-0 patches: {len(h.levels[0])}")
+        print(f"  bitwise equal to sequential solution: {identical}")
+        assert identical, "partition invariance violated!"
+        print()
+
+
+if __name__ == "__main__":
+    main()

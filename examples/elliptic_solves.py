@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Elliptic solves on (composite) grids: multigrid and Local Defect
+Correction.
+
+GrACE was built for "a family of adaptive mesh-refinement and multigrid
+techniques"; many SAMR applications embed an elliptic solve per step
+(pressure projection, self-gravity).  This example:
+
+1. solves a Poisson problem with geometric multigrid and shows the
+   textbook V-cycle contraction;
+2. embeds a sharply local source inside a refined patch and shows Local
+   Defect Correction (the elliptic counterpart of the AMR hierarchy)
+   beating the global coarse grid by an order of magnitude -- using a
+   fraction of a uniformly-fine grid's cells.
+
+Run:  python examples/elliptic_solves.py
+"""
+
+import numpy as np
+
+from repro import Box
+from repro.solvers import LocalDefectCorrection, PoissonMultigrid
+
+N = 64
+DX = 1.0 / N
+SIGMA2 = 0.03**2
+
+
+def exact(X, Y):
+    return np.exp(-((X - 0.5) ** 2 + (Y - 0.5) ** 2) / (2 * SIGMA2))
+
+
+def rhs(X, Y):
+    r2 = (X - 0.5) ** 2 + (Y - 0.5) ** 2
+    g = np.exp(-r2 / (2 * SIGMA2))
+    return -g * (r2 / SIGMA2**2 - 2 / SIGMA2)
+
+
+def coarse_grid():
+    x = (np.arange(N) + 0.5) * DX
+    return np.meshgrid(x, x, indexing="ij")
+
+
+def main() -> None:
+    Xc, Yc = coarse_grid()
+
+    # --- 1. plain multigrid ----------------------------------------------
+    mg = PoissonMultigrid((N, N), dx=DX)
+    u, info = mg.solve(rhs(Xc, Yc), tol=1e-10)
+    res = info["residuals"]
+    rates = [res[i + 1] / res[i] for i in range(1, min(5, len(res) - 1))]
+    print(f"multigrid on {N}x{N}: {info['cycles']} V-cycles to 1e-10")
+    print("  contraction per cycle:",
+          " ".join(f"{r:.3f}" for r in rates))
+    err = np.abs(u - exact(Xc, Yc)).max()
+    print(f"  max error vs exact: {err:.2e}  (sharp source under-resolved)")
+
+    # --- 2. composite solve: refine only where it matters ------------------
+    patch = Box((24, 24), (40, 40))  # quarter of the domain, 4x refined
+    factor = 4
+    ldc = LocalDefectCorrection((N, N), patch, dx=DX, factor=factor)
+    nf = patch.shape[0] * factor
+    xf = (patch.lower[0] + (np.arange(nf) + 0.5) / factor) * DX
+    Xf, Yf = np.meshgrid(xf, xf, indexing="ij")
+    _, u_fine, ldc_info = ldc.solve(
+        rhs(Xc, Yc), rhs(Xf, Yf), iterations=8
+    )
+    err_ldc = np.abs(u_fine - exact(Xf, Yf)).max()
+    composite_cells = N * N + nf * nf
+    uniform_cells = (N * factor) ** 2
+    print(f"\nLDC with a {factor}x patch over the source:")
+    print("  iteration updates:",
+          " ".join(f"{c:.1e}" for c in ldc_info["changes"][1:5]))
+    print(f"  max error in patch: {err_ldc:.2e} "
+          f"({err / err_ldc:.0f}x better than coarse-only)")
+    print(f"  cells used: {composite_cells} vs {uniform_cells} "
+          f"uniformly fine ({uniform_cells / composite_cells:.1f}x saved)")
+    assert err_ldc < 0.2 * err
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Record-replay workflow: solve once, study partitioning forever.
+
+The expensive part of SAMR partitioning research is the solver; the
+partitioner only consumes the hierarchy's bounding-box lists.  This
+example shows the library's record-replay loop:
+
+1. run the real Buckley-Leverett kernel once, recording the hierarchy
+   dynamics with ``record_workload``;
+2. save the trace to JSON (shareable, like the paper's repeatable load
+   scripts);
+3. reload it and sweep every partitioner over the *same* dynamics on a
+   loaded cluster -- without touching the kernel again.
+
+Run:  python examples/record_and_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    ACEComposite,
+    ACEHeterogeneous,
+    Box,
+    BuckleyLeverettKernel,
+    Cluster,
+    GridHierarchy,
+    GreedyLPT,
+    RuntimeConfig,
+    SamrRuntime,
+    SyntheticWorkload,
+)
+from repro.amr.integrator import BergerOligerIntegrator
+from repro.amr.regrid import RegridParams
+from repro.kernels.workloads import record_workload
+from repro.partition import SFCHybrid
+
+
+def main() -> None:
+    # --- 1. solve once, recording ----------------------------------------
+    kernel = BuckleyLeverettKernel(domain_shape=(64, 64), velocity=(1.0, 0.2))
+    hierarchy = GridHierarchy(Box((0, 0), (64, 64)), kernel, max_levels=3)
+    integrator = BergerOligerIntegrator(
+        hierarchy,
+        regrid_interval=4,
+        regrid_params=RegridParams(flag_threshold=0.04, flag_buffer=2),
+    )
+    print("recording 24 solver steps of the Buckley-Leverett kernel ...")
+    trace = record_workload(integrator, num_steps=24, name="bl-waterflood")
+    print(f"  captured {trace.num_regrids} regrid epochs, "
+          f"{trace.work_of(0)} -> {trace.work_of(trace.num_regrids - 1)} "
+          "work units per epoch")
+
+    # --- 2. persist -------------------------------------------------------
+    path = Path(tempfile.gettempdir()) / "bl_waterflood_trace.json"
+    trace.to_json(path)
+    print(f"  saved to {path} ({path.stat().st_size} bytes)")
+
+    # --- 3. reload and sweep partitioners ---------------------------------
+    replayed = SyntheticWorkload.from_json(path)
+    print("\nreplaying under four partitioners (4-node loaded cluster):")
+    for partitioner in (
+        ACEHeterogeneous(),
+        SFCHybrid(),
+        GreedyLPT(),
+        ACEComposite(),
+    ):
+        runtime = SamrRuntime(
+            replayed,
+            Cluster.paper_four_node(),
+            partitioner,
+            config=RuntimeConfig(
+                iterations=replayed.num_regrids * 4, regrid_interval=4
+            ),
+        )
+        result = runtime.run()
+        print(f"  {partitioner.name:>17}: {result.total_seconds:7.2f}s "
+              f"(mean imbalance {result.mean_imbalance:5.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

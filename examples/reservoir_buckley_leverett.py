@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""2-D Buckley-Leverett waterflood with AMR (the paper's fig. 3 domain).
+
+GrACE's motivating applications include oil-reservoir simulation; the
+paper illustrates the adaptive grid hierarchy with a 2-D Buckley-Leverett
+run.  This example floods a 64x64 reservoir, letting the refined levels
+chase the water front, and shows how the front's advance drags the
+partitioner's bounding-box list across the domain -- the spatial dynamism
+that makes repartitioning at every regrid necessary.
+
+Run:  python examples/reservoir_buckley_leverett.py
+"""
+
+import numpy as np
+
+from repro import (
+    ACEHeterogeneous,
+    Box,
+    BuckleyLeverettKernel,
+    Cluster,
+    GridHierarchy,
+    CapacityCalculator,
+    ResourceMonitor,
+)
+from repro.amr.integrator import BergerOligerIntegrator
+from repro.amr.regrid import RegridParams
+
+
+def front_position(hierarchy: GridHierarchy) -> float:
+    """x-coordinate where the level-0 saturation crosses 0.5."""
+    s = hierarchy.levels[0].patches[0].interior[0]
+    profile = s.mean(axis=1)
+    idx = int(np.argmin(np.abs(profile - 0.5)))
+    return float(idx)
+
+
+def main() -> None:
+    kernel = BuckleyLeverettKernel(
+        mobility_ratio=2.0, velocity=(1.0, 0.15), domain_shape=(64, 64)
+    )
+    hierarchy = GridHierarchy(
+        Box((0, 0), (64, 64)), kernel, max_levels=3, refine_factor=2
+    )
+    integrator = BergerOligerIntegrator(
+        hierarchy,
+        cfl=0.4,
+        regrid_interval=4,
+        regrid_params=RegridParams(flag_threshold=0.04, flag_buffer=2),
+    )
+    integrator.setup()
+
+    cluster = Cluster.paper_four_node()
+    cluster.clock.advance(5.0)
+    capacities = CapacityCalculator().relative_capacities(
+        ResourceMonitor(cluster).probe_all()
+    )
+    partitioner = ACEHeterogeneous()
+
+    print("Buckley-Leverett waterflood, 64x64 base, 3 levels")
+    print("capacities:", " ".join(f"{c:.0%}" for c in capacities))
+    print(f"{'step':>5} {'front x':>8} {'boxes':>6} {'refined cells':>14} "
+          f"{'load shares (het)':>24}")
+    for step in range(24):
+        integrator.advance()
+        if step % 4 == 3:
+            boxes = hierarchy.box_list()
+            result = partitioner.partition(boxes, capacities)
+            shares = result.loads() / result.loads().sum()
+            refined = sum(
+                lvl.total_cells for lvl in hierarchy.levels[1:]
+            )
+            print(
+                f"{hierarchy.step_count:>5} {front_position(hierarchy):>8.1f} "
+                f"{len(boxes):>6} {refined:>14} "
+                f"{'/'.join(f'{s:.0%}' for s in shares):>24}"
+            )
+
+    s = hierarchy.levels[0].patches[0].interior[0]
+    assert 0.0 <= s.min() and s.max() <= 1.0
+    print(f"final water saturation range: [{s.min():.3f}, {s.max():.3f}]")
+
+    from repro.amr.viz import render_levels
+
+    print("\nfinal hierarchy (digits = refinement level at each base cell):")
+    print(render_levels(hierarchy.box_list(), hierarchy.domain))
+
+
+if __name__ == "__main__":
+    main()

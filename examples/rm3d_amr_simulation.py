@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Run the actual RM3D Richtmyer-Meshkov AMR solver (not a trace).
+
+This drives the real 3-D compressible Euler kernel through the
+Berger-Oliger integrator on a scaled-down version of the paper's mesh
+(the full 128x32x32 works too, but takes minutes per step in pure
+NumPy -- pass --paper-scale if you have the patience), showing:
+
+- the adaptive hierarchy forming over the shocked interface,
+- regridding tracking the transmitted shock and the growing instability,
+- the bounding-box lists the partitioner would receive at each regrid.
+
+Run:  python examples/rm3d_amr_simulation.py [--paper-scale]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import ACEHeterogeneous, Box, GridHierarchy, RM3DKernel
+from repro.amr.integrator import BergerOligerIntegrator
+from repro.amr.regrid import RegridParams
+from repro.runtime.experiment import PAPER_CAPACITIES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--paper-scale", action="store_true",
+        help="use the paper's 128x32x32 base mesh (slow in pure NumPy)",
+    )
+    parser.add_argument("--steps", type=int, default=12)
+    args = parser.parse_args()
+
+    shape = (128, 32, 32) if args.paper_scale else (32, 8, 8)
+    kernel = RM3DKernel(domain_shape=shape)
+    hierarchy = GridHierarchy(
+        Box((0, 0, 0), shape), kernel, max_levels=3, refine_factor=2
+    )
+
+    partitioner = ACEHeterogeneous()
+
+    def on_regrid(h: GridHierarchy) -> None:
+        boxes = h.box_list()
+        result = partitioner.partition(boxes, PAPER_CAPACITIES)
+        shares = result.loads() / max(result.loads().sum(), 1)
+        print(
+            f"  regrid @ step {h.step_count}: {len(boxes)} boxes, "
+            f"work/level = {h.work_by_level().tolist()}, "
+            "shares = " + "/".join(f"{s:.0%}" for s in shares)
+        )
+
+    integrator = BergerOligerIntegrator(
+        hierarchy,
+        cfl=0.3,
+        regrid_interval=3,
+        regrid_params=RegridParams(flag_threshold=0.05, flag_buffer=1),
+        on_regrid=on_regrid,
+    )
+
+    print(f"RM3D on {shape} base mesh, 3 levels of factor-2 refinement")
+    integrator.setup()
+    assert hierarchy.proper_nesting_ok()
+
+    for step in range(args.steps):
+        dt = integrator.advance()
+        rho_max = max(
+            float(p.interior[0].max()) for p in hierarchy.levels[0]
+        )
+        if step % 3 == 0:
+            print(
+                f"step {hierarchy.step_count:3d}: t={hierarchy.time:.4f} "
+                f"dt={dt:.4f} levels={hierarchy.num_levels} "
+                f"cells={int(sum(l.total_cells for l in hierarchy.levels))} "
+                f"rho_max={rho_max:.3f}"
+            )
+
+    # Verify physics sanity at the end.
+    for level in hierarchy.levels:
+        for patch in level:
+            rho = patch.interior[0]
+            assert rho.min() > 0, "density stayed positive"
+    print("done: density positive everywhere, nesting "
+          f"{'ok' if hierarchy.proper_nesting_ok() else 'BROKEN'}")
+
+
+if __name__ == "__main__":
+    main()

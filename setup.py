@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs (``python setup.py develop``)
+in offline environments that lack the ``wheel`` package required by PEP-660
+editable installs. All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""Structured adaptive mesh refinement substrate (the GrACE analogue).
+
+Implements the Berger-Oliger AMR scheme the paper's applications run on:
+
+- :mod:`repro.amr.api` -- the kernel protocol applications implement
+  (initial condition, stencil step, error indicator, CFL bound);
+- :mod:`repro.amr.patch` -- :class:`GridPatch`, a bounding box plus field
+  data with ghost cells;
+- :mod:`repro.amr.level` -- :class:`GridLevel`, the patches of one
+  refinement level;
+- :mod:`repro.amr.hierarchy` -- :class:`GridHierarchy`, the dynamic
+  adaptive grid hierarchy (fig. 2 of the paper), including the flattened
+  bounding-box list handed to partitioners at every regrid;
+- :mod:`repro.amr.flagging` -- error estimation and cell tagging;
+- :mod:`repro.amr.clustering` -- Berger-Rigoutsos point clustering;
+- :mod:`repro.amr.regrid` -- the three-step regrid operation (flag,
+  cluster, generate refined grids) with proper-nesting enforcement;
+- :mod:`repro.amr.intergrid` -- prolongation and restriction;
+- :mod:`repro.amr.ghost` -- ghost filling within a level and from parents,
+  plus the exchange-volume planner the runtime prices communication with;
+- :mod:`repro.amr.integrator` -- recursive Berger-Oliger time integration
+  with time subcycling.
+"""
+
+from repro.amr.api import AmrKernel
+from repro.amr.patch import GridPatch
+from repro.amr.level import GridLevel
+from repro.amr.hierarchy import GridHierarchy
+from repro.amr.clustering import berger_rigoutsos
+from repro.amr.integrator import BergerOligerIntegrator
+
+__all__ = [
+    "AmrKernel",
+    "GridPatch",
+    "GridLevel",
+    "GridHierarchy",
+    "berger_rigoutsos",
+    "BergerOligerIntegrator",
+]

@@ -1,0 +1,86 @@
+"""The kernel protocol: what an application must provide to run on the AMR
+substrate.
+
+A kernel is a *local* numerical method: it owns the physics (initial
+condition, flux/stencil update, stability bound, refinement criterion) and
+never sees the hierarchy -- the integrator hands it one patch-sized array at
+a time, ghost cells already filled.  This is the same division of labour as
+GrACE's "method-specific computations" layer over the data-management
+substrate.
+
+Array convention: field data has shape ``(num_fields, *spatial)``; spatial
+extents include ``ghost_width`` cells on every side when passed to
+:meth:`AmrKernel.step`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.util.geometry import Box
+
+__all__ = ["AmrKernel"]
+
+
+class AmrKernel(abc.ABC):
+    """Abstract base for AMR application kernels.
+
+    Concrete kernels (Richtmyer-Meshkov hydrodynamics, Buckley-Leverett
+    transport, scalar advection) subclass this; the Berger-Oliger
+    integrator and the regridder consume it.
+    """
+
+    #: number of conserved/evolved fields
+    num_fields: int = 1
+    #: spatial dimensionality the kernel is written for
+    ndim: int = 2
+    #: stencil radius: ghost cells required on each side per step
+    ghost_width: int = 1
+    #: boundary condition at the physical domain edge: "periodic"|"outflow"
+    boundary: str = "periodic"
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def initial_condition(self, box: Box, dx: float) -> np.ndarray:
+        """Field data for ``box`` (interior only, no ghosts).
+
+        ``dx`` is the cell width on the box's level; cell centers sit at
+        ``(i + 0.5) * dx`` in level coordinates.
+        """
+
+    @abc.abstractmethod
+    def step(self, u: np.ndarray, dt: float, dx: float) -> np.ndarray:
+        """Advance ``u`` (with ghosts filled) by ``dt``; returns the updated
+        array of the same shape.  Only the interior of the result is kept;
+        ghost values in the return are ignored."""
+
+    @abc.abstractmethod
+    def error_indicator(self, u: np.ndarray, dx: float) -> np.ndarray:
+        """Per-cell scalar refinement indicator for interior data ``u``
+        (shape ``(num_fields, *spatial)`` -> ``spatial``).  Cells whose
+        indicator exceeds the regridder's threshold get flagged."""
+
+    @abc.abstractmethod
+    def max_wave_speed(self, u: np.ndarray) -> float:
+        """Fastest signal speed in ``u``; used for the CFL time-step bound."""
+
+    # ------------------------------------------------------------------
+    def stable_dt(self, u: np.ndarray, dx: float, cfl: float = 0.4) -> float:
+        """CFL-limited time step for data ``u`` at spacing ``dx``."""
+        speed = self.max_wave_speed(u)
+        if speed <= 0:
+            return float("inf")
+        return cfl * dx / speed
+
+    def validate(self) -> None:
+        """Sanity-check the static attributes; raises ``ValueError``."""
+        if self.num_fields < 1:
+            raise ValueError(f"num_fields must be >= 1, got {self.num_fields}")
+        if self.ndim not in (1, 2, 3):
+            raise ValueError(f"ndim must be 1, 2 or 3, got {self.ndim}")
+        if self.ghost_width < 1:
+            raise ValueError(f"ghost_width must be >= 1, got {self.ghost_width}")
+        if self.boundary not in ("periodic", "outflow"):
+            raise ValueError(f"unknown boundary {self.boundary!r}")

@@ -1,0 +1,182 @@
+"""Berger-Rigoutsos point clustering (regrid step 2).
+
+Given a boolean mask of flagged cells, produce a small set of rectangular
+boxes covering every flag with at least a target *efficiency* (fraction of
+cells inside the boxes that are actually flagged).  This is the standard
+signature/hole/inflection algorithm of Berger & Rigoutsos (IEEE Trans.
+Systems, Man and Cybernetics, 1991):
+
+1. shrink the candidate box to the flags' bounding box;
+2. accept it when its efficiency meets the target or it cannot be split;
+3. otherwise split at the best *hole* (a zero of the flag signature) or,
+   failing that, at the strongest inflection of the signature's second
+   derivative, and recurse on both halves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import GeometryError
+from repro.util.geometry import Box, BoxList
+
+__all__ = ["berger_rigoutsos"]
+
+
+def _bounding_box_of_flags(mask: np.ndarray) -> tuple[tuple[int, int], ...] | None:
+    """Per-axis (lo, hi_exclusive) bounds of True cells, or None if empty."""
+    if not mask.any():
+        return None
+    bounds = []
+    for axis in range(mask.ndim):
+        other = tuple(a for a in range(mask.ndim) if a != axis)
+        line = mask.any(axis=other) if other else mask
+        idx = np.nonzero(line)[0]
+        bounds.append((int(idx[0]), int(idx[-1]) + 1))
+    return tuple(bounds)
+
+
+def _signatures(mask: np.ndarray) -> list[np.ndarray]:
+    """Flag counts projected onto each axis."""
+    sigs = []
+    for axis in range(mask.ndim):
+        other = tuple(a for a in range(mask.ndim) if a != axis)
+        sigs.append(mask.sum(axis=other) if other else mask.astype(np.int64))
+    return sigs
+
+
+def _best_hole_split(
+    sigs: list[np.ndarray], min_size: int
+) -> tuple[int, int] | None:
+    """The most central zero-signature plane respecting min_size, if any."""
+    best: tuple[int, int] | None = None
+    best_score = -1.0
+    for axis, sig in enumerate(sigs):
+        n = len(sig)
+        for cut in range(min_size, n - min_size + 1):
+            # A hole at `cut` means the plane just below the cut is empty.
+            if sig[cut - 1] == 0 or (cut < n and sig[cut] == 0):
+                centrality = 1.0 - abs(cut - n / 2) / (n / 2)
+                if centrality > best_score:
+                    best_score = centrality
+                    best = (axis, cut)
+    return best
+
+
+def _best_inflection_split(
+    sigs: list[np.ndarray], min_size: int
+) -> tuple[int, int] | None:
+    """Strongest sign change of the signature Laplacian, respecting min_size."""
+    best: tuple[int, int] | None = None
+    best_strength = -1
+    for axis, sig in enumerate(sigs):
+        n = len(sig)
+        if n < 2 * min_size or n < 4:
+            continue
+        lap = sig[2:] - 2 * sig[1:-1] + sig[:-2]  # second difference
+        for i in range(len(lap) - 1):
+            cut = i + 2  # split between cells i+1 and i+2
+            if not min_size <= cut <= n - min_size:
+                continue
+            if (lap[i] < 0 <= lap[i + 1]) or (lap[i] >= 0 > lap[i + 1]):
+                strength = abs(int(lap[i + 1]) - int(lap[i]))
+                if strength > best_strength:
+                    best_strength = strength
+                    best = (axis, cut)
+    if best is None:
+        # Fall back: bisect the longest admissible axis.
+        lengths = [len(s) for s in sigs]
+        axis = int(np.argmax(lengths))
+        n = lengths[axis]
+        if n >= 2 * min_size:
+            return (axis, n // 2)
+        return None
+    return best
+
+
+def _cluster(
+    mask: np.ndarray,
+    offset: tuple[int, ...],
+    efficiency: float,
+    min_size: int,
+    out: list[tuple[tuple[int, ...], tuple[int, ...]]],
+    depth: int,
+    max_depth: int = 64,
+) -> None:
+    bounds = _bounding_box_of_flags(mask)
+    if bounds is None:
+        return
+    # Shrink to the flag bounding box.
+    sl = tuple(slice(lo, hi) for lo, hi in bounds)
+    sub = mask[sl]
+    sub_offset = tuple(o + lo for o, (lo, _) in zip(offset, bounds))
+    eff = sub.sum() / sub.size
+    small = all(s <= min_size for s in sub.shape)
+    if eff >= efficiency or small or depth >= max_depth:
+        out.append(
+            (sub_offset, tuple(o + s for o, s in zip(sub_offset, sub.shape)))
+        )
+        return
+    sigs = _signatures(sub)
+    split = _best_hole_split(sigs, min_size)
+    if split is None:
+        split = _best_inflection_split(sigs, min_size)
+    if split is None:
+        out.append(
+            (sub_offset, tuple(o + s for o, s in zip(sub_offset, sub.shape)))
+        )
+        return
+    axis, cut = split
+    lo_sl = tuple(
+        slice(0, cut) if a == axis else slice(None) for a in range(sub.ndim)
+    )
+    hi_sl = tuple(
+        slice(cut, None) if a == axis else slice(None) for a in range(sub.ndim)
+    )
+    hi_offset = tuple(
+        o + cut if a == axis else o for a, o in enumerate(sub_offset)
+    )
+    _cluster(sub[lo_sl], sub_offset, efficiency, min_size, out, depth + 1)
+    _cluster(sub[hi_sl], hi_offset, efficiency, min_size, out, depth + 1)
+
+
+def berger_rigoutsos(
+    mask: np.ndarray,
+    origin: tuple[int, ...] | None = None,
+    level: int = 0,
+    efficiency: float = 0.7,
+    min_size: int = 2,
+) -> BoxList:
+    """Cluster flagged cells into boxes.
+
+    Parameters
+    ----------
+    mask:
+        Boolean array of flags over some frame of a level's index space.
+    origin:
+        Level coordinates of ``mask[0, 0, ...]`` (default: the origin).
+    level:
+        Refinement level the boxes should carry.
+    efficiency:
+        Target flagged-cell fraction per box, in (0, 1].
+    min_size:
+        Minimum box side length; splits never produce thinner boxes.
+
+    Returns
+    -------
+    BoxList
+        Disjoint boxes jointly covering every flagged cell.
+    """
+    if mask.dtype != bool:
+        raise GeometryError("mask must be a boolean array")
+    if not 0.0 < efficiency <= 1.0:
+        raise GeometryError(f"efficiency must be in (0, 1], got {efficiency}")
+    if min_size < 1:
+        raise GeometryError(f"min_size must be >= 1, got {min_size}")
+    if origin is None:
+        origin = (0,) * mask.ndim
+    if len(origin) != mask.ndim:
+        raise GeometryError("origin dimensionality mismatch")
+    found: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+    _cluster(mask, tuple(origin), efficiency, min_size, found, 0)
+    return BoxList(Box(lo, hi, level) for lo, hi in found)

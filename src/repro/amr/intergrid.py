@@ -1,0 +1,73 @@
+"""Inter-grid transfer operators: prolongation and restriction.
+
+The two primary inter-grid operations of the Berger-Oliger scheme:
+*prolongation* moves solution values from a coarse grid to a newly created
+(or ghost-hungry) fine grid; *restriction* averages fine values back onto
+the underlying coarse cells at synchronization points.
+
+Operators are conservative and cell-centered:
+
+- ``prolong``: piecewise-constant injection (each coarse cell's value copied
+  into its ``factor**ndim`` children) -- first-order, positivity-preserving,
+  which matters for hydrodynamics fields like density.
+- ``restrict``: arithmetic mean over each coarse cell's children -- the
+  adjoint of injection, conserving the field's integral.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.util.errors import GeometryError
+
+__all__ = ["prolong", "restrict"]
+
+
+def prolong(coarse: np.ndarray, factor: int) -> np.ndarray:
+    """Inject coarse data onto a ``factor``-times finer grid.
+
+    ``coarse`` has shape ``(num_fields, *spatial)``; the result's spatial
+    extents are multiplied by ``factor``.
+    """
+    if factor < 2:
+        raise GeometryError(f"refinement factor must be >= 2, got {factor}")
+    if coarse.ndim < 2:
+        raise GeometryError("expected (num_fields, *spatial) array")
+    out = coarse
+    for axis in range(1, coarse.ndim):
+        out = np.repeat(out, factor, axis=axis)
+    return out
+
+
+def restrict(fine: np.ndarray, factor: int) -> np.ndarray:
+    """Average fine data onto a ``factor``-times coarser grid.
+
+    Every spatial extent of ``fine`` must be divisible by ``factor``.
+
+    The children of each coarse cell are accumulated in a fixed
+    lexicographic offset order (not via ``mean``'s shape-dependent pairwise
+    summation), so the result is *bitwise* independent of how the fine
+    region was carved into patches -- the partition-invariance property the
+    distributed runtime's tests pin down.
+    """
+    if factor < 2:
+        raise GeometryError(f"refinement factor must be >= 2, got {factor}")
+    if fine.ndim < 2:
+        raise GeometryError("expected (num_fields, *spatial) array")
+    spatial = fine.shape[1:]
+    for s in spatial:
+        if s % factor:
+            raise GeometryError(
+                f"spatial extent {s} not divisible by factor {factor}"
+            )
+    ndim = len(spatial)
+    coarse_shape = (fine.shape[0],) + tuple(s // factor for s in spatial)
+    acc = np.zeros(coarse_shape, dtype=fine.dtype)
+    for offsets in itertools.product(range(factor), repeat=ndim):
+        sl = (slice(None),) + tuple(
+            slice(o, None, factor) for o in offsets
+        )
+        acc += fine[sl]
+    return acc / factor**ndim

@@ -1,0 +1,115 @@
+"""Grid patches: a bounding box plus field storage with ghost cells.
+
+A :class:`GridPatch` is one component grid of the hierarchy.  Its data array
+covers the box interior plus ``ghost_width`` cells on every side; the ghost
+frame is filled by :mod:`repro.amr.ghost` before each kernel step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import GeometryError
+from repro.util.geometry import Box
+
+__all__ = ["GridPatch"]
+
+
+class GridPatch:
+    """Field data living on one bounding box of one refinement level.
+
+    Parameters
+    ----------
+    box:
+        Interior region in the patch's level index space.
+    num_fields:
+        Leading data dimension.
+    ghost_width:
+        Ghost cells per side.
+    data:
+        Optional pre-existing array of shape
+        ``(num_fields, *(s + 2*ghost_width))``; allocated zero-filled when
+        omitted.
+    """
+
+    __slots__ = ("box", "num_fields", "ghost_width", "data")
+
+    def __init__(
+        self,
+        box: Box,
+        num_fields: int = 1,
+        ghost_width: int = 1,
+        data: np.ndarray | None = None,
+    ):
+        if num_fields < 1:
+            raise GeometryError(f"num_fields must be >= 1, got {num_fields}")
+        if ghost_width < 0:
+            raise GeometryError(f"ghost_width must be >= 0, got {ghost_width}")
+        self.box = box
+        self.num_fields = num_fields
+        self.ghost_width = ghost_width
+        expected = (num_fields,) + tuple(
+            s + 2 * ghost_width for s in box.shape
+        )
+        if data is None:
+            self.data = np.zeros(expected)
+        else:
+            if data.shape != expected:
+                raise GeometryError(
+                    f"patch data shape {data.shape} != expected {expected}"
+                )
+            self.data = data
+
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        return self.box.level
+
+    @property
+    def interior(self) -> np.ndarray:
+        """View of the interior (no ghosts), shape (num_fields, *box.shape)."""
+        g = self.ghost_width
+        if g == 0:
+            return self.data
+        sl = (slice(None),) + (slice(g, -g),) * self.box.ndim
+        return self.data[sl]
+
+    @interior.setter
+    def interior(self, values: np.ndarray) -> None:
+        self.interior[...] = values
+
+    def ghost_box(self) -> Box:
+        """The box including the ghost frame (may extend past the domain)."""
+        if self.ghost_width == 0:
+            return self.box
+        return self.box.grow(self.ghost_width)
+
+    # ------------------------------------------------------------------
+    def view_for(self, region: Box) -> np.ndarray:
+        """Writable view of ``region`` (level coords) within this patch's
+        data, ghost frame included.  ``region`` must fit in the ghost box."""
+        gb = self.ghost_box()
+        if not gb.contains_box(region):
+            raise GeometryError(
+                f"region {region} not contained in patch ghost box {gb}"
+            )
+        sl = (slice(None),) + region.slices(origin=gb.lower)
+        return self.data[sl]
+
+    def copy_region_from(self, other: "GridPatch", region: Box) -> None:
+        """Copy ``region`` of ``other``'s *interior* into this patch
+        (typically into this patch's ghost frame)."""
+        if other.box.intersection(region) != region:
+            raise GeometryError(
+                f"source patch {other.box} does not cover region {region}"
+            )
+        src = other.view_for(region)
+        self.view_for(region)[...] = src
+
+    @property
+    def work(self) -> int:
+        """Computational weight: interior cell count."""
+        return self.box.num_cells
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GridPatch({self.box!r}, fields={self.num_fields})"

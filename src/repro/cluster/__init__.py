@@ -1,0 +1,36 @@
+"""Heterogeneous-cluster simulator (substitute for the paper's testbed).
+
+The paper evaluates on a 32-node Linux cluster on Fast Ethernet, loaded by a
+*synthetic load generator* so both partitioners see identical, controlled
+system dynamics.  Offline we reproduce that environment with a deterministic
+simulator:
+
+- :mod:`repro.cluster.node` -- per-node capability specs (CPU speed, memory,
+  NIC bandwidth) and dynamic state (CPU availability, free memory);
+- :mod:`repro.cluster.loadgen` -- the synthetic load generator of section
+  6.1.1: load ramps linearly at a specified rate to a desired level,
+  consuming CPU and memory; several generators may stack on one node;
+- :mod:`repro.cluster.events` -- a small discrete-event clock;
+- :mod:`repro.cluster.network` -- latency/bandwidth link cost model;
+- :mod:`repro.cluster.cluster` -- the cluster facade plus presets, including
+  the paper's 4-node scenario with relative capacities ~16/19/31/34 %.
+
+The simulator is the *system under measurement*: partitioners only ever see
+it through the resource monitor (:mod:`repro.monitor`), exactly as the real
+framework only saw the cluster through NWS.
+"""
+
+from repro.cluster.node import NodeSpec, NodeState
+from repro.cluster.events import SimClock
+from repro.cluster.loadgen import SyntheticLoadGenerator
+from repro.cluster.network import LinkModel
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "NodeSpec",
+    "NodeState",
+    "SimClock",
+    "SyntheticLoadGenerator",
+    "LinkModel",
+    "Cluster",
+]

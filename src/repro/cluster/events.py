@@ -1,0 +1,73 @@
+"""A minimal discrete-event clock.
+
+The runtime advances simulated time in two ways: by *elapsing* the duration
+of a computation/communication phase, and by *firing* scheduled callbacks
+(load-generator ramp milestones, injected failures).  :class:`SimClock`
+supports both: ``advance(dt)`` and ``advance_to(t)`` move time forward and
+run any events that fall inside the interval, in timestamp order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.util.errors import SimulationError
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonic simulated clock with an event queue.
+
+    Events are ``(time, callback)`` pairs; callbacks take the clock as their
+    only argument and may schedule further events (at or after the event's
+    own timestamp).
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._queue: list[tuple[float, int, Callable[["SimClock"], None]]] = []
+        self._counter = itertools.count()  # FIFO tie-break for equal times
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, when: float, callback: Callable[["SimClock"], None]) -> None:
+        """Register ``callback`` to fire at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={when} before now={self._now}"
+            )
+        heapq.heappush(self._queue, (float(when), next(self._counter), callback))
+
+    def schedule_in(self, delay: float, callback: Callable[["SimClock"], None]) -> None:
+        """Register ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule(self._now + delay, callback)
+
+    def advance(self, dt: float) -> None:
+        """Move time forward by ``dt`` seconds, firing due events in order."""
+        if dt < 0:
+            raise SimulationError(f"cannot advance time by negative dt={dt}")
+        self.advance_to(self._now + dt)
+
+    def advance_to(self, t: float) -> None:
+        """Move time to absolute ``t``, firing due events in order."""
+        if t < self._now:
+            raise SimulationError(
+                f"cannot move time backwards: now={self._now}, target={t}"
+            )
+        while self._queue and self._queue[0][0] <= t:
+            when, _, callback = heapq.heappop(self._queue)
+            self._now = when
+            callback(self)
+        self._now = t
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

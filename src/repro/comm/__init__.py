@@ -1,0 +1,12 @@
+"""Simulated message-passing layer.
+
+Substitute for the MPI transport under GrACE: the experiments need the
+*cost* of communication phases (ghost exchanges, data migration,
+reductions), not actual data movement, so :class:`SimCommunicator` prices
+message patterns against the cluster's link model and current node
+bandwidths, and keeps traffic counters for diagnostics.
+"""
+
+from repro.comm.simmpi import CommStats, SimCommunicator
+
+__all__ = ["SimCommunicator", "CommStats"]

@@ -1,0 +1,127 @@
+"""Communication cost accounting over the simulated cluster.
+
+Model
+-----
+- Point-to-point: alpha-beta cost from :class:`repro.cluster.LinkModel`,
+  throttled by the slower endpoint's current NIC bandwidth.
+- Exchange phases (ghost sync, migration): each rank serializes its own
+  sends and receives; the phase lasts as long as the busiest rank.  This is
+  the standard post-office model for single-NIC nodes on switched Ethernet.
+- Collectives: binomial-tree allreduce/broadcast, ``ceil(log2 P)`` rounds of
+  the slowest-pair point-to-point cost.
+
+The communicator never moves payloads -- the HDDA already holds them; here
+we only price the pattern and tally statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.util.errors import SimulationError
+
+__all__ = ["CommStats", "SimCommunicator"]
+
+
+@dataclass(slots=True)
+class CommStats:
+    """Cumulative traffic counters."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    point_to_point_time: float = 0.0
+    collective_time: float = 0.0
+    per_pair_bytes: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def record_message(self, src: int, dst: int, nbytes: int, seconds: float) -> None:
+        self.messages += 1
+        self.bytes_sent += nbytes
+        self.point_to_point_time += seconds
+        self.per_pair_bytes[(src, dst)] = (
+            self.per_pair_bytes.get((src, dst), 0) + nbytes
+        )
+
+
+class SimCommunicator:
+    """Prices communication patterns on a simulated cluster."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.stats = CommStats()
+
+    @property
+    def size(self) -> int:
+        return self.cluster.num_nodes
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise SimulationError(f"rank {rank} out of range [0, {self.size})")
+
+    # ------------------------------------------------------------------
+    def p2p_time(
+        self, src: int, dst: int, nbytes: float, t: float | None = None
+    ) -> float:
+        """Seconds for one message from ``src`` to ``dst`` at time ``t``."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            return 0.0  # local copy, charged to compute
+        s_bw = self.cluster.state_of(src, t).bandwidth_mbps
+        d_bw = self.cluster.state_of(dst, t).bandwidth_mbps
+        seconds = self.cluster.link.transfer_time(nbytes, s_bw, d_bw)
+        self.stats.record_message(src, dst, int(nbytes), seconds)
+        return seconds
+
+    def exchange_time(
+        self,
+        pair_bytes: Mapping[tuple[int, int], float],
+        t: float | None = None,
+    ) -> np.ndarray:
+        """Per-rank time for a neighbourhood exchange phase.
+
+        ``pair_bytes[(src, dst)]`` is the payload volume from src to dst.
+        Every rank's sends and receives serialize on its NIC; the function
+        returns the per-rank busy time (callers usually take the max).
+        """
+        busy = np.zeros(self.size)
+        for (src, dst), nbytes in pair_bytes.items():
+            seconds = self.p2p_time(src, dst, nbytes, t)
+            busy[src] += seconds
+            busy[dst] += seconds
+        return busy
+
+    def allreduce_time(self, nbytes: float, t: float | None = None) -> float:
+        """Binomial-tree allreduce over all ranks."""
+        if self.size == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(self.size))
+        states = [self.cluster.state_of(k, t) for k in range(self.size)]
+        slowest_bw = min(s.bandwidth_mbps for s in states)
+        per_round = self.cluster.link.transfer_time(nbytes, slowest_bw, slowest_bw)
+        seconds = rounds * per_round
+        self.stats.collective_time += seconds
+        return seconds
+
+    def broadcast_time(self, nbytes: float, t: float | None = None) -> float:
+        """Binomial-tree broadcast; same round structure as allreduce."""
+        return self.allreduce_time(nbytes, t)
+
+    # ------------------------------------------------------------------
+    def migration_time(
+        self,
+        bytes_moved: Mapping[tuple[int, int], int],
+        t: float | None = None,
+    ) -> float:
+        """Wall time of a data-migration phase (post-repartition).
+
+        Returns the makespan: the busiest rank's serialized transfer time.
+        """
+        if not bytes_moved:
+            return 0.0
+        busy = self.exchange_time(bytes_moved, t)
+        return float(busy.max())

@@ -1,0 +1,29 @@
+"""Hierarchical Distributed Dynamic Array (HDDA).
+
+The HDDA is GrACE's lowest data-management layer: an array that is
+*hierarchical* (each element can recursively be an array -- here, one block
+per grid-hierarchy bounding box) and *dynamic* (it grows and shrinks at every
+regrid).  It is composed of
+
+- a **hierarchical index space** derived from the application domain through
+  space-filling mappings (:mod:`repro.hdda.index`),
+- **extendible-hash storage** for dynamic blocks (:mod:`repro.hdda.storage`),
+- a **distribution layer** mapping index-space spans to owning processors and
+  planning data migration on repartition (:mod:`repro.hdda.hdda`).
+
+Index locality on the space-filling curve translates spatial application
+locality into storage locality, which is what makes SFC-span ownership a
+communication-friendly distribution.
+"""
+
+from repro.hdda.index import HierarchicalIndexSpace
+from repro.hdda.storage import BlockStore
+from repro.hdda.hdda import HDDA, MigrationPlan, OwnershipMap
+
+__all__ = [
+    "HierarchicalIndexSpace",
+    "BlockStore",
+    "HDDA",
+    "MigrationPlan",
+    "OwnershipMap",
+]

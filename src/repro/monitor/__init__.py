@@ -1,0 +1,46 @@
+"""Resource monitoring -- the Network Weather Service substitute.
+
+The paper obtains current system state at runtime from NWS, which (a)
+periodically measures the fraction of CPU available, free memory and
+end-to-end TCP bandwidth on every node, (b) *forecasts* the performance
+deliverable over the next interval from the measurement history, and (c)
+costs about 0.5 s per node to probe and convert into a relative capacity
+(section 6.1.4).
+
+This package reproduces that contract against the simulated cluster:
+
+- :mod:`repro.monitor.sensors` -- per-metric sensors with optional
+  measurement noise and injectable probe failures;
+- :mod:`repro.monitor.forecasting` -- the NWS-style forecaster suite
+  (last-value, sliding mean/median, AR(1), and the adaptive ensemble that
+  tracks whichever predictor has been most accurate);
+- :mod:`repro.monitor.service` -- :class:`ResourceMonitor`, the facade the
+  runtime queries; it returns snapshots plus the probe overhead the caller
+  must charge to simulated time.
+"""
+
+from repro.monitor.forecasting import (
+    AdaptiveEnsembleForecaster,
+    ARForecaster,
+    Forecaster,
+    LastValueForecaster,
+    SlidingMeanForecaster,
+    SlidingMedianForecaster,
+    make_forecaster,
+)
+from repro.monitor.sensors import MetricSensor, SensorReading
+from repro.monitor.service import MonitorSnapshot, ResourceMonitor
+
+__all__ = [
+    "Forecaster",
+    "LastValueForecaster",
+    "SlidingMeanForecaster",
+    "SlidingMedianForecaster",
+    "ARForecaster",
+    "AdaptiveEnsembleForecaster",
+    "make_forecaster",
+    "MetricSensor",
+    "SensorReading",
+    "MonitorSnapshot",
+    "ResourceMonitor",
+]

@@ -1,0 +1,99 @@
+"""Per-metric sensors over the simulated cluster.
+
+A sensor reads one metric (CPU availability, free memory or bandwidth) of
+one node from the cluster's ground truth, optionally perturbed by
+multiplicative Gaussian noise (real NWS measurements jitter) and subject to
+injectable probe failures (a dead sensor host, a dropped TCP probe).  Failed
+probes raise :class:`~repro.util.errors.MonitorError`; the service layer
+decides whether to fall back to the last known value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.util.errors import MonitorError, SimulationError
+from repro.util.rng import make_rng
+
+__all__ = ["SensorReading", "MetricSensor", "METRICS"]
+
+#: Metric name -> (extractor from NodeState, clamp bounds)
+METRICS: dict[str, tuple[Callable, tuple[float, float]]] = {
+    "cpu": (lambda st: st.cpu_available, (0.0, 1.0)),
+    "memory": (lambda st: st.free_memory_mb, (0.0, float("inf"))),
+    "bandwidth": (lambda st: st.bandwidth_mbps, (0.0, float("inf"))),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SensorReading:
+    """One measurement: which node/metric, when, and the value."""
+
+    node: int
+    metric: str
+    time: float
+    value: float
+
+
+class MetricSensor:
+    """Reads one metric across all nodes of a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster to observe.
+    metric:
+        ``"cpu"``, ``"memory"`` or ``"bandwidth"``.
+    noise:
+        Relative (multiplicative) Gaussian noise sigma; 0 = exact readings.
+    failure_rate:
+        Probability that any single probe raises (failure injection).
+    seed:
+        Seed for the sensor's private noise/failure stream.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        metric: str,
+        noise: float = 0.0,
+        failure_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        if metric not in METRICS:
+            raise MonitorError(
+                f"unknown metric {metric!r}; choose from {sorted(METRICS)}"
+            )
+        if noise < 0:
+            raise MonitorError(f"negative noise sigma {noise}")
+        if not 0.0 <= failure_rate < 1.0:
+            raise MonitorError(
+                f"failure_rate must be in [0, 1), got {failure_rate}"
+            )
+        self.cluster = cluster
+        self.metric = metric
+        self.noise = noise
+        self.failure_rate = failure_rate
+        self._rng = make_rng(seed)
+
+    def probe(self, node: int, t: float | None = None) -> SensorReading:
+        """Measure one node; may raise :class:`MonitorError` on failure."""
+        if self.failure_rate and self._rng.random() < self.failure_rate:
+            raise MonitorError(
+                f"probe of {self.metric} on node {node} failed (injected)"
+            )
+        try:
+            state = self.cluster.state_of(node, t)
+        except SimulationError as exc:
+            raise MonitorError(str(exc)) from exc
+        extract, (lo, hi) = METRICS[self.metric]
+        value = float(extract(state))
+        if self.noise:
+            value *= 1.0 + float(self._rng.normal(0.0, self.noise))
+            value = float(np.clip(value, lo, hi))
+        when = self.cluster.clock.now if t is None else t
+        return SensorReading(node=node, metric=self.metric, time=when, value=value)

@@ -1,0 +1,196 @@
+"""The :class:`ResourceMonitor` facade.
+
+This is the only window the partitioning framework has onto the cluster,
+mirroring how the paper's framework only saw its testbed through NWS:
+
+- :meth:`ResourceMonitor.probe_all` measures CPU availability, free memory
+  and bandwidth on every node and returns a :class:`MonitorSnapshot`; the
+  snapshot carries ``overhead_seconds`` -- the paper reports ~0.5 s per node
+  to probe NWS and compute the relative capacity (section 6.1.4) -- which
+  the runtime charges to simulated time.
+- :meth:`ResourceMonitor.forecast_all` returns the forecaster suite's
+  prediction instead of the raw measurement (NWS semantics).  With the
+  default ``last`` forecaster this equals the latest probe.
+- Failed probes (injected) silently fall back to the node's last known
+  reading and are counted in ``snapshot.stale_nodes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.monitor.forecasting import Forecaster, make_forecaster
+from repro.monitor.sensors import METRICS, MetricSensor
+from repro.util.errors import MonitorError
+
+__all__ = ["MonitorSnapshot", "ResourceMonitor"]
+
+#: Probe + capacity-computation cost per node (seconds), from section 6.1.4.
+DEFAULT_PROBE_OVERHEAD_S = 0.5
+
+
+@dataclass(frozen=True, slots=True)
+class MonitorSnapshot:
+    """System state as seen through the monitor at one sensing point.
+
+    Arrays are indexed by node: ``cpu`` (fraction in [0,1]), ``memory_mb``,
+    ``bandwidth_mbps``.  ``stale_nodes`` lists nodes whose probe failed and
+    whose values were carried over from the previous snapshot.
+    """
+
+    time: float
+    cpu: np.ndarray
+    memory_mb: np.ndarray
+    bandwidth_mbps: np.ndarray
+    overhead_seconds: float
+    stale_nodes: tuple[int, ...] = field(default=())
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.cpu)
+
+
+class ResourceMonitor:
+    """NWS-equivalent monitoring service over a simulated cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster to observe.
+    probe_overhead_s:
+        Latency of probing one node and computing its relative capacity
+        (default 0.5 s, section 6.1.4).  Probes of different nodes run
+        concurrently -- NWS sensors are independent daemons -- so a full
+        sweep costs ``probe_overhead_s + aggregation_s_per_node * N``, not
+        ``0.5 * N``.
+    aggregation_s_per_node:
+        Serial cost of collecting and folding each node's answer at the
+        querying process.
+    noise:
+        Relative measurement noise sigma applied by each sensor.
+    failure_rate:
+        Per-probe failure probability (failure injection).
+    forecaster:
+        Forecaster kind for :meth:`forecast_all`:
+        ``last | mean | median | ar | adaptive``.
+    seed:
+        Base seed for sensor noise streams.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        probe_overhead_s: float = DEFAULT_PROBE_OVERHEAD_S,
+        aggregation_s_per_node: float = 0.02,
+        noise: float = 0.0,
+        failure_rate: float = 0.0,
+        forecaster: str = "last",
+        seed: int = 0,
+    ):
+        if probe_overhead_s < 0:
+            raise MonitorError(f"negative probe overhead {probe_overhead_s}")
+        if aggregation_s_per_node < 0:
+            raise MonitorError(
+                f"negative aggregation cost {aggregation_s_per_node}"
+            )
+        self.cluster = cluster
+        self.probe_overhead_s = probe_overhead_s
+        self.aggregation_s_per_node = aggregation_s_per_node
+        self.forecaster_kind = forecaster
+        self._sensors = {
+            metric: MetricSensor(
+                cluster, metric, noise=noise, failure_rate=failure_rate,
+                seed=seed + i,
+            )
+            for i, metric in enumerate(METRICS)
+        }
+        # One forecaster per (metric, node).
+        self._forecasters: dict[str, list[Forecaster]] = {
+            metric: [make_forecaster(forecaster) for _ in range(cluster.num_nodes)]
+            for metric in METRICS
+        }
+        self._last_values: dict[str, list[float | None]] = {
+            metric: [None] * cluster.num_nodes for metric in METRICS
+        }
+        self.num_probes = 0
+
+    # ------------------------------------------------------------------
+    def _probe_metric(
+        self, metric: str, t: float | None, stale: set[int]
+    ) -> np.ndarray:
+        sensor = self._sensors[metric]
+        values = np.empty(self.cluster.num_nodes)
+        for node in range(self.cluster.num_nodes):
+            try:
+                reading = sensor.probe(node, t)
+                value = reading.value
+            except MonitorError:
+                prev = self._last_values[metric][node]
+                if prev is None:
+                    # Never measured: fall back to an optimistic default so
+                    # the capacity calculator still has something to chew on.
+                    extract, _ = METRICS[metric]
+                    value = float(extract(self.cluster.state_of(node, 0.0)))
+                else:
+                    value = prev
+                stale.add(node)
+            self._last_values[metric][node] = value
+            self._forecasters[metric][node].update(value)
+            values[node] = value
+        return values
+
+    def sweep_overhead_seconds(self) -> float:
+        """Cost of one full probe sweep (concurrent probes + aggregation)."""
+        return (
+            self.probe_overhead_s
+            + self.aggregation_s_per_node * self.cluster.num_nodes
+        )
+
+    def probe_all(self, t: float | None = None) -> MonitorSnapshot:
+        """Measure every metric on every node.
+
+        The returned snapshot's ``overhead_seconds`` is
+        :meth:`sweep_overhead_seconds`; charging it to the simulated clock
+        is the caller's responsibility (the runtime engine does this), which
+        keeps the monitor reusable for pure observation in tests.
+        """
+        when = self.cluster.clock.now if t is None else t
+        stale: set[int] = set()
+        cpu = self._probe_metric("cpu", t, stale)
+        mem = self._probe_metric("memory", t, stale)
+        bw = self._probe_metric("bandwidth", t, stale)
+        self.num_probes += 1
+        return MonitorSnapshot(
+            time=when,
+            cpu=cpu,
+            memory_mb=mem,
+            bandwidth_mbps=bw,
+            overhead_seconds=self.sweep_overhead_seconds(),
+            stale_nodes=tuple(sorted(stale)),
+        )
+
+    def forecast_all(self, t: float | None = None) -> MonitorSnapshot:
+        """Forecast every metric from history (requires >= 1 prior probe).
+
+        Costs nothing: forecasts are computed from already-gathered history,
+        which is exactly why NWS exists -- consumers can ask for predictions
+        between (expensive) measurements.
+        """
+        when = self.cluster.clock.now if t is None else t
+        if self.num_probes == 0:
+            raise MonitorError("forecast requested before any probe")
+        arrays = {}
+        for metric in METRICS:
+            arrays[metric] = np.array(
+                [f.forecast() for f in self._forecasters[metric]]
+            )
+        return MonitorSnapshot(
+            time=when,
+            cpu=np.clip(arrays["cpu"], 0.0, 1.0),
+            memory_mb=np.maximum(arrays["memory"], 0.0),
+            bandwidth_mbps=np.maximum(arrays["bandwidth"], 0.0),
+            overhead_seconds=0.0,
+        )

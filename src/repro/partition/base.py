@@ -1,0 +1,119 @@
+"""Partitioner interface and result record."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.util.errors import PartitionError
+from repro.util.geometry import Box, BoxList
+
+__all__ = ["WorkFunction", "default_work", "PartitionResult", "Partitioner"]
+
+#: Work of one box, in abstract work units.
+WorkFunction = Callable[[Box], float]
+
+
+def default_work(box: Box, refine_factor: int = 2) -> float:
+    """Berger-Oliger work model: cells times time-subcycling factor.
+
+    Finer grids both have more cells *and* take more steps per coarse step,
+    which is why the coarse level's load "cannot be ignored" but fine levels
+    dominate (paper section 3.1).
+    """
+    return float(box.num_cells * refine_factor**box.level)
+
+
+@dataclass(slots=True)
+class PartitionResult:
+    """Outcome of one partitioning call.
+
+    Attributes
+    ----------
+    assignment:
+        ``(box, rank)`` pairs covering the (possibly split) input boxes.
+    targets:
+        Ideal per-rank loads ``L_k`` the partitioner aimed for.
+    num_splits:
+        How many box splits were performed.
+    """
+
+    assignment: list[tuple[Box, int]] = field(default_factory=list)
+    targets: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    num_splits: int = 0
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.targets)
+
+    def owners(self) -> dict[Box, int]:
+        """Box -> rank mapping (boxes are unique after partitioning)."""
+        return dict(self.assignment)
+
+    def boxes(self) -> BoxList:
+        return BoxList(b for b, _ in self.assignment)
+
+    def loads(self, work_of: WorkFunction | None = None) -> np.ndarray:
+        """Realized per-rank work W_k."""
+        work_of = work_of or default_work
+        out = np.zeros(self.num_ranks)
+        for box, rank in self.assignment:
+            out[rank] += work_of(box)
+        return out
+
+    def boxes_of(self, rank: int) -> BoxList:
+        return BoxList(b for b, r in self.assignment if r == rank)
+
+    def validate_covers(self, original: BoxList) -> None:
+        """Check the assignment tiles exactly the input boxes.
+
+        Total cells per level must match and assigned boxes must be
+        disjoint; raises :class:`PartitionError` otherwise.
+        """
+        got = self.boxes()
+        for level in set(original.levels) | set(got.levels):
+            if got.at_level(level).total_cells != original.at_level(level).total_cells:
+                raise PartitionError(
+                    f"assignment lost cells at level {level}: "
+                    f"{got.at_level(level).total_cells} != "
+                    f"{original.at_level(level).total_cells}"
+                )
+        if not got.is_disjoint():
+            raise PartitionError("assignment produced overlapping boxes")
+
+
+class Partitioner(abc.ABC):
+    """Common interface: distribute a bounding-box list over ranks with
+    given relative capacities."""
+
+    #: human-readable name used in experiment reports
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def partition(
+        self,
+        boxes: BoxList,
+        capacities: Sequence[float],
+        work_of: WorkFunction | None = None,
+    ) -> PartitionResult:
+        """Distribute ``boxes`` over ``len(capacities)`` ranks.
+
+        ``capacities`` are relative (summing to ~1); ``work_of`` defaults to
+        :func:`default_work`.
+        """
+
+    @staticmethod
+    def _check_inputs(
+        boxes: BoxList, capacities: Sequence[float]
+    ) -> np.ndarray:
+        caps = np.asarray(capacities, dtype=float)
+        if caps.ndim != 1 or len(caps) == 0:
+            raise PartitionError("capacities must be a non-empty 1-D sequence")
+        if (caps < 0).any():
+            raise PartitionError("capacities must be non-negative")
+        if caps.sum() <= 0:
+            raise PartitionError("total capacity must be positive")
+        return caps / caps.sum()

@@ -1,0 +1,129 @@
+"""ACEComposite: GrACE's default space-filling-curve partitioner.
+
+The baseline the paper compares against: "the default space-filling curve
+based partitioning scheme provided by GrACE.  This latter scheme assumes
+homogeneous processors and performs an equal distribution of the workload
+on the processors."
+
+The hierarchy's boxes are linearized along a Hilbert curve (the composite
+ordering GrACE's HDDA maintains) and dealt out as contiguous curve spans of
+(approximately) equal work, one span per processor, splitting boxes at span
+boundaries under the same constraints as the heterogeneous partitioner.
+Contiguous spans preserve locality -- the scheme's strength -- but the equal
+targets ignore capacity, which is exactly what the paper's experiments
+expose on loaded clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.partition.base import (
+    Partitioner,
+    PartitionResult,
+    WorkFunction,
+    default_work,
+)
+from repro.partition.splitting import SplitConstraints, split_to_target
+from repro.util.geometry import BoxList
+from repro.util.sfc import sfc_order_boxes
+
+__all__ = ["ACEComposite", "assign_curve_spans"]
+
+
+def assign_curve_spans(
+    ordered: list,
+    targets: np.ndarray,
+    work_of: WorkFunction,
+    constraints: SplitConstraints,
+    result: PartitionResult,
+) -> None:
+    """Deal an SFC-ordered box list into contiguous per-rank spans.
+
+    Each rank receives boxes from the current curve position until its
+    ``targets`` entry is filled; boxes straddling a span boundary are split
+    under ``constraints`` (remainders stay at the current curve position).
+    When a boundary cannot be carved, the shortfall carries into the next
+    rank's span so the global sum is preserved.  Mutates ``result``.
+    """
+    num_ranks = len(targets)
+    pending = ordered
+    rank = 0
+    remaining = targets[0]
+    i = 0
+    while i < len(pending):
+        box = pending[i]
+        w = work_of(box)
+        last_rank = rank == num_ranks - 1
+        if last_rank or w <= remaining + 1e-9:
+            result.assignment.append((box, rank))
+            remaining -= w
+            i += 1
+            if not last_rank and remaining <= 0:
+                rank += 1
+                remaining += targets[rank]
+            continue
+        split = (
+            split_to_target(box, remaining, work_of, constraints)
+            if remaining > 0
+            else None
+        )
+        if split is None:
+            rank += 1
+            remaining += targets[rank]
+            continue
+        piece, rest = split
+        result.num_splits += len(rest)
+        result.assignment.append((piece, rank))
+        remaining -= work_of(piece)
+        # Remainders stay at the current curve position.
+        pending[i : i + 1] = rest
+        if remaining <= 0 and rank < num_ranks - 1:
+            rank += 1
+            remaining += targets[rank]
+
+
+class ACEComposite(Partitioner):
+    """Equal-work SFC-span partitioner (capacity-blind baseline).
+
+    Parameters
+    ----------
+    constraints:
+        Box-splitting constraints shared with ACEHeterogeneous.
+    curve:
+        Space-filling curve for the composite ordering.
+    """
+
+    name = "ACEComposite"
+
+    def __init__(
+        self,
+        constraints: SplitConstraints | None = None,
+        curve: str = "hilbert",
+    ):
+        self.constraints = constraints or SplitConstraints()
+        self.curve = curve
+
+    def partition(
+        self,
+        boxes: BoxList,
+        capacities: Sequence[float],
+        work_of: WorkFunction | None = None,
+    ) -> PartitionResult:
+        # Capacities are accepted (interface parity) but only their count
+        # matters: the default scheme assumes homogeneity.
+        caps = self._check_inputs(boxes, capacities)
+        num_ranks = len(caps)
+        work_of = work_of or default_work
+        total = sum(work_of(b) for b in boxes)
+        targets = np.full(num_ranks, total / num_ranks)
+        result = PartitionResult(targets=targets)
+        if len(boxes) == 0:
+            return result
+
+        ordered = list(sfc_order_boxes(boxes, curve=self.curve))
+        assign_curve_spans(ordered, targets, work_of, self.constraints, result)
+        result.validate_covers(boxes)
+        return result

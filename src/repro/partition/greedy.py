@@ -1,0 +1,55 @@
+"""Capacity-weighted greedy LPT baseline (ablation partitioner).
+
+Longest-Processing-Time list scheduling generalized to heterogeneous
+targets: boxes are taken in *descending* work order and each is placed on
+the rank whose load-to-capacity ratio would stay lowest.  No splitting is
+performed, so granularity is whatever the regrid produced -- comparing this
+against ACEHeterogeneous isolates the value of constrained box splitting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.partition.base import (
+    Partitioner,
+    PartitionResult,
+    WorkFunction,
+    default_work,
+)
+from repro.util.geometry import BoxList
+
+__all__ = ["GreedyLPT"]
+
+
+class GreedyLPT(Partitioner):
+    """Heterogeneity-aware LPT without box splitting."""
+
+    name = "GreedyLPT"
+
+    def partition(
+        self,
+        boxes: BoxList,
+        capacities: Sequence[float],
+        work_of: WorkFunction | None = None,
+    ) -> PartitionResult:
+        caps = self._check_inputs(boxes, capacities)
+        work_of = work_of or default_work
+        total = sum(work_of(b) for b in boxes)
+        targets = caps * total
+        result = PartitionResult(targets=targets)
+        loads = np.zeros(len(caps))
+        # Guard capacities so a zero-capacity rank is only used when every
+        # rank has zero capacity (which _check_inputs already excludes).
+        safe_caps = np.where(caps > 0, caps, 1e-12)
+        for box in sorted(
+            boxes, key=lambda b: (-work_of(b), b.corner_key())
+        ):
+            w = work_of(box)
+            rank = int(np.argmin((loads + w) / safe_caps))
+            result.assignment.append((box, rank))
+            loads[rank] += w
+        result.validate_covers(boxes)
+        return result

@@ -1,0 +1,101 @@
+"""Partition-quality metrics.
+
+``load_imbalance`` is the paper's eq. (2): for rank *k* with realized work
+``W_k`` and ideal capacity-proportional load ``L_k``,
+
+    I_k = |W_k - L_k| / L_k * 100  [%].
+
+``makespan_estimate`` prices a partition against effective node speeds:
+the slowest rank's compute time dominates a bulk-synchronous iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.partition.base import PartitionResult, WorkFunction
+from repro.util.errors import PartitionError
+
+__all__ = ["load_imbalance", "makespan_estimate", "redistribution_volume"]
+
+
+def redistribution_volume(
+    prev_assignment: Sequence[tuple],
+    new_assignment: Sequence[tuple],
+    bytes_per_cell: float = 8.0,
+) -> dict[tuple[int, int], float]:
+    """Bytes that must move between ranks to realize a new assignment.
+
+    Computed geometrically: for every cell of the new assignment that was
+    previously owned by a different rank, its payload crosses the
+    ``(old_owner, new_owner)`` link.  This captures re-split boxes correctly
+    (block identity changes, but only the cells whose *owner* changed
+    actually travel), which is what redistribution costs on a real cluster.
+    Cells with no previous owner (newly refined regions) are free -- their
+    data is prolonged locally from the parent level.
+    """
+    volumes: dict[tuple[int, int], float] = {}
+    prev_by_level: dict[int, list[tuple]] = {}
+    for box, rank in prev_assignment:
+        prev_by_level.setdefault(box.level, []).append((box, rank))
+    for box, new_rank in new_assignment:
+        for old_box, old_rank in prev_by_level.get(box.level, ()):
+            if old_rank == new_rank:
+                continue
+            inter = box.intersection(old_box)
+            if inter is not None:
+                key = (old_rank, new_rank)
+                volumes[key] = (
+                    volumes.get(key, 0.0) + inter.num_cells * bytes_per_cell
+                )
+    return volumes
+
+
+def load_imbalance(
+    result: PartitionResult,
+    work_of: WorkFunction | None = None,
+    targets: Sequence[float] | None = None,
+) -> np.ndarray:
+    """Per-rank percentage imbalance I_k.
+
+    By default measured against the result's own targets; pass ``targets``
+    to measure against external ideals -- the paper's fig. 10 judges *both*
+    schemes against the capacity-proportional loads ``L_k = C_k * L``, which
+    is what makes the capacity-blind default score badly on a loaded
+    cluster even though it met its own equal-share goals.
+    """
+    targets = result.targets if targets is None else np.asarray(targets, float)
+    if len(targets) == 0:
+        raise PartitionError("result has no targets")
+    if len(targets) != result.num_ranks:
+        raise PartitionError(
+            f"{len(targets)} targets for {result.num_ranks} ranks"
+        )
+    loads = result.loads(work_of)
+    out = np.zeros(len(targets))
+    for k, (w, l) in enumerate(zip(loads, targets)):
+        if l <= 0:
+            # A zero-capacity rank is perfectly balanced only when idle.
+            out[k] = 0.0 if w == 0 else float("inf")
+        else:
+            out[k] = abs(w - l) / l * 100.0
+    return out
+
+
+def makespan_estimate(
+    result: PartitionResult,
+    effective_speeds: Sequence[float],
+    work_of: WorkFunction | None = None,
+) -> float:
+    """Seconds the slowest rank needs to chew through its assigned work."""
+    speeds = np.asarray(effective_speeds, dtype=float)
+    if len(speeds) != result.num_ranks:
+        raise PartitionError(
+            f"{len(speeds)} speeds for {result.num_ranks} ranks"
+        )
+    if (speeds <= 0).any():
+        raise PartitionError("effective speeds must be positive")
+    loads = result.loads(work_of)
+    return float((loads / speeds).max())

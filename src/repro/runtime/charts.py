@@ -1,0 +1,111 @@
+"""Plain-text chart rendering for the figure benchmarks.
+
+The paper's evaluation is figures; the benchmark harness reports the same
+series as ASCII line charts so a terminal run of
+``pytest benchmarks/ --benchmark-only -s`` visually mirrors the paper.
+No plotting dependency needed (offline environment).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["line_chart", "bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x: Sequence[float] | None = None,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render one or more y-series over a shared x-axis as ASCII art.
+
+    Each series gets a marker character; the legend maps markers to names.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    n = lengths.pop()
+    if n == 0:
+        raise ValueError("empty series")
+    if x is None:
+        x = list(range(n))
+    if len(x) != n:
+        raise ValueError("x length does not match series length")
+
+    xs = np.asarray(x, dtype=float)
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(xs.min()), float(xs.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(series.items(), _MARKERS):
+        for xv, yv in zip(xs, np.asarray(ys, dtype=float)):
+            col = int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(
+                round((yv - y_min) / (y_max - y_min) * (height - 1))
+            )
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_lab = f"{y_max:.4g}"
+    bot_lab = f"{y_min:.4g}"
+    lab_w = max(len(top_lab), len(bot_lab), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_lab
+        elif i == height - 1:
+            label = bot_lab
+        elif i == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{lab_w}} |" + "".join(row))
+    lines.append(" " * lab_w + " +" + "-" * width)
+    x_axis = f"{x_min:.4g}" + " " * max(
+        1, width - len(f"{x_min:.4g}") - len(f"{x_max:.4g}")
+    ) + f"{x_max:.4g}"
+    lines.append(" " * lab_w + "  " + x_axis)
+    if x_label:
+        lines.append(" " * lab_w + "  " + x_label.center(width))
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * lab_w + "  " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 48,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of labelled values."""
+    if not values:
+        raise ValueError("no values to plot")
+    vmax = max(values.values())
+    if vmax <= 0:
+        vmax = 1.0
+    lab_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, v in values.items():
+        bar = "#" * max(1, int(round(v / vmax * width)))
+        lines.append(f"{name:>{lab_w}} |{bar} {v:.4g}{unit}")
+    return "\n".join(lines)

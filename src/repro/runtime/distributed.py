@@ -1,0 +1,211 @@
+"""Distributed execution of a *real* AMR application on the simulated cluster.
+
+Where :class:`~repro.runtime.engine.SamrRuntime` replays a pre-computed
+workload trace, :class:`DistributedAmrRun` drives an actual
+kernel + hierarchy through the Berger-Oliger integrator while the
+partitioner owns the decomposition:
+
+- at every regrid the partitioner distributes the fresh bounding-box list;
+  its (possibly split) output boxes become the hierarchy's *patch layout*
+  (:meth:`GridHierarchy.repatch_level`), exactly as GrACE turns partitioner
+  output into the distribution of the HDDA;
+- each simulated rank owns the patches assigned to it; per-iteration
+  compute time is the rank's owned work over its current effective speed,
+  ghost-exchange volumes are derived from the actual patch geometry, and
+  migration is priced from the cell-owner diff -- all charged to the
+  cluster clock;
+- the numerics still execute in-process (this is a simulation), which
+  yields a strong correctness property this module's tests rely on:
+  **partition invariance** -- ghost filling reads the composite grid, so
+  the solution after N steps is bitwise independent of the patch layout
+  and rank count.  A "distributed" run must equal the sequential one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amr.ghost import plan_exchange_volumes
+from repro.amr.hierarchy import GridHierarchy
+from repro.amr.integrator import BergerOligerIntegrator
+from repro.amr.regrid import RegridParams
+from repro.cluster.cluster import Cluster
+from repro.monitor.service import ResourceMonitor
+from repro.partition.base import Partitioner
+from repro.partition.capacity import CapacityCalculator
+from repro.partition.metrics import redistribution_volume
+from repro.runtime.timemodel import TimeModel
+from repro.util.errors import SimulationError
+from repro.util.geometry import Box, BoxList
+
+__all__ = ["DistributedRunConfig", "DistributedRunResult", "DistributedAmrRun"]
+
+
+@dataclass(frozen=True, slots=True)
+class DistributedRunConfig:
+    """Parameters of a distributed AMR execution."""
+
+    steps: int = 20
+    regrid_interval: int = 5
+    sensing_interval: int = 0  # 0 = sense once before the start
+    cfl: float = 0.4
+    bytes_per_field_cell: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise SimulationError(f"steps must be >= 1, got {self.steps}")
+        if self.regrid_interval < 0:
+            raise SimulationError("negative regrid_interval")
+        if self.sensing_interval < 0:
+            raise SimulationError("negative sensing_interval")
+
+
+@dataclass(slots=True)
+class DistributedRunResult:
+    """Execution record of a distributed AMR run."""
+
+    total_seconds: float = 0.0
+    sensing_seconds: float = 0.0
+    migration_seconds: float = 0.0
+    steps: int = 0
+    num_regrids: int = 0
+    num_sensings: int = 0
+    loads_history: list[np.ndarray] = field(default_factory=list)
+    capacities_history: list[np.ndarray] = field(default_factory=list)
+    step_seconds: list[float] = field(default_factory=list)
+
+
+class DistributedAmrRun:
+    """Executes a hierarchy + kernel distributed over a simulated cluster.
+
+    Parameters
+    ----------
+    hierarchy:
+        A (not yet initialized) :class:`GridHierarchy`.
+    cluster:
+        The simulated cluster providing ranks and their dynamics.
+    partitioner:
+        Distribution policy invoked at setup and at every regrid.
+    regrid_params:
+        Flagging/clustering knobs passed to the integrator.
+    """
+
+    def __init__(
+        self,
+        hierarchy: GridHierarchy,
+        cluster: Cluster,
+        partitioner: Partitioner,
+        monitor: ResourceMonitor | None = None,
+        capacity_calculator: CapacityCalculator | None = None,
+        config: DistributedRunConfig | None = None,
+        regrid_params: RegridParams | None = None,
+        time_model: TimeModel | None = None,
+    ):
+        self.hierarchy = hierarchy
+        self.cluster = cluster
+        self.partitioner = partitioner
+        self.monitor = monitor or ResourceMonitor(cluster)
+        self.capacity = capacity_calculator or CapacityCalculator()
+        self.config = config or DistributedRunConfig()
+        self.time_model = time_model or TimeModel(cluster)
+        self.integrator = BergerOligerIntegrator(
+            hierarchy,
+            cfl=self.config.cfl,
+            regrid_interval=self.config.regrid_interval,
+            regrid_params=regrid_params,
+            on_regrid=self._on_regrid,
+        )
+        self._capacities: np.ndarray | None = None
+        self._assignment: list[tuple[Box, int]] = []
+        self._result: DistributedRunResult | None = None
+
+    # ------------------------------------------------------------------
+    def _work_of(self, box: Box) -> float:
+        return float(
+            box.num_cells * self.hierarchy.refine_factor**box.level
+        )
+
+    @property
+    def bytes_per_cell(self) -> float:
+        return self.config.bytes_per_field_cell * self.hierarchy.kernel.num_fields
+
+    def owned_loads(self) -> np.ndarray:
+        """Per-rank work of the current assignment."""
+        loads = np.zeros(self.cluster.num_nodes)
+        for box, rank in self._assignment:
+            loads[rank] += self._work_of(box)
+        return loads
+
+    def owner_map(self) -> dict[Box, int]:
+        return dict(self._assignment)
+
+    # ------------------------------------------------------------------
+    def _sense(self) -> None:
+        snapshot = self.monitor.probe_all()
+        self.cluster.clock.advance(snapshot.overhead_seconds)
+        self._capacities = self.capacity.relative_capacities(snapshot)
+        result = self._result
+        if result is not None:
+            result.sensing_seconds += snapshot.overhead_seconds
+            result.num_sensings += 1
+            result.capacities_history.append(self._capacities.copy())
+
+    def _on_regrid(self, hierarchy: GridHierarchy) -> None:
+        """Partition the fresh hierarchy and make its output the patching."""
+        if self._capacities is None:
+            self._sense()
+        boxes = hierarchy.box_list()
+        part = self.partitioner.partition(
+            boxes, self._capacities, self._work_of
+        )
+        # Turn the partitioner's (possibly split) boxes into patch layout.
+        by_level: dict[int, list[Box]] = {}
+        for box, _rank in part.assignment:
+            by_level.setdefault(box.level, []).append(box)
+        for level in sorted(by_level):
+            hierarchy.repatch_level(level, BoxList(by_level[level]))
+        # Price the data migration (cell-owner diff vs previous assignment).
+        moved = redistribution_volume(
+            self._assignment, part.assignment, self.bytes_per_cell
+        )
+        migration = self.time_model.migration_cost(moved)
+        self.cluster.clock.advance(migration)
+        self._assignment = part.assignment
+        result = self._result
+        if result is not None:
+            result.migration_seconds += migration
+            result.num_regrids += 1
+            result.loads_history.append(part.loads(self._work_of))
+
+    # ------------------------------------------------------------------
+    def run(self) -> DistributedRunResult:
+        """Set up and execute ``config.steps`` coarse steps."""
+        self._result = DistributedRunResult()
+        result = self._result
+        self._sense()
+        self.integrator.setup()
+        cfg = self.config
+        for step in range(cfg.steps):
+            if (
+                cfg.sensing_interval
+                and step > 0
+                and step % cfg.sensing_interval == 0
+            ):
+                self._sense()
+            self.integrator.advance()
+            loads = self.owned_loads()
+            volumes = plan_exchange_volumes(
+                BoxList(b for b, _ in self._assignment),
+                self.owner_map(),
+                ghost_width=self.hierarchy.kernel.ghost_width,
+                bytes_per_cell=self.bytes_per_cell,
+                refine_factor=self.hierarchy.refine_factor,
+            )
+            cost = self.time_model.iteration_cost(loads, volumes)
+            self.cluster.clock.advance(cost.total)
+            result.step_seconds.append(cost.total)
+            result.steps += 1
+        result.total_seconds = self.cluster.clock.now
+        return result

@@ -1,0 +1,335 @@
+"""The adaptive system-sensitive runtime loop.
+
+:class:`SamrRuntime` executes a SAMR workload trace on a simulated cluster:
+
+- every ``regrid_interval`` iterations the hierarchy regrids (the next epoch
+  of the workload trace) and the partitioner redistributes the new
+  bounding-box list using the *most recently sensed* relative capacities;
+  the HDDA turns the new assignment into a migration plan whose transfer
+  time is charged to the clock;
+- every ``sensing_interval`` iterations the resource monitor probes the
+  cluster (charging ~0.5 s per node) and the capacity calculator refreshes
+  the relative capacities -- ``sensing_interval=0`` reproduces the paper's
+  "sense only once before the start" configuration;
+- every iteration costs compute + ghost-exchange + sync time from the
+  :class:`~repro.runtime.timemodel.TimeModel`, advancing the cluster clock,
+  which in turn advances the synthetic load dynamics.
+
+The complete history lands in :class:`RunResult`, from which every table
+and figure of the paper's evaluation section is derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amr.ghost import plan_exchange_volumes
+from repro.cluster.cluster import Cluster
+from repro.hdda import HDDA, HierarchicalIndexSpace
+from repro.kernels.workloads import SyntheticWorkload
+from repro.monitor.service import ResourceMonitor
+from repro.partition.base import Partitioner, default_work
+from repro.partition.capacity import CapacityCalculator
+from repro.partition.metrics import load_imbalance, redistribution_volume
+from repro.runtime.timemodel import TimeModel
+from repro.util.errors import SimulationError
+
+__all__ = ["RuntimeConfig", "RegridRecord", "RunResult", "SamrRuntime"]
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimeConfig:
+    """Loop parameters.
+
+    Attributes
+    ----------
+    iterations:
+        Coarse iterations to execute.
+    regrid_interval:
+        Iterations between regrids (paper experiments: 5).
+    sensing_interval:
+        Iterations between monitor probes; 0 = probe once at start only.
+    ghost_width:
+        Stencil radius used for exchange-volume planning.
+    bytes_per_cell:
+        Ghost/migration payload per cell (5 float64 fields for RM3D = 40).
+    use_forecast:
+        Use the monitor's forecaster output instead of raw probes.
+    repartition_on_sense:
+        Redistribute immediately after each sensing ("distributes the
+        workload based on these capacities", section 6.1.4) -- the
+        data-migration churn this causes is the overhead side of the
+        sensing-frequency trade-off.
+    sync_mode:
+        ``"bulk"`` (default) -- one barrier per coarse iteration, the
+        favourable model for composite decompositions; ``"per_level"`` --
+        a barrier after every substep of every level (strict Berger-Oliger
+        subcycling), under which per-level balance matters and
+        :class:`~repro.partition.levelwise.LevelPartitioner` earns its keep.
+    adaptive_sensing_threshold:
+        When set (e.g. 0.25), replaces the fixed cadence answer to
+        Table III's tuning problem: the runtime predicts each iteration's
+        duration from the capacities it last sensed, and re-senses only
+        when the *measured* duration deviates relatively by more than this
+        threshold -- load changes trigger sensing, quiet stretches don't.
+        ``sensing_interval`` then acts as an optional floor between forced
+        checks (0 = purely deviation-driven).
+    """
+
+    iterations: int = 40
+    regrid_interval: int = 5
+    sensing_interval: int = 0
+    ghost_width: int = 1
+    bytes_per_cell: float = 40.0
+    use_forecast: bool = False
+    repartition_on_sense: bool = True
+    sync_mode: str = "bulk"
+    adaptive_sensing_threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise SimulationError(f"iterations must be >= 1, got {self.iterations}")
+        if self.regrid_interval < 1:
+            raise SimulationError(
+                f"regrid_interval must be >= 1, got {self.regrid_interval}"
+            )
+        if self.sensing_interval < 0:
+            raise SimulationError(
+                f"sensing_interval must be >= 0, got {self.sensing_interval}"
+            )
+        if self.sync_mode not in ("bulk", "per_level"):
+            raise SimulationError(
+                f"sync_mode must be 'bulk' or 'per_level', got "
+                f"{self.sync_mode!r}"
+            )
+        if (
+            self.adaptive_sensing_threshold is not None
+            and self.adaptive_sensing_threshold <= 0
+        ):
+            raise SimulationError(
+                "adaptive_sensing_threshold must be positive, got "
+                f"{self.adaptive_sensing_threshold}"
+            )
+
+
+@dataclass(slots=True)
+class RegridRecord:
+    """What happened at one regrid/partition point."""
+
+    iteration: int
+    regrid_number: int
+    trigger: str  # "regrid" or "sense"
+    capacities: np.ndarray
+    loads: np.ndarray  # realized W_k (work units)
+    targets: np.ndarray  # ideal L_k = C_k * L
+    imbalance: np.ndarray  # I_k (%)
+    num_splits: int
+    migration_bytes: int
+    migration_seconds: float
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Complete record of one runtime execution."""
+
+    total_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    comm_seconds: float = 0.0
+    migration_seconds: float = 0.0
+    sensing_seconds: float = 0.0
+    iterations: int = 0
+    num_sensings: int = 0
+    regrids: list[RegridRecord] = field(default_factory=list)
+    iteration_times: list[float] = field(default_factory=list)
+    capacity_history: list[tuple[float, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def mean_imbalance(self) -> float:
+        if not self.regrids:
+            return 0.0
+        return float(np.mean([r.imbalance.mean() for r in self.regrids]))
+
+    @property
+    def max_imbalance(self) -> float:
+        if not self.regrids:
+            return 0.0
+        return float(max(r.imbalance.max() for r in self.regrids))
+
+    def loads_by_regrid(self) -> np.ndarray:
+        """(num_regrids, num_ranks) matrix of realized loads."""
+        return np.array([r.loads for r in self.regrids])
+
+
+class SamrRuntime:
+    """Drives one workload trace to completion on a simulated cluster."""
+
+    def __init__(
+        self,
+        workload: SyntheticWorkload,
+        cluster: Cluster,
+        partitioner: Partitioner,
+        monitor: ResourceMonitor | None = None,
+        capacity_calculator: CapacityCalculator | None = None,
+        config: RuntimeConfig | None = None,
+        time_model: TimeModel | None = None,
+    ):
+        self.workload = workload
+        self.cluster = cluster
+        self.partitioner = partitioner
+        self.monitor = monitor or ResourceMonitor(cluster)
+        self.capacity = capacity_calculator or CapacityCalculator()
+        self.config = config or RuntimeConfig()
+        self.time_model = time_model or TimeModel(cluster)
+        space = HierarchicalIndexSpace(
+            workload.domain,
+            max_levels=max(
+                max(bl.levels) + 1 for bl in workload.box_lists
+            ),
+            refine_factor=workload.refine_factor,
+        )
+        self.hdda = HDDA(
+            space,
+            num_procs=cluster.num_nodes,
+            bytes_per_cell=int(self.config.bytes_per_cell),
+        )
+        self._prev_assignment: list[tuple] = []
+        self._level_loads = np.zeros((1, cluster.num_nodes))
+        self._subcycles = np.ones(1)
+
+    # ------------------------------------------------------------------
+    def _work_of(self, box) -> float:
+        return default_work(box, self.workload.refine_factor)
+
+    def _sense(self, result: RunResult) -> np.ndarray:
+        """Probe the cluster, charge overhead, return fresh capacities."""
+        snapshot = self.monitor.probe_all()
+        self.cluster.clock.advance(snapshot.overhead_seconds)
+        result.sensing_seconds += snapshot.overhead_seconds
+        result.num_sensings += 1
+        if self.config.use_forecast:
+            snapshot = self.monitor.forecast_all()
+        caps = self.capacity.relative_capacities(snapshot)
+        result.capacity_history.append((self.cluster.clock.now, caps))
+        return caps
+
+    def _repartition(
+        self,
+        epoch_idx: int,
+        capacities: np.ndarray,
+        result: RunResult,
+        trigger: str = "regrid",
+    ) -> tuple[np.ndarray, dict]:
+        """Partition the epoch's boxes, migrate data, record everything.
+
+        Returns (per-rank loads, pair ghost-exchange volumes).
+        """
+        boxes = self.workload.epoch(min(epoch_idx, self.workload.num_regrids - 1))
+        part = self.partitioner.partition(boxes, capacities, self._work_of)
+        owners = part.owners()
+        # Geometric cell-owner diff against the previous assignment: the
+        # true redistribution traffic, robust to boxes being re-split.
+        moved = redistribution_volume(
+            self._prev_assignment, part.assignment, self.config.bytes_per_cell
+        )
+        self.hdda.apply_assignment(owners)
+        self._prev_assignment = part.assignment
+        mig_seconds = self.time_model.migration_cost(moved)
+        self.cluster.clock.advance(mig_seconds)
+        result.migration_seconds += mig_seconds
+        mig_bytes = int(sum(moved.values()))
+
+        loads = part.loads(self._work_of)
+        total = loads.sum()
+        targets = capacities * total
+        # Per-level load matrix for the per-level synchronization model.
+        levels = sorted({b.level for b, _ in part.assignment})
+        level_loads = np.zeros((max(len(levels), 1), self.cluster.num_nodes))
+        index = {lvl: i for i, lvl in enumerate(levels)}
+        for box, rank in part.assignment:
+            level_loads[index[box.level], rank] += self._work_of(box)
+        self._level_loads = level_loads
+        self._subcycles = np.array(
+            [self.workload.refine_factor**lvl for lvl in levels] or [1]
+        )
+        record = RegridRecord(
+            iteration=result.iterations,
+            regrid_number=len(result.regrids),
+            trigger=trigger,
+            capacities=capacities.copy(),
+            loads=loads,
+            targets=targets,
+            imbalance=load_imbalance(part, self._work_of, targets=targets),
+            num_splits=part.num_splits,
+            migration_bytes=mig_bytes,
+            migration_seconds=mig_seconds,
+        )
+        result.regrids.append(record)
+        volumes = plan_exchange_volumes(
+            part.boxes(),
+            owners,
+            ghost_width=self.config.ghost_width,
+            bytes_per_cell=self.config.bytes_per_cell,
+            refine_factor=self.workload.refine_factor,
+        )
+        return loads, volumes
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the configured number of iterations; returns the record."""
+        cfg = self.config
+        result = RunResult()
+        capacities = self._sense(result)  # sense once before the start
+        loads, volumes = self._repartition(0, capacities, result)
+        epoch = 0
+        baseline: float | None = None  # adaptive-sensing reference time
+        adaptive_pending = False
+        last_sense_iter = 0
+        for it in range(cfg.iterations):
+            sensed = False
+            due_fixed = (
+                cfg.adaptive_sensing_threshold is None
+                and it > 0
+                and cfg.sensing_interval
+                and it % cfg.sensing_interval == 0
+            )
+            due_adaptive = adaptive_pending and (
+                cfg.sensing_interval == 0
+                or it - last_sense_iter >= cfg.sensing_interval
+            )
+            if due_fixed or due_adaptive:
+                capacities = self._sense(result)
+                sensed = True
+                adaptive_pending = False
+                last_sense_iter = it
+            if it > 0 and it % cfg.regrid_interval == 0:
+                epoch += 1
+                loads, volumes = self._repartition(epoch, capacities, result)
+                baseline = None  # new epoch: iteration times shift anyway
+            elif sensed and cfg.repartition_on_sense:
+                loads, volumes = self._repartition(
+                    epoch, capacities, result, trigger="sense"
+                )
+                baseline = None
+            if cfg.sync_mode == "per_level":
+                cost = self.time_model.iteration_cost_per_level(
+                    self._level_loads, self._subcycles, volumes
+                )
+            else:
+                cost = self.time_model.iteration_cost(loads, volumes)
+            self.cluster.clock.advance(cost.total)
+            result.iteration_times.append(cost.total)
+            result.compute_seconds += float(cost.compute.max())
+            result.comm_seconds += float(cost.comm.max() + cost.sync)
+            result.iterations += 1
+            theta = cfg.adaptive_sensing_threshold
+            if theta is not None:
+                # Deviation from the post-repartition reference signals a
+                # cluster load change worth re-sensing for.
+                if baseline is None:
+                    baseline = cost.total
+                elif abs(cost.total - baseline) / baseline > theta:
+                    adaptive_pending = True
+        result.total_seconds = self.cluster.clock.now
+        return result

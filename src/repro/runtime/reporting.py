@@ -1,0 +1,179 @@
+"""Row/series printers matching the paper's tables and figures.
+
+Each formatter takes the dict produced by the corresponding
+:mod:`repro.runtime.experiment` builder and returns the text the benchmark
+harness prints -- the same rows/series the paper reports, with our measured
+numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.charts import bar_chart, line_chart
+
+__all__ = [
+    "format_fig7_table1",
+    "format_load_assignment",
+    "format_imbalance",
+    "format_dynamic_allocation",
+    "format_table2",
+    "format_table3",
+    "format_frequency_traces",
+]
+
+
+def _series_block(title: str, lines: list[str]) -> str:
+    bar = "=" * max(len(title), 40)
+    return "\n".join([bar, title, bar, *lines, ""])
+
+
+def format_fig7_table1(data: dict) -> str:
+    lines = [
+        f"{'procs':>6} {'system-sensitive (s)':>22} {'default (s)':>14} "
+        f"{'improvement':>12}",
+    ]
+    for row in data["rows"]:
+        lines.append(
+            f"{row['procs']:>6} {row['system_sensitive_s']:>22.1f} "
+            f"{row['default_s']:>14.1f} {row['improvement_pct']:>11.1f}%"
+        )
+    chart = line_chart(
+        {
+            "system-sensitive": [r["system_sensitive_s"] for r in data["rows"]],
+            "default": [r["default_s"] for r in data["rows"]],
+        },
+        x=[r["procs"] for r in data["rows"]],
+        title="execution time (s) vs processors",
+        x_label="processors",
+    )
+    return _series_block(
+        "Fig. 7 / Table I -- execution time, system-sensitive vs default",
+        lines + ["", chart],
+    )
+
+
+def format_load_assignment(data: dict) -> str:
+    loads = np.asarray(data["loads"])
+    caps = data["capacities"]
+    header = "regrid  " + "  ".join(
+        f"P{k} (C={c:.0%})" for k, c in enumerate(caps)
+    )
+    lines = [header]
+    for i, rn in enumerate(data["regrid_numbers"]):
+        lines.append(
+            f"{rn:>6}  " + "  ".join(f"{v:>10.0f}" for v in loads[i])
+        )
+    chart = line_chart(
+        {
+            f"P{k} ({c:.0%})": loads[:, k]
+            for k, c in enumerate(caps)
+        },
+        x=data["regrid_numbers"],
+        title="work assigned per processor vs regrid number",
+        x_label="regrid number",
+    )
+    title = (
+        f"Fig. {'9' if data['partitioner'] == 'heterogeneous' else '8'} -- "
+        f"work-load assignment per regrid ({data['partitioner']})"
+    )
+    return _series_block(title, lines + ["", chart])
+
+
+def format_imbalance(data: dict) -> str:
+    lines = [f"{'regrid':>6} {'system-sensitive':>18} {'default':>10}"]
+    for i, rn in enumerate(data["regrid_numbers"]):
+        lines.append(
+            f"{rn:>6} {data['system_sensitive'][i]:>17.1f}% "
+            f"{data['default'][i]:>9.1f}%"
+        )
+    chart = line_chart(
+        {
+            "system-sensitive": data["system_sensitive"],
+            "default": data["default"],
+        },
+        x=data["regrid_numbers"],
+        title="% load imbalance vs regrid number",
+        x_label="regrid number",
+    )
+    return _series_block(
+        "Fig. 10 -- % load imbalance vs capacity-proportional targets",
+        lines + ["", chart],
+    )
+
+
+def format_dynamic_allocation(data: dict) -> str:
+    lines = [f"{'iter':>5} {'trigger':>8}  capacities -> loads"]
+    for it, trig, caps, loads in zip(
+        data["iterations"], data["triggers"], data["capacities"], data["loads"]
+    ):
+        caps_s = "/".join(f"{c:.0%}" for c in caps)
+        share = loads / max(loads.sum(), 1e-12)
+        loads_s = "/".join(f"{s:.0%}" for s in share)
+        lines.append(f"{it:>5} {trig:>8}  [{caps_s}] -> [{loads_s}]")
+    lines.append(f"total execution time: {data['total_seconds']:.1f} s")
+    return _series_block(
+        "Fig. 11 -- dynamic load allocation (sensed at start + during run)",
+        lines,
+    )
+
+
+def format_table2(data: dict) -> str:
+    lines = [
+        f"{'procs':>6} {'dynamic sensing (s)':>20} {'sense once (s)':>16} "
+        f"{'speedup':>8}"
+    ]
+    for row in data["rows"]:
+        lines.append(
+            f"{row['procs']:>6} {row['dynamic_s']:>20.1f} "
+            f"{row['once_s']:>16.1f} {row['once_s'] / row['dynamic_s']:>7.2f}x"
+        )
+    return _series_block(
+        "Table II -- dynamic sensing vs sensing only once", lines
+    )
+
+
+def format_table3(data: dict) -> str:
+    lines = [f"{'sensing every':>14} {'execution time (s)':>20}"]
+    best = min(data["rows"], key=lambda r: r["seconds"])
+    for row in data["rows"]:
+        marker = "  <-- best" if row is best else ""
+        lines.append(
+            f"{row['frequency']:>10} its {row['seconds']:>20.1f}{marker}"
+        )
+    chart = bar_chart(
+        {
+            f"every {r['frequency']:>2} its": r["seconds"]
+            for r in data["rows"]
+        },
+        title="execution time vs sensing frequency",
+        unit="s",
+    )
+    return _series_block(
+        f"Table III -- sensing frequency sweep ({data['procs']} procs)",
+        lines + ["", chart],
+    )
+
+
+def format_frequency_traces(data: dict) -> str:
+    blocks = []
+    fig = 12
+    for freq in data["frequencies"]:
+        tr = data["traces"][freq]
+        lines = [f"{'iter':>5}  capacities -> load shares"]
+        for it, caps, loads in zip(
+            tr["iterations"], tr["capacities"], tr["loads"]
+        ):
+            caps_s = "/".join(f"{c:.0%}" for c in caps)
+            share = loads / max(loads.sum(), 1e-12)
+            loads_s = "/".join(f"{s:.0%}" for s in share)
+            lines.append(f"{it:>5}  [{caps_s}] -> [{loads_s}]")
+        lines.append(f"total: {tr['total_seconds']:.1f} s")
+        blocks.append(
+            _series_block(
+                f"Fig. {fig} -- allocation trace, sensing every {freq} its",
+                lines,
+            )
+        )
+        fig += 1
+    return "\n".join(blocks)

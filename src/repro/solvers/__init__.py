@@ -1,0 +1,22 @@
+"""Multigrid solvers.
+
+GrACE is "an object-oriented toolkit for the development of parallel and
+distributed applications based on a family of adaptive mesh-refinement and
+*multigrid* techniques" -- the second method family its data-management
+substrate was built to serve.  This package supplies it:
+
+- :mod:`repro.solvers.multigrid` -- geometric multigrid for the Poisson
+  problem on uniform grids (V-cycles, red-black Gauss-Seidel smoothing,
+  full-weighting restriction), the building-block elliptic solve that
+  implicit SAMR applications (projection steps, self-gravity) perform on
+  every level;
+- :mod:`repro.solvers.ldc` -- Local Defect Correction, the composite-grid
+  coupling: a refined patch embedded in the coarse domain, iterated to a
+  consistent two-level solution -- the elliptic counterpart of the
+  hyperbolic AMR substrate.
+"""
+
+from repro.solvers.ldc import LocalDefectCorrection
+from repro.solvers.multigrid import PoissonMultigrid
+
+__all__ = ["PoissonMultigrid", "LocalDefectCorrection"]

@@ -1,0 +1,205 @@
+"""Local Defect Correction: a composite-grid Poisson solver.
+
+The elliptic analogue of what the AMR substrate does for hyperbolic
+kernels: solve ``-laplace(u) = f`` accurately *inside a refined patch*
+without refining the whole domain.  The classic LDC iteration
+(Hackbusch 1984):
+
+1. **Coarse solve** on the whole domain (multigrid), with a defect
+   correction added to the right-hand side under the patch (zero on the
+   first pass);
+2. **Fine solve** on the patch, Dirichlet boundary values interpolated
+   from the current coarse solution at the patch interface;
+3. **Defect update**: restrict the fine solution onto the coarse cells
+   under the patch and replace the coarse right-hand side there with the
+   coarse operator applied to the restricted solution -- making the
+   restricted fine solution a fixed point of the coarse problem;
+4. repeat until the composite solution stops changing.
+
+Both subproblems are solved with :class:`~repro.solvers.multigrid.
+PoissonMultigrid`; inhomogeneous Dirichlet data enters through the
+standard ghost-elimination right-hand-side correction (``+2g/h^2`` on
+boundary-adjacent cells).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.multigrid import MultigridError, PoissonMultigrid, _neighbor_sum, _pad_dirichlet
+from repro.util.geometry import Box
+
+__all__ = ["LocalDefectCorrection"]
+
+
+def _boundary_rhs(shape: tuple[int, ...], g: dict, h: float) -> np.ndarray:
+    """RHS correction encoding inhomogeneous Dirichlet face values.
+
+    ``g[(axis, side)]`` is the boundary-value array on that face (side 0 =
+    low, 1 = high), shaped like the grid with that axis dropped.
+    """
+    rhs = np.zeros(shape)
+    for (axis, side), values in g.items():
+        idx = [slice(None)] * len(shape)
+        idx[axis] = 0 if side == 0 else -1
+        rhs[tuple(idx)] += 2.0 * np.asarray(values) / (h * h)
+    return rhs
+
+
+class LocalDefectCorrection:
+    """Two-level composite Poisson solve: coarse domain + one fine patch.
+
+    Parameters
+    ----------
+    coarse_shape:
+        Cell counts of the global coarse grid.
+    patch:
+        The refined region, as a level-0 :class:`Box` in coarse cells;
+        must lie strictly inside the domain (the physical boundary stays
+        coarse, keeping the interface handling uniform).
+    dx:
+        Coarse cell width.
+    factor:
+        Refinement ratio of the patch grid.
+    """
+
+    def __init__(
+        self,
+        coarse_shape: tuple[int, ...],
+        patch: Box,
+        dx: float = 1.0,
+        factor: int = 2,
+    ):
+        self.coarse_shape = tuple(int(s) for s in coarse_shape)
+        ndim = len(self.coarse_shape)
+        if patch.ndim != ndim:
+            raise MultigridError("patch dimensionality mismatch")
+        domain = Box((0,) * ndim, self.coarse_shape)
+        if not domain.contains_box(patch):
+            raise MultigridError(f"patch {patch} outside domain {domain}")
+        if any(
+            l <= 0 or u >= s
+            for l, u, s in zip(patch.lower, patch.upper, self.coarse_shape)
+        ):
+            raise MultigridError(
+                "patch must not touch the physical boundary"
+            )
+        if factor < 2:
+            raise MultigridError(f"factor must be >= 2, got {factor}")
+        self.patch = patch
+        self.dx = float(dx)
+        self.factor = factor
+        self.fine_shape = tuple(s * factor for s in patch.shape)
+        self.fine_dx = self.dx / factor
+        self._coarse_mg = PoissonMultigrid(self.coarse_shape, dx=self.dx)
+        self._fine_mg = PoissonMultigrid(self.fine_shape, dx=self.fine_dx)
+
+    # ------------------------------------------------------------------
+    def _interface_values(self, u_coarse: np.ndarray) -> dict:
+        """Dirichlet data for the fine patch faces, interpolated from the
+        coarse solution: the face value is the average of the coarse cells
+        on either side of the interface, repeated onto fine face cells."""
+        g: dict = {}
+        ndim = u_coarse.ndim
+        for axis in range(ndim):
+            for side in (0, 1):
+                # Coarse cells just inside / outside the patch face.
+                sel_in = list(
+                    slice(l, u) for l, u in zip(self.patch.lower, self.patch.upper)
+                )
+                sel_out = list(sel_in)
+                if side == 0:
+                    sel_in[axis] = slice(
+                        self.patch.lower[axis], self.patch.lower[axis] + 1
+                    )
+                    sel_out[axis] = slice(
+                        self.patch.lower[axis] - 1, self.patch.lower[axis]
+                    )
+                else:
+                    sel_in[axis] = slice(
+                        self.patch.upper[axis] - 1, self.patch.upper[axis]
+                    )
+                    sel_out[axis] = slice(
+                        self.patch.upper[axis], self.patch.upper[axis] + 1
+                    )
+                face = 0.5 * (
+                    u_coarse[tuple(sel_in)] + u_coarse[tuple(sel_out)]
+                )
+                face = np.squeeze(face, axis=axis)
+                for ax2 in range(ndim - 1):
+                    face = np.repeat(face, self.factor, axis=ax2)
+                g[(axis, side)] = face
+        return g
+
+    def _coarse_operator(self, u: np.ndarray) -> np.ndarray:
+        """-laplace(u) with homogeneous Dirichlet ghosts."""
+        nbr = _neighbor_sum(_pad_dirichlet(u))
+        return (2.0 * u.ndim * u - nbr) / (self.dx * self.dx)
+
+    @staticmethod
+    def _restrict(fine: np.ndarray, factor: int) -> np.ndarray:
+        import itertools
+
+        out = np.zeros(tuple(s // factor for s in fine.shape))
+        for offs in itertools.product(range(factor), repeat=fine.ndim):
+            sl = tuple(slice(o, None, factor) for o in offs)
+            out += fine[sl]
+        return out / factor**fine.ndim
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        f_coarse: np.ndarray,
+        f_fine: np.ndarray,
+        iterations: int = 6,
+        mg_tol: float = 1e-10,
+    ) -> tuple[np.ndarray, np.ndarray, dict]:
+        """Run the LDC iteration.
+
+        Parameters
+        ----------
+        f_coarse / f_fine:
+            Right-hand sides sampled on the coarse grid and the fine patch.
+
+        Returns
+        -------
+        (u_coarse, u_fine, info)
+            The composite solution (coarse grid with the patch region
+            consistent with the fine solve, and the fine patch itself);
+            ``info['changes']`` records the composite update magnitude per
+            LDC iteration (should contract).
+        """
+        f_coarse = np.asarray(f_coarse, dtype=float)
+        f_fine = np.asarray(f_fine, dtype=float)
+        if f_coarse.shape != self.coarse_shape:
+            raise MultigridError("f_coarse shape mismatch")
+        if f_fine.shape != self.fine_shape:
+            raise MultigridError("f_fine shape mismatch")
+
+        patch_sl = tuple(
+            slice(l, u) for l, u in zip(self.patch.lower, self.patch.upper)
+        )
+        rhs = f_coarse.copy()
+        u_coarse, _ = self._coarse_mg.solve(rhs, tol=mg_tol)
+        u_fine = np.zeros(self.fine_shape)
+        changes: list[float] = []
+        for _ in range(iterations):
+            # Fine solve with interface Dirichlet data from the coarse grid.
+            g = self._interface_values(u_coarse)
+            fine_rhs = f_fine + _boundary_rhs(self.fine_shape, g, self.fine_dx)
+            new_fine, _ = self._fine_mg.solve(
+                fine_rhs, tol=mg_tol, u0=u_fine
+            )
+            changes.append(float(np.abs(new_fine - u_fine).max()))
+            u_fine = new_fine
+            # Defect correction: make the restricted fine solution a fixed
+            # point of the coarse equations under the patch.
+            restricted = self._restrict(u_fine, self.factor)
+            u_candidate = u_coarse.copy()
+            u_candidate[patch_sl] = restricted
+            defect_rhs = f_coarse.copy()
+            defect_rhs[patch_sl] = self._coarse_operator(u_candidate)[patch_sl]
+            u_coarse, _ = self._coarse_mg.solve(
+                defect_rhs, tol=mg_tol, u0=u_candidate
+            )
+        return u_coarse, u_fine, {"changes": changes}

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class at API boundaries while subsystems raise precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Invalid box geometry: empty extents, mismatched dimensionality,
+    non-positive strides, or an illegal split request."""
+
+
+class PartitionError(ReproError):
+    """A partitioner could not produce a valid distribution, e.g. zero total
+    capacity, no processors, or constraints that cannot be satisfied."""
+
+
+class SimulationError(ReproError):
+    """Cluster simulator misuse: time moving backwards, unknown node ids,
+    events scheduled in the past."""
+
+
+class MonitorError(ReproError):
+    """Resource-monitor failures: probing an unknown node, a dead sensor,
+    or an empty measurement history where a forecast was requested."""
+
+
+class HDDAError(ReproError):
+    """Hierarchical Distributed Dynamic Array errors: out-of-range index,
+    unregistered level, or ownership-map inconsistencies."""
+
+
+class KernelError(ReproError):
+    """Application-kernel errors: invalid mesh shapes, unstable time steps,
+    or non-physical states (negative density/pressure)."""
+
+
+class ExperimentError(ReproError):
+    """Experiment-harness errors: unknown experiment id or invalid config."""

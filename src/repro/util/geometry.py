@@ -1,0 +1,436 @@
+"""Rectilinear index-space geometry: :class:`Box` and :class:`BoxList`.
+
+GrACE maintains every component grid of the adaptive hierarchy as a *list of
+bounding boxes*: a bounding box is a rectilinear region of the computational
+domain defined by a lower bound, an upper bound and a refinement level (the
+level fixes the stride of the box's cells relative to the base grid).  The
+partitioners in :mod:`repro.partition` operate purely on these box lists, so
+this module is the common currency of the whole system.
+
+Conventions
+-----------
+- Coordinates are integer cell indices **in the box's own level index space**.
+- ``lower`` is inclusive, ``upper`` is exclusive (NumPy slice convention), so
+  ``shape[d] == upper[d] - lower[d]``.
+- Boxes are immutable; every operation returns a new :class:`Box`.
+- ``level`` 0 is the coarsest (base) grid.  Refining by ``factor`` multiplies
+  coordinates by ``factor`` and increments ``level``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.util.errors import GeometryError
+
+__all__ = ["Box", "BoxList"]
+
+
+def _as_int_tuple(values: Sequence[int], what: str) -> tuple[int, ...]:
+    """Coerce a coordinate sequence to a tuple of Python ints.
+
+    Accepts any integer-like sequence (lists, NumPy arrays).  Raises
+    :class:`GeometryError` for non-integral values so silent float
+    truncation can never corrupt box arithmetic.
+    """
+    out = []
+    for v in values:
+        iv = int(v)
+        if iv != v:
+            raise GeometryError(f"{what} coordinate {v!r} is not integral")
+        out.append(iv)
+    return tuple(out)
+
+
+@dataclass(frozen=True, slots=True)
+class Box:
+    """An axis-aligned rectilinear region of a refinement level's index space.
+
+    Parameters
+    ----------
+    lower:
+        Inclusive lower corner, one integer per dimension.
+    upper:
+        Exclusive upper corner; must dominate ``lower`` strictly in every
+        dimension (empty boxes are illegal -- use :class:`BoxList` emptiness
+        instead).
+    level:
+        Refinement level the coordinates live on; level 0 is the base grid.
+
+    Examples
+    --------
+    >>> b = Box((0, 0), (8, 4))
+    >>> b.shape
+    (8, 4)
+    >>> b.num_cells
+    32
+    >>> left, right = b.split(axis=0, position=3)
+    >>> left.shape, right.shape
+    ((3, 4), (5, 4))
+    """
+
+    lower: tuple[int, ...]
+    upper: tuple[int, ...]
+    level: int = 0
+
+    def __post_init__(self) -> None:
+        lo = _as_int_tuple(self.lower, "lower")
+        up = _as_int_tuple(self.upper, "upper")
+        object.__setattr__(self, "lower", lo)
+        object.__setattr__(self, "upper", up)
+        if len(lo) != len(up):
+            raise GeometryError(
+                f"dimensionality mismatch: lower has {len(lo)} dims, "
+                f"upper has {len(up)}"
+            )
+        if len(lo) == 0:
+            raise GeometryError("zero-dimensional boxes are not supported")
+        if int(self.level) < 0:
+            raise GeometryError(f"negative refinement level {self.level}")
+        object.__setattr__(self, "level", int(self.level))
+        for d, (a, b) in enumerate(zip(lo, up)):
+            if b <= a:
+                raise GeometryError(
+                    f"empty box along axis {d}: lower={a}, upper={b}"
+                )
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        """Number of spatial dimensions."""
+        return len(self.lower)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Extent (number of cells) along each axis."""
+        return tuple(u - l for l, u in zip(self.lower, self.upper))
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of cells in the box."""
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def longest_axis(self) -> int:
+        """Index of the axis with the largest extent (ties -> lowest axis)."""
+        shp = self.shape
+        return int(np.argmax(shp))
+
+    @property
+    def shortest_side(self) -> int:
+        """Smallest extent over all axes."""
+        return min(self.shape)
+
+    @property
+    def longest_side(self) -> int:
+        """Largest extent over all axes."""
+        return max(self.shape)
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Ratio of the longest side to the shortest side (>= 1.0).
+
+        The paper's box-splitting constraint keeps this ratio low by always
+        cutting along the longest dimension.
+        """
+        return self.longest_side / self.shortest_side
+
+    def __contains__(self, point: Sequence[int]) -> bool:
+        if len(point) != self.ndim:
+            return False
+        return all(l <= p < u for p, l, u in zip(point, self.lower, self.upper))
+
+    # ------------------------------------------------------------------
+    # Set-like operations
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Box") -> bool:
+        """True if the two boxes share at least one cell (same level only)."""
+        self._check_compatible(other)
+        return all(
+            a_lo < b_up and b_lo < a_up
+            for a_lo, a_up, b_lo, b_up in zip(
+                self.lower, self.upper, other.lower, other.upper
+            )
+        )
+
+    def intersection(self, other: "Box") -> "Box | None":
+        """The overlapping region, or ``None`` when disjoint."""
+        self._check_compatible(other)
+        lo = tuple(max(a, b) for a, b in zip(self.lower, other.lower))
+        up = tuple(min(a, b) for a, b in zip(self.upper, other.upper))
+        if any(u <= l for l, u in zip(lo, up)):
+            return None
+        return Box(lo, up, self.level)
+
+    def contains_box(self, other: "Box") -> bool:
+        """True if ``other`` lies entirely inside this box."""
+        self._check_compatible(other)
+        return all(
+            s_lo <= o_lo and o_up <= s_up
+            for s_lo, s_up, o_lo, o_up in zip(
+                self.lower, self.upper, other.lower, other.upper
+            )
+        )
+
+    def bounding_union(self, other: "Box") -> "Box":
+        """Smallest box containing both operands (not a set union)."""
+        self._check_compatible(other)
+        lo = tuple(min(a, b) for a, b in zip(self.lower, other.lower))
+        up = tuple(max(a, b) for a, b in zip(self.upper, other.upper))
+        return Box(lo, up, self.level)
+
+    def difference(self, other: "Box") -> "BoxList":
+        """Cells of this box not covered by ``other``, as disjoint boxes.
+
+        Uses axis-by-axis slab decomposition, producing at most ``2 * ndim``
+        pieces.  Returns the whole box when the operands are disjoint.
+        """
+        inter = self.intersection(other)
+        if inter is None:
+            return BoxList([self])
+        pieces: list[Box] = []
+        lo = list(self.lower)
+        up = list(self.upper)
+        for d in range(self.ndim):
+            if lo[d] < inter.lower[d]:
+                p_lo, p_up = list(lo), list(up)
+                p_up[d] = inter.lower[d]
+                pieces.append(Box(tuple(p_lo), tuple(p_up), self.level))
+            if inter.upper[d] < up[d]:
+                p_lo, p_up = list(lo), list(up)
+                p_lo[d] = inter.upper[d]
+                pieces.append(Box(tuple(p_lo), tuple(p_up), self.level))
+            lo[d] = inter.lower[d]
+            up[d] = inter.upper[d]
+        return BoxList(pieces)
+
+    def _check_compatible(self, other: "Box") -> None:
+        if self.ndim != other.ndim:
+            raise GeometryError(
+                f"dimensionality mismatch: {self.ndim} vs {other.ndim}"
+            )
+        if self.level != other.level:
+            raise GeometryError(
+                f"level mismatch: {self.level} vs {other.level}; refine or "
+                "coarsen one operand first"
+            )
+
+    # ------------------------------------------------------------------
+    # Splitting
+    # ------------------------------------------------------------------
+    def split(self, axis: int, position: int) -> tuple["Box", "Box"]:
+        """Cut the box into two along ``axis`` at level coordinate ``position``.
+
+        ``position`` must fall strictly inside the box's extent along the
+        axis so both halves are non-empty.
+        """
+        if not 0 <= axis < self.ndim:
+            raise GeometryError(f"axis {axis} out of range for {self.ndim}-D box")
+        if not self.lower[axis] < position < self.upper[axis]:
+            raise GeometryError(
+                f"split position {position} outside open interval "
+                f"({self.lower[axis]}, {self.upper[axis]}) on axis {axis}"
+            )
+        up_a = list(self.upper)
+        up_a[axis] = position
+        lo_b = list(self.lower)
+        lo_b[axis] = position
+        return (
+            Box(self.lower, tuple(up_a), self.level),
+            Box(tuple(lo_b), self.upper, self.level),
+        )
+
+    def halve(self, axis: int | None = None) -> tuple["Box", "Box"]:
+        """Split into two (near-)equal halves, by default along the longest axis."""
+        if axis is None:
+            axis = self.longest_axis
+        if self.shape[axis] < 2:
+            raise GeometryError(
+                f"cannot halve axis {axis} of extent {self.shape[axis]}"
+            )
+        mid = self.lower[axis] + self.shape[axis] // 2
+        return self.split(axis, mid)
+
+    # ------------------------------------------------------------------
+    # Level changes and ghosting
+    # ------------------------------------------------------------------
+    def refine(self, factor: int = 2) -> "Box":
+        """The same physical region expressed one level finer."""
+        if factor < 2:
+            raise GeometryError(f"refinement factor must be >= 2, got {factor}")
+        return Box(
+            tuple(l * factor for l in self.lower),
+            tuple(u * factor for u in self.upper),
+            self.level + 1,
+        )
+
+    def coarsen(self, factor: int = 2) -> "Box":
+        """The covering region one level coarser (rounds outward)."""
+        if factor < 2:
+            raise GeometryError(f"coarsening factor must be >= 2, got {factor}")
+        if self.level == 0:
+            raise GeometryError("cannot coarsen below level 0")
+        lo = tuple(l // factor for l in self.lower)
+        up = tuple(-(-u // factor) for u in self.upper)  # ceil division
+        return Box(lo, up, self.level - 1)
+
+    def grow(self, width: int) -> "Box":
+        """Expand (or shrink, for negative ``width``) by ``width`` cells per side."""
+        lo = tuple(l - width for l in self.lower)
+        up = tuple(u + width for u in self.upper)
+        if any(u <= l for l, u in zip(lo, up)):
+            raise GeometryError(f"grow({width}) would empty box {self}")
+        return Box(lo, up, self.level)
+
+    def clip(self, domain: "Box") -> "Box | None":
+        """Intersection with ``domain`` (alias with intent: keep in-bounds)."""
+        return self.intersection(domain)
+
+    def translate(self, offset: Sequence[int]) -> "Box":
+        """Shift the box by ``offset`` cells along each axis."""
+        off = _as_int_tuple(offset, "offset")
+        if len(off) != self.ndim:
+            raise GeometryError("offset dimensionality mismatch")
+        return Box(
+            tuple(l + o for l, o in zip(self.lower, off)),
+            tuple(u + o for u, o in zip(self.upper, off)),
+            self.level,
+        )
+
+    # ------------------------------------------------------------------
+    # Conversions / iteration
+    # ------------------------------------------------------------------
+    def slices(self, origin: Sequence[int] | None = None) -> tuple[slice, ...]:
+        """NumPy slices addressing this box within an array whose index 0
+        corresponds to level coordinate ``origin`` (default: the box's own
+        lower corner, i.e. slices over the box-local array)."""
+        if origin is None:
+            origin = self.lower
+        org = _as_int_tuple(origin, "origin")
+        return tuple(
+            slice(l - o, u - o) for l, u, o in zip(self.lower, self.upper, org)
+        )
+
+    def cell_centers(self) -> Iterator[tuple[int, ...]]:
+        """Iterate all integer cell coordinates in the box (row-major)."""
+        return itertools.product(
+            *(range(l, u) for l, u in zip(self.lower, self.upper))
+        )
+
+    def corner_key(self) -> tuple[int, ...]:
+        """Sort key: (level, lower...) -- deterministic box ordering."""
+        return (self.level, *self.lower)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Box(L{self.level} {self.lower}->{self.upper})"
+
+
+class BoxList:
+    """An ordered, immutable-ish collection of boxes (possibly mixed-level).
+
+    This is the unit the GrACE runtime hands to a partitioner at every
+    regrid: the flattened bounding-box list of the whole grid hierarchy.
+    """
+
+    __slots__ = ("_boxes",)
+
+    def __init__(self, boxes: Iterable[Box] = ()):
+        self._boxes: tuple[Box, ...] = tuple(boxes)
+        for b in self._boxes:
+            if not isinstance(b, Box):
+                raise GeometryError(f"BoxList items must be Box, got {type(b)!r}")
+        if self._boxes:
+            ndim = self._boxes[0].ndim
+            for b in self._boxes:
+                if b.ndim != ndim:
+                    raise GeometryError("mixed dimensionality in BoxList")
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def __iter__(self) -> Iterator[Box]:
+        return iter(self._boxes)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return BoxList(self._boxes[i])
+        return self._boxes[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoxList):
+            return NotImplemented
+        return self._boxes == other._boxes
+
+    def __hash__(self) -> int:
+        return hash(self._boxes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BoxList({len(self._boxes)} boxes, {self.total_cells} cells)"
+
+    # -- measures -----------------------------------------------------------
+    @property
+    def total_cells(self) -> int:
+        """Sum of cell counts over all boxes."""
+        return sum(b.num_cells for b in self._boxes)
+
+    @property
+    def levels(self) -> tuple[int, ...]:
+        """Sorted distinct refinement levels present."""
+        return tuple(sorted({b.level for b in self._boxes}))
+
+    def at_level(self, level: int) -> "BoxList":
+        """Sub-list of boxes on one refinement level."""
+        return BoxList(b for b in self._boxes if b.level == level)
+
+    # -- transformations ----------------------------------------------------
+    def append(self, box: Box) -> "BoxList":
+        return BoxList((*self._boxes, box))
+
+    def extend(self, boxes: Iterable[Box]) -> "BoxList":
+        return BoxList((*self._boxes, *boxes))
+
+    def sorted_by_cells(self, reverse: bool = False) -> "BoxList":
+        """Stable sort by cell count (the paper sorts boxes ascending)."""
+        return BoxList(
+            sorted(self._boxes, key=lambda b: (b.num_cells, b.corner_key()),
+                   reverse=reverse)
+        )
+
+    def sorted_canonical(self) -> "BoxList":
+        """Deterministic (level, lower-corner) ordering."""
+        return BoxList(sorted(self._boxes, key=Box.corner_key))
+
+    def is_disjoint(self) -> bool:
+        """True when no two same-level boxes overlap.
+
+        O(n^2) pairwise check; hierarchies keep per-level box counts small so
+        this is only used in validation paths and tests.
+        """
+        by_level: dict[int, list[Box]] = {}
+        for b in self._boxes:
+            by_level.setdefault(b.level, []).append(b)
+        for boxes in by_level.values():
+            for i, a in enumerate(boxes):
+                for b in boxes[i + 1:]:
+                    if a.intersects(b):
+                        return False
+        return True
+
+    def bounding_box(self) -> Box:
+        """Smallest single box covering every member (single-level lists only)."""
+        if not self._boxes:
+            raise GeometryError("bounding_box of an empty BoxList")
+        out = self._boxes[0]
+        for b in self._boxes[1:]:
+            out = out.bounding_union(b)
+        return out

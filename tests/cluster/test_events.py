@@ -1,0 +1,89 @@
+"""Tests for the discrete-event clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.events import SimClock
+from repro.util.errors import SimulationError
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=5.0).now == 5.0
+
+    def test_advance(self):
+        c = SimClock()
+        c.advance(2.5)
+        assert c.now == 2.5
+        c.advance_to(10.0)
+        assert c.now == 10.0
+
+    def test_no_time_travel(self):
+        c = SimClock()
+        c.advance(5.0)
+        with pytest.raises(SimulationError):
+            c.advance(-1.0)
+        with pytest.raises(SimulationError):
+            c.advance_to(4.0)
+
+    def test_events_fire_in_order(self):
+        c = SimClock()
+        fired: list[float] = []
+        c.schedule(3.0, lambda clk: fired.append(clk.now))
+        c.schedule(1.0, lambda clk: fired.append(clk.now))
+        c.schedule(2.0, lambda clk: fired.append(clk.now))
+        c.advance_to(5.0)
+        assert fired == [1.0, 2.0, 3.0]
+        assert c.now == 5.0
+        assert c.pending_events == 0
+
+    def test_events_beyond_horizon_stay_queued(self):
+        c = SimClock()
+        fired = []
+        c.schedule(10.0, lambda clk: fired.append(clk.now))
+        c.advance_to(5.0)
+        assert fired == []
+        assert c.pending_events == 1
+        c.advance_to(10.0)
+        assert fired == [10.0]
+
+    def test_equal_time_events_fifo(self):
+        c = SimClock()
+        order = []
+        c.schedule(1.0, lambda clk: order.append("a"))
+        c.schedule(1.0, lambda clk: order.append("b"))
+        c.advance_to(1.0)
+        assert order == ["a", "b"]
+
+    def test_callback_can_schedule_more(self):
+        c = SimClock()
+        fired = []
+
+        def chain(clk: SimClock) -> None:
+            fired.append(clk.now)
+            if clk.now < 3.0:
+                clk.schedule(clk.now + 1.0, chain)
+
+        c.schedule(1.0, chain)
+        c.advance_to(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_schedule_in_past_rejected(self):
+        c = SimClock()
+        c.advance(5.0)
+        with pytest.raises(SimulationError):
+            c.schedule(4.0, lambda clk: None)
+        with pytest.raises(SimulationError):
+            c.schedule_in(-1.0, lambda clk: None)
+
+    def test_schedule_in_relative(self):
+        c = SimClock()
+        c.advance(2.0)
+        fired = []
+        c.schedule_in(3.0, lambda clk: fired.append(clk.now))
+        c.advance(3.0)
+        assert fired == [5.0]

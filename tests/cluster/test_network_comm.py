@@ -1,0 +1,99 @@
+"""Tests for the link model and the simulated communicator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, LinkModel, NodeSpec, SyntheticLoadGenerator
+from repro.comm import SimCommunicator
+from repro.util.errors import SimulationError
+
+
+class TestLinkModel:
+    def test_zero_bytes_is_free(self):
+        assert LinkModel().transfer_time(0, 100, 100) == 0.0
+
+    def test_alpha_beta(self):
+        link = LinkModel(latency_s=1e-3)
+        # 100 Mbit/s = 12.5 MB/s; 12.5 MB should take ~1 s + latency.
+        t = link.transfer_time(12.5e6, 100, 100)
+        assert t == pytest.approx(1.0 + 1e-3)
+
+    def test_slower_endpoint_throttles(self):
+        link = LinkModel(latency_s=0.0)
+        t_fast = link.transfer_time(1e6, 100, 100)
+        t_mixed = link.transfer_time(1e6, 100, 10)
+        assert t_mixed == pytest.approx(10 * t_fast)
+
+    def test_contention_scales(self):
+        base = LinkModel(latency_s=0.0)
+        contended = LinkModel(latency_s=0.0, contention_factor=2.0)
+        assert contended.transfer_time(1e6, 100, 100) == pytest.approx(
+            2 * base.transfer_time(1e6, 100, 100)
+        )
+
+    def test_guards(self):
+        with pytest.raises(SimulationError):
+            LinkModel(latency_s=-1.0)
+        with pytest.raises(SimulationError):
+            LinkModel(contention_factor=0.5)
+        with pytest.raises(SimulationError):
+            LinkModel().transfer_time(-1, 100, 100)
+        with pytest.raises(SimulationError):
+            LinkModel().transfer_time(10, 0, 100)
+
+
+class TestSimCommunicator:
+    def test_self_message_free(self):
+        comm = SimCommunicator(Cluster.homogeneous(2))
+        assert comm.p2p_time(0, 0, 1e6) == 0.0
+
+    def test_p2p_records_stats(self):
+        comm = SimCommunicator(Cluster.homogeneous(2))
+        t = comm.p2p_time(0, 1, 1e6)
+        assert t > 0
+        assert comm.stats.messages == 1
+        assert comm.stats.bytes_sent == 1_000_000
+        assert comm.stats.per_pair_bytes[(0, 1)] == 1_000_000
+
+    def test_rank_guard(self):
+        comm = SimCommunicator(Cluster.homogeneous(2))
+        with pytest.raises(SimulationError):
+            comm.p2p_time(0, 5, 10)
+
+    def test_exchange_busy_times(self):
+        comm = SimCommunicator(Cluster.homogeneous(3))
+        busy = comm.exchange_time({(0, 1): 1e6, (1, 2): 1e6})
+        # Rank 1 both receives and sends -> busiest.
+        assert busy[1] == pytest.approx(busy[0] + busy[2])
+        assert busy.shape == (3,)
+
+    def test_allreduce_scales_with_log_p(self):
+        t2 = SimCommunicator(Cluster.homogeneous(2)).allreduce_time(1e4)
+        t8 = SimCommunicator(Cluster.homogeneous(8)).allreduce_time(1e4)
+        assert t8 == pytest.approx(3 * t2)
+
+    def test_allreduce_single_rank_free(self):
+        assert SimCommunicator(Cluster.homogeneous(1)).allreduce_time(1e6) == 0.0
+
+    def test_migration_time_empty(self):
+        comm = SimCommunicator(Cluster.homogeneous(4))
+        assert comm.migration_time({}) == 0.0
+
+    def test_migration_time_is_makespan(self):
+        comm = SimCommunicator(Cluster.homogeneous(4))
+        moved = {(0, 1): int(1e6), (2, 3): int(2e6)}
+        t = comm.migration_time(moved)
+        # Pair (2,3) carries twice the bytes -> defines the makespan.
+        solo = SimCommunicator(Cluster.homogeneous(4)).p2p_time(2, 3, 2e6)
+        assert t == pytest.approx(solo)
+
+    def test_slow_nic_node_slows_exchange(self):
+        nodes = [
+            NodeSpec(name="a"),
+            NodeSpec(name="b", bandwidth_mbps=10.0),
+        ]
+        comm = SimCommunicator(Cluster(nodes))
+        fast = SimCommunicator(Cluster.homogeneous(2))
+        assert comm.p2p_time(0, 1, 1e6) > fast.p2p_time(0, 1, 1e6)

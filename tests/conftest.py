@@ -1,0 +1,42 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.util.geometry import Box
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+def boxes(
+    ndim: int | None = None,
+    max_coord: int = 64,
+    max_side: int = 32,
+    max_level: int = 3,
+) -> st.SearchStrategy[Box]:
+    """Strategy producing valid Boxes of 1-3 dimensions."""
+
+    def build(draw_ndim: int) -> st.SearchStrategy[Box]:
+        lowers = st.tuples(
+            *[st.integers(0, max_coord) for _ in range(draw_ndim)]
+        )
+        sides = st.tuples(
+            *[st.integers(1, max_side) for _ in range(draw_ndim)]
+        )
+        lvl = st.integers(0, max_level)
+        return st.builds(
+            lambda lo, sd, lv: Box(lo, tuple(a + b for a, b in zip(lo, sd)), lv),
+            lowers,
+            sides,
+            lvl,
+        )
+
+    if ndim is not None:
+        return build(ndim)
+    return st.integers(1, 3).flatmap(build)

@@ -1,0 +1,110 @@
+"""Tests for the advection kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.advection import AdvectionKernel
+from repro.util.errors import KernelError
+from repro.util.geometry import Box
+
+
+class TestConstruction:
+    def test_ndim_follows_velocity(self):
+        assert AdvectionKernel(velocity=(1.0,)).ndim == 1
+        assert AdvectionKernel(velocity=(1.0, 0.0, 0.0)).ndim == 3
+
+    def test_bad_params(self):
+        with pytest.raises(KernelError):
+            AdvectionKernel(velocity=())
+        with pytest.raises(KernelError):
+            AdvectionKernel(velocity=(1, 2, 3, 4))
+        with pytest.raises(KernelError):
+            AdvectionKernel(velocity=(1.0,), pulse_width=0.0)
+        with pytest.raises(ValueError):
+            AdvectionKernel(velocity=(1.0,), boundary="reflecting")
+
+
+class TestInitialCondition:
+    def test_gaussian_peak_at_center(self):
+        k = AdvectionKernel(velocity=(1.0, 0.0), pulse_center=(4.0, 4.0))
+        u = k.initial_condition(Box((0, 0), (8, 8)), dx=1.0)
+        assert u.shape == (1, 8, 8)
+        peak = np.unravel_index(np.argmax(u[0]), (8, 8))
+        assert peak in ((3, 3), (4, 4), (3, 4), (4, 3))
+        assert u.max() <= 1.0
+
+    def test_refined_box_samples_same_profile(self):
+        k = AdvectionKernel(velocity=(1.0, 0.0), pulse_center=(4.0, 4.0))
+        # dx halves on level 1 and coordinates double.
+        coarse = k.initial_condition(Box((0, 0), (8, 8)), 1.0)
+        fine = k.initial_condition(Box((0, 0), (16, 16), 1), 0.5)
+        # Fine cell (7, 7) center = 3.75 in coarse units: near the peak.
+        assert fine[0, 7, 7] == pytest.approx(1.0, abs=0.05)
+        assert coarse.max() == pytest.approx(fine.max(), abs=0.05)
+
+
+class TestStep:
+    def test_translation_speed(self):
+        """A pulse on a periodic array moves v*dt/dx cells per step."""
+        k = AdvectionKernel(velocity=(1.0, 0.0))
+        u = np.zeros((1, 32, 4))
+        u[0, 8, :] = 1.0
+        for _ in range(8):
+            u = k.step(u, dt=0.5, dx=1.0)
+        # After 8 steps of CFL 0.5 the (diffused) peak is 4 cells along.
+        peak = int(np.argmax(u[0, :, 0]))
+        assert peak == 12
+
+    def test_negative_velocity_upwinds_other_way(self):
+        k = AdvectionKernel(velocity=(-1.0, 0.0))
+        u = np.zeros((1, 32, 4))
+        u[0, 16, :] = 1.0
+        for _ in range(8):
+            u = k.step(u, dt=0.5, dx=1.0)
+        assert int(np.argmax(u[0, :, 0])) == 12
+
+    def test_max_principle(self):
+        """Upwind at CFL <= 1 creates no new extrema."""
+        rng = np.random.default_rng(0)
+        k = AdvectionKernel(velocity=(0.7, -0.3))
+        u = rng.random((1, 16, 16))
+        lo, hi = u.min(), u.max()
+        for _ in range(5):
+            u = k.step(u, dt=0.5, dx=1.0)
+        assert u.min() >= lo - 1e-12
+        assert u.max() <= hi + 1e-12
+
+    def test_conservation_on_torus(self):
+        k = AdvectionKernel(velocity=(1.0, 0.5))
+        rng = np.random.default_rng(1)
+        u = rng.random((1, 12, 12))
+        total = u.sum()
+        for _ in range(10):
+            u = k.step(u, dt=0.3, dx=1.0)
+        assert u.sum() == pytest.approx(total)
+
+    def test_bad_dt(self):
+        k = AdvectionKernel(velocity=(1.0, 0.0))
+        with pytest.raises(KernelError):
+            k.step(np.zeros((1, 4, 4)), dt=0.0, dx=1.0)
+
+
+class TestIndicatorsAndSpeeds:
+    def test_indicator_peaks_at_edge(self):
+        k = AdvectionKernel(velocity=(1.0, 0.0))
+        u = np.zeros((1, 16, 4))
+        u[0, :8] = 1.0
+        ind = k.error_indicator(u, dx=1.0)
+        assert ind.shape == (16, 4)
+        assert int(np.argmax(ind[:, 0])) in (7, 8)
+
+    def test_max_wave_speed(self):
+        k = AdvectionKernel(velocity=(2.0, -3.0))
+        assert k.max_wave_speed(np.zeros((1, 2, 2))) == 3.0
+
+    def test_stable_dt(self):
+        k = AdvectionKernel(velocity=(2.0, 0.0))
+        dt = k.stable_dt(np.zeros((1, 2, 2)), dx=1.0, cfl=0.5)
+        assert dt == pytest.approx(0.25)

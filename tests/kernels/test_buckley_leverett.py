@@ -1,0 +1,96 @@
+"""Tests for the Buckley-Leverett reservoir kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.buckley_leverett import BuckleyLeverettKernel
+from repro.util.errors import KernelError
+from repro.util.geometry import Box
+
+
+@pytest.fixture
+def kernel() -> BuckleyLeverettKernel:
+    return BuckleyLeverettKernel(domain_shape=(32, 16), velocity=(1.0, 0.0))
+
+
+class TestFractionalFlow:
+    def test_endpoints(self, kernel):
+        assert kernel.fractional_flow(np.array(0.0)) == pytest.approx(0.0)
+        assert kernel.fractional_flow(np.array(1.0)) == pytest.approx(1.0)
+
+    def test_monotone(self, kernel):
+        s = np.linspace(0, 1, 101)
+        f = kernel.fractional_flow(s)
+        assert (np.diff(f) >= -1e-12).all()
+
+    def test_s_shape(self, kernel):
+        """f has an inflection: convex near 0, concave near 1."""
+        f = kernel.fractional_flow(np.array([0.1, 0.5, 0.9]))
+        assert f[0] < 0.1       # slow start
+        assert f[2] > 0.9       # saturated finish
+
+    def test_clipping(self, kernel):
+        assert kernel.fractional_flow(np.array(-0.5)) == pytest.approx(0.0)
+        assert kernel.fractional_flow(np.array(1.5)) == pytest.approx(1.0)
+
+
+class TestConstruction:
+    def test_bad_params(self):
+        with pytest.raises(KernelError):
+            BuckleyLeverettKernel(mobility_ratio=0.0)
+        with pytest.raises(KernelError):
+            BuckleyLeverettKernel(front_position=0.0)
+        with pytest.raises(KernelError):
+            BuckleyLeverettKernel(front_position=1.0)
+
+
+class TestInitialCondition:
+    def test_front_profile(self, kernel):
+        u = kernel.initial_condition(Box((0, 0), (32, 16)), 1.0)
+        s = u[0]
+        assert s.shape == (32, 16)
+        assert s[0, 0] == pytest.approx(1.0, abs=0.01)   # flooded inlet
+        assert s[-1, 0] == pytest.approx(0.0, abs=0.01)  # virgin oil zone
+        # Monotone decreasing along x.
+        assert (np.diff(s[:, 0]) <= 1e-12).all()
+
+
+class TestStep:
+    def test_saturation_bounds(self, kernel):
+        u = kernel.initial_condition(Box((0, 0), (32, 16)), 1.0)
+        dt = kernel.stable_dt(u, 1.0, cfl=0.4)
+        for _ in range(20):
+            u = kernel.step(u, dt, 1.0)
+        assert u.min() >= 0.0
+        assert u.max() <= 1.0
+
+    def test_front_advances(self, kernel):
+        u = kernel.initial_condition(Box((0, 0), (32, 16)), 1.0)
+
+        def front(s):
+            return int(np.argmin(np.abs(s[:, 0] - 0.5)))
+
+        x0 = front(u[0])
+        dt = kernel.stable_dt(u, 1.0, cfl=0.4)
+        for _ in range(20):
+            u = kernel.step(u, dt, 1.0)
+        assert front(u[0]) > x0
+
+    def test_bad_dt(self, kernel):
+        with pytest.raises(KernelError):
+            kernel.step(np.zeros((1, 4, 4)), 0.0, 1.0)
+
+
+class TestIndicatorSpeed:
+    def test_indicator_peaks_at_front(self, kernel):
+        u = kernel.initial_condition(Box((0, 0), (32, 16)), 1.0)
+        ind = kernel.error_indicator(u, 1.0)
+        front = int(np.argmin(np.abs(u[0][:, 0] - 0.5)))
+        assert abs(int(np.argmax(ind[:, 0])) - front) <= 2
+
+    def test_wave_speed_bounds_df(self, kernel):
+        c = kernel.max_wave_speed(np.zeros((1, 2, 2)))
+        # For M=2 the BL flux has max slope > 1 (front shock speed).
+        assert c > 1.0

@@ -1,0 +1,140 @@
+"""Tests for the RM3D compressible Euler kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.rm3d import PAPER_BASE_SHAPE, RM3DKernel
+from repro.util.errors import KernelError
+from repro.util.geometry import Box
+
+SMALL = (16, 8, 8)
+
+
+@pytest.fixture
+def kernel() -> RM3DKernel:
+    return RM3DKernel(domain_shape=SMALL)
+
+
+class TestConstruction:
+    def test_paper_defaults(self):
+        k = RM3DKernel()
+        assert k.domain_shape == PAPER_BASE_SHAPE == (128, 32, 32)
+        assert k.num_fields == 5
+        assert k.ndim == 3
+
+    def test_bad_params(self):
+        with pytest.raises(KernelError):
+            RM3DKernel(gamma=1.0)
+        with pytest.raises(KernelError):
+            RM3DKernel(density_ratio=0.0)
+        with pytest.raises(KernelError):
+            RM3DKernel(shock_mach=0.9)
+
+
+class TestInitialCondition:
+    def test_three_zones(self, kernel):
+        box = Box((0, 0, 0), SMALL)
+        u = kernel.initial_condition(box, 1.0)
+        assert u.shape == (5, *SMALL)
+        rho = u[0]
+        # Post-shock (x < 0.2*16=3.2), light (middle), heavy (x > ~6.4).
+        assert rho[0, 0, 0] > 1.0  # shocked, compressed
+        assert rho[4, 0, 0] == pytest.approx(1.0)  # quiescent light gas
+        assert rho[-1, 0, 0] == pytest.approx(3.0)  # heavy gas
+
+    def test_shocked_region_moves(self, kernel):
+        u = kernel.initial_condition(Box((0, 0, 0), SMALL), 1.0)
+        mom = u[1]
+        assert mom[0, 0, 0] > 0.0  # post-shock gas streams +x
+        assert mom[-1, 0, 0] == pytest.approx(0.0)
+
+    def test_interface_is_perturbed(self):
+        k = RM3DKernel(domain_shape=(32, 16, 16), perturb_amplitude=3.0)
+        u = k.initial_condition(Box((0, 0, 0), (32, 16, 16)), 1.0)
+        rho = u[0]
+        # Interface x-position varies with (y, z): the first heavy cell
+        # index along x is not constant across the transverse plane.
+        first_heavy = (rho > 2.0).argmax(axis=0)
+        assert first_heavy.min() != first_heavy.max()
+
+    def test_refined_box_consistent(self, kernel):
+        """A level-1 box over the same physical region sees the same zones."""
+        coarse = kernel.initial_condition(Box((0, 0, 0), SMALL), 1.0)
+        fine = kernel.initial_condition(
+            Box((0, 0, 0), tuple(2 * s for s in SMALL), level=1), 0.5
+        )
+        assert fine[0, -1, 0, 0] == pytest.approx(coarse[0, -1, 0, 0])
+        assert fine[0, 0, 0, 0] == pytest.approx(coarse[0, 0, 0, 0])
+
+
+class TestStep:
+    def test_positivity_preserved(self, kernel):
+        u = kernel.initial_condition(Box((0, 0, 0), SMALL), 1.0)
+        dt = kernel.stable_dt(u, dx=1.0, cfl=0.3)
+        for _ in range(5):
+            u = kernel.step(u, dt, 1.0)
+        rho, vel, p = kernel._primitives(u)
+        assert rho.min() > 0
+        assert p.min() > 0
+
+    def test_conservation_periodic_sanity(self):
+        """On a fully periodic array (np.roll), mass/momentum/energy sums
+        are conserved exactly by the flux-difference form."""
+        k = RM3DKernel(domain_shape=(8, 8, 8))
+        rng = np.random.default_rng(0)
+        u = np.zeros((5, 8, 8, 8))
+        u[0] = 1.0 + 0.1 * rng.random((8, 8, 8))
+        u[4] = 2.5 + 0.1 * rng.random((8, 8, 8))
+        sums = u.sum(axis=(1, 2, 3))
+        dt = k.stable_dt(u, 1.0, 0.3)
+        for _ in range(3):
+            u = k.step(u, dt, 1.0)
+        np.testing.assert_allclose(
+            u.sum(axis=(1, 2, 3)), sums, rtol=1e-12, atol=1e-12
+        )
+
+    def test_uniform_state_is_fixed_point(self):
+        k = RM3DKernel(domain_shape=(8, 8, 8))
+        u = np.zeros((5, 8, 8, 8))
+        u[0] = 1.0
+        u[4] = 2.5
+        out = k.step(u, 0.1, 1.0)
+        np.testing.assert_allclose(out, u, atol=1e-14)
+
+    def test_shock_propagates(self, kernel):
+        """The shock front moves in +x over time."""
+        u = kernel.initial_condition(Box((0, 0, 0), SMALL), 1.0)
+
+        def shock_pos(field):
+            p = kernel._primitives(field)[2]
+            return int(np.argmin(np.abs(p[:, 0, 0] - 2.0)))
+
+        x0 = shock_pos(u)
+        for _ in range(10):
+            dt = kernel.stable_dt(u, 1.0, 0.3)
+            u = kernel.step(u, dt, 1.0)
+        assert shock_pos(u) > x0
+
+    def test_bad_dt(self, kernel):
+        u = kernel.initial_condition(Box((0, 0, 0), SMALL), 1.0)
+        with pytest.raises(KernelError):
+            kernel.step(u, -0.1, 1.0)
+
+
+class TestIndicator:
+    def test_flags_interface_and_shock(self, kernel):
+        u = kernel.initial_condition(Box((0, 0, 0), SMALL), 1.0)
+        ind = kernel.error_indicator(u, 1.0)
+        assert ind.shape == SMALL
+        line = ind[:, 0, 0]
+        # Quiescent zones are quiet; the interface neighbourhood is loud.
+        assert line[4] < 0.05
+        assert line.max() > 0.2
+
+    def test_max_wave_speed_positive(self, kernel):
+        u = kernel.initial_condition(Box((0, 0, 0), SMALL), 1.0)
+        c = kernel.max_wave_speed(u)
+        # At least the post-shock speed plus its sound speed.
+        assert c > 1.0

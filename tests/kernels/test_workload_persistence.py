@@ -1,0 +1,46 @@
+"""Tests for workload JSON round-tripping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels.workloads import SyntheticWorkload, paper_rm3d_trace
+from repro.util.errors import GeometryError
+
+
+class TestPersistence:
+    def test_roundtrip_identity(self, tmp_path):
+        w = paper_rm3d_trace(num_regrids=4)
+        path = tmp_path / "trace.json"
+        w.to_json(path)
+        back = SyntheticWorkload.from_json(path)
+        assert back.name == w.name
+        assert back.domain == w.domain
+        assert back.refine_factor == w.refine_factor
+        assert back.num_regrids == w.num_regrids
+        for a, b in zip(w, back):
+            assert a == b
+
+    def test_work_preserved(self, tmp_path):
+        w = paper_rm3d_trace(num_regrids=3)
+        path = tmp_path / "trace.json"
+        w.to_json(path)
+        back = SyntheticWorkload.from_json(path)
+        for r in range(w.num_regrids):
+            assert back.work_of(r) == w.work_of(r)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises((GeometryError, OSError)):
+            SyntheticWorkload.from_json(tmp_path / "nope.json")
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(GeometryError):
+            SyntheticWorkload.from_json(path)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "schema.json"
+        path.write_text('{"name": "x"}')
+        with pytest.raises(GeometryError):
+            SyntheticWorkload.from_json(path)

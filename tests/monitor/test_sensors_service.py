@@ -1,0 +1,136 @@
+"""Tests for sensors and the ResourceMonitor facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, SyntheticLoadGenerator
+from repro.monitor import MetricSensor, ResourceMonitor
+from repro.util.errors import MonitorError
+
+
+class TestMetricSensor:
+    def test_exact_reading_without_noise(self):
+        c = Cluster.homogeneous(2)
+        s = MetricSensor(c, "cpu")
+        r = s.probe(0)
+        assert r.value == pytest.approx(0.97)
+        assert r.metric == "cpu"
+        assert r.node == 0
+
+    def test_noise_perturbs_but_clamps(self):
+        c = Cluster.homogeneous(1)
+        s = MetricSensor(c, "cpu", noise=0.5, seed=1)
+        values = [s.probe(0).value for _ in range(100)]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert len(set(values)) > 1
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(MonitorError):
+            MetricSensor(Cluster.homogeneous(1), "disk")
+
+    def test_bad_params_rejected(self):
+        c = Cluster.homogeneous(1)
+        with pytest.raises(MonitorError):
+            MetricSensor(c, "cpu", noise=-0.1)
+        with pytest.raises(MonitorError):
+            MetricSensor(c, "cpu", failure_rate=1.0)
+
+    def test_unknown_node_raises_monitor_error(self):
+        s = MetricSensor(Cluster.homogeneous(1), "cpu")
+        with pytest.raises(MonitorError):
+            s.probe(9)
+
+    def test_injected_failures(self):
+        c = Cluster.homogeneous(1)
+        s = MetricSensor(c, "cpu", failure_rate=0.5, seed=0)
+        outcomes = []
+        for _ in range(100):
+            try:
+                s.probe(0)
+                outcomes.append(True)
+            except MonitorError:
+                outcomes.append(False)
+        assert 20 < sum(outcomes) < 80  # roughly half fail
+
+
+class TestResourceMonitor:
+    def test_snapshot_shapes_and_overhead(self):
+        c = Cluster.homogeneous(4)
+        mon = ResourceMonitor(c)
+        snap = mon.probe_all()
+        assert snap.num_nodes == 4
+        assert snap.cpu.shape == (4,)
+        # Concurrent probes: one probe latency + per-node aggregation.
+        assert snap.overhead_seconds == pytest.approx(0.5 + 0.02 * 4)
+        assert snap.stale_nodes == ()
+
+    def test_probe_reflects_load_dynamics(self):
+        c = Cluster.homogeneous(2)
+        c.add_load_generator(
+            SyntheticLoadGenerator(node=0, ramp_rate=0.1, target_level=1.0)
+        )
+        mon = ResourceMonitor(c)
+        before = mon.probe_all(t=0.0)
+        after = mon.probe_all(t=10.0)
+        assert after.cpu[0] < before.cpu[0]
+        assert after.cpu[1] == pytest.approx(before.cpu[1])
+
+    def test_forecast_before_probe_rejected(self):
+        mon = ResourceMonitor(Cluster.homogeneous(1))
+        with pytest.raises(MonitorError):
+            mon.forecast_all()
+
+    def test_forecast_last_matches_probe(self):
+        c = Cluster.homogeneous(3)
+        mon = ResourceMonitor(c, forecaster="last")
+        snap = mon.probe_all()
+        fc = mon.forecast_all()
+        np.testing.assert_allclose(fc.cpu, snap.cpu)
+        np.testing.assert_allclose(fc.memory_mb, snap.memory_mb)
+        assert fc.overhead_seconds == 0.0
+
+    def test_forecast_mean_smooths(self):
+        c = Cluster.homogeneous(1)
+        mon = ResourceMonitor(c, forecaster="mean", noise=0.2, seed=3)
+        for t in range(20):
+            mon.probe_all(t=float(t))
+        fc = mon.forecast_all()
+        assert 0.8 <= fc.cpu[0] <= 1.0  # noise averaged out around 0.97
+
+    def test_failed_probes_fall_back_to_last_value(self):
+        c = Cluster.homogeneous(2)
+        mon = ResourceMonitor(c, failure_rate=0.95, seed=5)
+        first = mon.probe_all(t=0.0)  # some probes fail -> defaults used
+        c.add_load_generator(
+            SyntheticLoadGenerator(node=0, ramp_rate=10.0, target_level=3.0)
+        )
+        snap = mon.probe_all(t=100.0)
+        # With near-certain failure, values barely track the new load and
+        # stale_nodes is populated.
+        assert snap.stale_nodes != ()
+        assert snap.cpu.shape == (2,)
+        assert np.all(snap.cpu >= 0)
+        assert first.num_nodes == 2
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(MonitorError):
+            ResourceMonitor(Cluster.homogeneous(1), probe_overhead_s=-1.0)
+
+    def test_probe_counter(self):
+        mon = ResourceMonitor(Cluster.homogeneous(1))
+        assert mon.num_probes == 0
+        mon.probe_all()
+        mon.probe_all()
+        assert mon.num_probes == 2
+
+    def test_custom_overhead(self):
+        mon = ResourceMonitor(
+            Cluster.homogeneous(3),
+            probe_overhead_s=0.1,
+            aggregation_s_per_node=0.01,
+        )
+        assert mon.probe_all().overhead_seconds == pytest.approx(0.13)
+        with pytest.raises(MonitorError):
+            ResourceMonitor(Cluster.homogeneous(1), aggregation_s_per_node=-1)

@@ -1,0 +1,154 @@
+"""Tests for constrained box splitting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.base import default_work
+from repro.partition.splitting import SplitConstraints, split_to_target
+from repro.util.errors import PartitionError
+from repro.util.geometry import Box
+from tests.conftest import boxes
+
+
+class TestConstraints:
+    def test_defaults(self):
+        c = SplitConstraints()
+        assert c.min_box_size == 2
+        assert c.snap == 2
+        assert not c.allow_multi_axis
+
+    def test_guards(self):
+        with pytest.raises(PartitionError):
+            SplitConstraints(min_box_size=0)
+        with pytest.raises(PartitionError):
+            SplitConstraints(snap=0)
+
+
+class TestSplitToTarget:
+    def test_splits_along_longest_axis(self):
+        box = Box((0, 0), (16, 4))
+        out = split_to_target(box, 32.0, default_work)
+        assert out is not None
+        lo, rest = out
+        (hi,) = rest
+        assert lo.shape[1] == 4 and hi.shape[1] == 4  # y untouched
+        assert lo.num_cells + hi.num_cells == box.num_cells
+
+    def test_piece_work_near_target(self):
+        box = Box((0, 0), (16, 4))
+        out = split_to_target(box, 24.0, default_work)
+        lo, _ = out
+        # 24 work = 6 planes, snapped to 6 -> 24 exactly.
+        assert default_work(lo) == pytest.approx(24.0)
+
+    def test_snap_respected(self):
+        box = Box((0, 0), (16, 4))
+        out = split_to_target(
+            box, 20.0, default_work, SplitConstraints(snap=4)
+        )
+        lo, (hi,) = out
+        assert lo.upper[0] % 4 == 0
+
+    def test_min_size_enforced_both_sides(self):
+        box = Box((0, 0), (8, 4))
+        c = SplitConstraints(min_box_size=3, snap=1)
+        out = split_to_target(box, 1.0, default_work, c)  # tiny target
+        lo, (hi,) = out
+        assert lo.shape[0] >= 3 and hi.shape[0] >= 3
+
+    def test_unsplittable_returns_none(self):
+        box = Box((0, 0), (3, 3))
+        assert split_to_target(box, 1.0, default_work, SplitConstraints(2, 1)) is None
+
+    def test_aspect_ratio_does_not_grow_much(self):
+        """Cutting the longest axis keeps the result's aspect ratio bounded
+        by max(original ratio, 2x-ish)."""
+        box = Box((0, 0, 0), (32, 8, 8))
+        out = split_to_target(box, 1024.0, default_work)
+        lo, (hi,) = out
+        assert lo.aspect_ratio <= box.aspect_ratio
+        assert hi.aspect_ratio <= box.aspect_ratio
+
+    def test_level_weighted_work(self):
+        """Work functions weighting level are honoured (fine boxes split at
+        positions reflecting subcycled work)."""
+        box = Box((0, 0), (16, 4), level=1)
+        out = split_to_target(box, 64.0, default_work)  # work = cells * 2
+        lo, _ = out
+        assert default_work(lo) == pytest.approx(64.0)
+
+    def test_multi_axis_reaches_sub_plane_targets(self):
+        """Recursive multi-axis cuts produce pieces smaller than a single
+        snapped plane of the longest axis -- the 'finer granularity' of the
+        paper's future-work note."""
+        box = Box((0, 0), (16, 16))
+        c_single = SplitConstraints(min_box_size=2, snap=2)
+        c_multi = SplitConstraints(min_box_size=2, snap=2, allow_multi_axis=True)
+        target = 8.0  # half of one 2-cell-wide snapped slab (32 cells)
+        lo_s, rest_s = split_to_target(box, target, default_work, c_single)
+        lo_m, rest_m = split_to_target(box, target, default_work, c_multi)
+        assert default_work(lo_s) > target  # single cut cannot get there
+        assert abs(default_work(lo_m) - target) < abs(default_work(lo_s) - target)
+        # Everything still tiles the box exactly.
+        assert lo_m.num_cells + sum(b.num_cells for b in rest_m) == box.num_cells
+        assert len(rest_m) >= 2
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(PartitionError):
+            split_to_target(Box((0,), (8,)), -1.0, default_work)
+
+
+@settings(max_examples=200)
+@given(boxes(max_side=64), st.floats(0.01, 1.0))
+def test_split_invariants(box: Box, frac: float):
+    """Any successful split partitions the box, respects min sizes and
+    keeps both pieces inside the original."""
+    c = SplitConstraints(min_box_size=2, snap=2)
+    target = frac * default_work(box)
+    out = split_to_target(box, target, default_work, c)
+    if out is None:
+        # Only legitimate when every admissible cut is blocked.
+        assert box.shape[box.longest_axis] < 2 * c.min_box_size or (
+            c.snap > 1
+        )
+        return
+    lo, rest = out
+    pieces = [lo, *rest]
+    assert sum(b.num_cells for b in pieces) == box.num_cells
+    for b in pieces:
+        assert box.contains_box(b)
+        assert min(b.shape) >= min(c.min_box_size, min(box.shape))
+    from repro.util.geometry import BoxList
+    assert BoxList(pieces).is_disjoint()
+
+
+@settings(max_examples=200)
+@given(boxes(max_side=64), st.floats(0.01, 1.0))
+def test_multi_axis_split_invariants(box: Box, frac: float):
+    """Recursive multi-axis splitting still tiles the box exactly with
+    min-size-respecting disjoint pieces, and its piece is never further
+    from the target than the single-cut piece."""
+    from repro.util.geometry import BoxList
+
+    c1 = SplitConstraints(min_box_size=2, snap=2)
+    cm = SplitConstraints(min_box_size=2, snap=2, allow_multi_axis=True)
+    target = frac * default_work(box)
+    single = split_to_target(box, target, default_work, c1)
+    multi = split_to_target(box, target, default_work, cm)
+    assert (single is None) == (multi is None)
+    if multi is None:
+        return
+    lo_m, rest_m = multi
+    pieces = [lo_m, *rest_m]
+    assert sum(b.num_cells for b in pieces) == box.num_cells
+    assert BoxList(pieces).is_disjoint()
+    for b in pieces:
+        assert box.contains_box(b)
+        assert min(b.shape) >= min(cm.min_box_size, min(box.shape))
+    lo_s, _ = single
+    err_m = abs(default_work(lo_m) - target)
+    err_s = abs(default_work(lo_s) - target)
+    assert err_m <= err_s + 1e-9

@@ -1,0 +1,66 @@
+"""Tests for ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.charts import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart(
+            {"a": [1, 2, 3], "b": [3, 2, 1]},
+            title="t", x_label="x", y_label="y",
+        )
+        assert "t" in out
+        assert "o=a" in out and "x=b" in out
+        assert "y" in out
+        # Top label is the max, bottom the min.
+        first_grid_line = out.splitlines()[1]
+        assert first_grid_line.strip().startswith("3")
+
+    def test_extremes_plotted_at_edges(self):
+        out = line_chart({"s": [0.0, 10.0]}, width=20, height=5)
+        rows = out.splitlines()
+        assert rows[0].rstrip().endswith("o")  # max at top-right
+        assert rows[4].split("|")[1].startswith("o")  # min at bottom-left
+
+    def test_constant_series_ok(self):
+        out = line_chart({"c": [5, 5, 5]})
+        assert "o=c" in out
+
+    def test_custom_x(self):
+        out = line_chart({"s": [1, 2]}, x=[4, 32])
+        assert "4" in out and "32" in out
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1], "b": [1, 2]})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2]}, x=[1])
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart({"one": 1.0, "two": 2.0}, width=10, unit="s")
+        lines = out.splitlines()
+        assert lines[0].startswith("one")
+        assert lines[1].count("#") == 10  # max fills the width
+        assert lines[0].count("#") == 5
+        assert "1s" in lines[0]
+
+    def test_title(self):
+        assert bar_chart({"a": 1.0}, title="hello").startswith("hello")
+
+    def test_zero_values_ok(self):
+        out = bar_chart({"z": 0.0})
+        assert "#" in out  # minimum one tick
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})

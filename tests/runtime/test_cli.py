@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestList:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig7" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("key", ["fig8", "fig9", "fig10"])
+    def test_quick_figures(self, key, capsys):
+        assert main(["run", key, "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "regrid" in out
+
+    def test_quick_fig11(self, capsys):
+        assert main(["run", "fig11", "--quick"]) == 0
+        assert "Fig. 11" in capsys.readouterr().out
+
+    def test_quick_ablation_panel(self, capsys):
+        assert main(["run", "ablation-panel", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "ACEHeterogeneous" in out and "SFCHybrid" in out
+
+    def test_quick_ablation_multiaxis(self, capsys):
+        assert main(["run", "ablation-multiaxis", "--quick"]) == 0
+        assert "longest-axis" in capsys.readouterr().out
+
+    def test_quick_ablation_forecasters(self, capsys):
+        assert main(["run", "ablation-forecasters", "--quick"]) == 0
+        assert "MAE" in capsys.readouterr().out
+
+    def test_quick_sweep_heterogeneity(self, capsys):
+        assert main(["run", "sweep-heterogeneity", "--quick"]) == 0
+        assert "improvement vs load level" in capsys.readouterr().out
+
+    def test_quick_sweep_probe_cost(self, capsys):
+        assert main(["run", "sweep-probe-cost", "--quick"]) == 0
+        assert "probe" in capsys.readouterr().out

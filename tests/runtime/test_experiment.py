@@ -1,0 +1,103 @@
+"""Tests for the experiment builders and reporting (small configurations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import experiment as ex
+from repro.runtime import reporting as rep
+from repro.util.errors import ExperimentError
+
+
+class TestRegistry:
+    def test_make_partitioner(self):
+        assert ex.make_partitioner("heterogeneous").name == "ACEHeterogeneous"
+        assert ex.make_partitioner("composite").name == "ACEComposite"
+        assert ex.make_partitioner("hybrid").name == "SFCHybrid"
+        assert ex.make_partitioner("greedy").name == "GreedyLPT"
+        assert ex.make_partitioner("graph").name == "GraphPartitioner"
+        with pytest.raises(ExperimentError):
+            ex.make_partitioner("magic")
+
+
+class TestFig7Table1:
+    def test_shape_and_report(self):
+        data = ex.execution_time_comparison(
+            processor_counts=(4, 8), iterations=10, seeds=(7,)
+        )
+        assert [r["procs"] for r in data["rows"]] == [4, 8]
+        for row in data["rows"]:
+            assert row["system_sensitive_s"] > 0
+            assert row["default_s"] > 0
+        # System-sensitive wins on the loaded cluster.
+        assert all(r["improvement_pct"] > 0 for r in data["rows"])
+        text = rep.format_fig7_table1(data)
+        assert "Fig. 7" in text and "improvement" in text
+
+
+class TestFigs8To10:
+    def test_default_assigns_equally(self):
+        data = ex.load_assignment_tracking("composite", num_regrids=3)
+        loads = np.asarray(data["loads"])
+        shares = loads / loads.sum(axis=1, keepdims=True)
+        np.testing.assert_allclose(shares, 0.25, atol=0.03)
+
+    def test_heterogeneous_tracks_capacities(self):
+        data = ex.load_assignment_tracking("heterogeneous", num_regrids=3)
+        loads = np.asarray(data["loads"])
+        shares = loads / loads.sum(axis=1, keepdims=True)
+        caps = np.asarray(data["capacities"])
+        np.testing.assert_allclose(
+            shares, np.tile(caps, (len(loads), 1)), atol=0.04
+        )
+        np.testing.assert_allclose(caps, ex.PAPER_CAPACITIES, atol=0.01)
+
+    def test_imbalance_comparison_gap(self):
+        data = ex.imbalance_comparison(num_regrids=3)
+        assert (data["default"] > data["system_sensitive"]).all()
+        assert data["system_sensitive"].max() < 40.0
+        text = rep.format_imbalance(data)
+        assert "Fig. 10" in text
+
+    def test_reports_render(self):
+        for name in ("composite", "heterogeneous"):
+            text = rep.format_load_assignment(
+                ex.load_assignment_tracking(name, num_regrids=2)
+            )
+            assert "work-load assignment" in text
+
+
+class TestDynamicExperiments:
+    def test_dynamic_allocation_trace(self):
+        data = ex.dynamic_allocation_trace(num_sensings=2, iterations=20)
+        assert len(data["iterations"]) >= 4
+        caps = np.array([c for c in data["capacities"]])
+        # Capacities change at least once during the run.
+        assert not np.allclose(caps.min(axis=0), caps.max(axis=0))
+        text = rep.format_dynamic_allocation(data)
+        assert "Fig. 11" in text
+
+    def test_dynamic_vs_static_sensing_small(self):
+        data = ex.dynamic_vs_static_sensing(
+            processor_counts=(4,), iterations=60, seeds=(5,)
+        )
+        row = data["rows"][0]
+        assert row["once_s"] > row["dynamic_s"]
+        assert "Table II" in rep.format_table2(data)
+
+    def test_sensing_frequency_sweep_small(self):
+        data = ex.sensing_frequency_sweep(
+            frequencies=(10, 40), iterations=60, seeds=(5,)
+        )
+        assert len(data["rows"]) == 2
+        assert all(r["seconds"] > 0 for r in data["rows"])
+        assert "Table III" in rep.format_table3(data)
+
+    def test_sensing_frequency_traces_small(self):
+        data = ex.sensing_frequency_traces(
+            frequencies=(10, 20), iterations=40
+        )
+        assert set(data["traces"]) == {10, 20}
+        text = rep.format_frequency_traces(data)
+        assert "Fig. 12" in text and "Fig. 13" in text

@@ -1,0 +1,120 @@
+"""Tests for the execution-time model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, NodeSpec, SyntheticLoadGenerator
+from repro.runtime.timemodel import TimeModel
+from repro.util.errors import SimulationError
+
+
+class TestIterationCost:
+    def test_compute_scales_with_load_and_speed(self):
+        c = Cluster.homogeneous(2)
+        tm = TimeModel(c, seconds_per_work_unit=1e-3)
+        cost = tm.iteration_cost(np.array([1000.0, 2000.0]), {})
+        assert cost.compute[1] == pytest.approx(2 * cost.compute[0])
+        assert cost.compute[0] == pytest.approx(1000 * 1e-3 / 0.97)
+
+    def test_loaded_node_slows_down(self):
+        c = Cluster.homogeneous(2)
+        c.add_load_generator(
+            SyntheticLoadGenerator(node=0, ramp_rate=10.0, target_level=1.0)
+        )
+        c.clock.advance(5.0)
+        tm = TimeModel(c, seconds_per_work_unit=1e-3)
+        cost = tm.iteration_cost(np.array([1000.0, 1000.0]), {})
+        assert cost.compute[0] == pytest.approx(2 * cost.compute[1])
+
+    def test_total_is_max_plus_sync(self):
+        c = Cluster.homogeneous(4)
+        tm = TimeModel(c, seconds_per_work_unit=1e-3)
+        cost = tm.iteration_cost(np.array([100.0, 400.0, 200.0, 300.0]), {})
+        assert cost.total == pytest.approx(
+            float((cost.compute + cost.comm).max()) + cost.sync
+        )
+        assert cost.sync > 0  # 4 ranks -> log-tree reduction costs something
+
+    def test_comm_included(self):
+        c = Cluster.homogeneous(2)
+        tm = TimeModel(c, seconds_per_work_unit=1e-9)
+        quiet = tm.iteration_cost(np.array([1.0, 1.0]), {})
+        chatty = TimeModel(c, seconds_per_work_unit=1e-9).iteration_cost(
+            np.array([1.0, 1.0]), {(0, 1): 1e7}
+        )
+        assert chatty.total > quiet.total
+
+    def test_guards(self):
+        c = Cluster.homogeneous(2)
+        with pytest.raises(SimulationError):
+            TimeModel(c, seconds_per_work_unit=0.0)
+        tm = TimeModel(c)
+        with pytest.raises(SimulationError):
+            tm.iteration_cost(np.array([1.0]), {})
+        with pytest.raises(SimulationError):
+            tm.iteration_cost(np.array([-1.0, 1.0]), {})
+
+    def test_migration_cost(self):
+        c = Cluster.homogeneous(2)
+        tm = TimeModel(c)
+        assert tm.migration_cost({}) == 0.0
+        t = tm.migration_cost({(0, 1): int(12.5e6)})
+        assert t == pytest.approx(1.0, rel=0.01)  # 12.5 MB at 100 Mbit/s
+
+
+class TestPerLevelCost:
+    def test_balanced_levels_match_bulk(self):
+        """When every level is perfectly balanced, per-level sync costs the
+        same compute as bulk (just more sync rounds)."""
+        c = Cluster.homogeneous(2)
+        tm = TimeModel(c, seconds_per_work_unit=1e-3)
+        level_loads = np.array([[100.0, 100.0], [400.0, 400.0]])
+        bulk = tm.iteration_cost(level_loads.sum(axis=0), {})
+        per = tm.iteration_cost_per_level(level_loads, np.array([1, 2]), {})
+        assert per.total - per.sync == pytest.approx(
+            bulk.total - bulk.sync, rel=1e-9
+        )
+
+    def test_level_imbalance_punished(self):
+        """Equal totals but skewed levels: per-level sync is slower."""
+        c = Cluster.homogeneous(2)
+        tm = TimeModel(c, seconds_per_work_unit=1e-3)
+        # Rank 0 does all of level 0, rank 1 all of level 1; totals equal.
+        skewed = np.array([[400.0, 0.0], [0.0, 400.0]])
+        balanced = np.array([[200.0, 200.0], [200.0, 200.0]])
+        subs = np.array([1, 2])
+        t_skew = tm.iteration_cost_per_level(skewed, subs, {}).total
+        t_bal = tm.iteration_cost_per_level(balanced, subs, {}).total
+        assert t_skew > 1.5 * t_bal
+        # Bulk sync would not see the difference.
+        b_skew = tm.iteration_cost(skewed.sum(axis=0), {}).total
+        b_bal = tm.iteration_cost(balanced.sum(axis=0), {}).total
+        assert b_skew == pytest.approx(b_bal)
+
+    def test_guards(self):
+        c = Cluster.homogeneous(2)
+        tm = TimeModel(c)
+        with pytest.raises(SimulationError):
+            tm.iteration_cost_per_level(np.zeros((2, 3)), np.array([1, 2]), {})
+        with pytest.raises(SimulationError):
+            tm.iteration_cost_per_level(
+                np.full((1, 2), -1.0), np.array([1]), {}
+            )
+        with pytest.raises(SimulationError):
+            tm.iteration_cost_per_level(
+                np.ones((2, 2)), np.array([1]), {}
+            )
+        with pytest.raises(SimulationError):
+            tm.iteration_cost_per_level(
+                np.ones((1, 2)), np.array([0]), {}
+            )
+
+
+class TestSyncModeConfig:
+    def test_bad_sync_mode_rejected(self):
+        from repro.runtime import RuntimeConfig
+
+        with pytest.raises(SimulationError):
+            RuntimeConfig(sync_mode="chaotic")

@@ -1,0 +1,99 @@
+"""Tests for the Local Defect Correction composite-grid solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers.ldc import LocalDefectCorrection
+from repro.solvers.multigrid import MultigridError, PoissonMultigrid
+from repro.util.geometry import Box
+
+N = 32
+DX = 1.0 / N
+PATCH = Box((8, 8), (24, 24))
+SIGMA2 = 0.03**2
+
+
+def exact(X, Y):
+    return np.exp(-((X - 0.5) ** 2 + (Y - 0.5) ** 2) / (2 * SIGMA2))
+
+
+def rhs(X, Y):
+    r2 = (X - 0.5) ** 2 + (Y - 0.5) ** 2
+    g = np.exp(-r2 / (2 * SIGMA2))
+    return -g * (r2 / SIGMA2**2 - 2 / SIGMA2)
+
+
+def grids(factor: int):
+    xc = (np.arange(N) + 0.5) * DX
+    Xc, Yc = np.meshgrid(xc, xc, indexing="ij")
+    nf = PATCH.shape[0] * factor
+    xf = (PATCH.lower[0] + (np.arange(nf) + 0.5) / factor) * DX
+    Xf, Yf = np.meshgrid(xf, xf, indexing="ij")
+    return (Xc, Yc), (Xf, Yf)
+
+
+class TestConstruction:
+    def test_guards(self):
+        with pytest.raises(MultigridError):
+            LocalDefectCorrection((N,), PATCH)  # ndim mismatch
+        with pytest.raises(MultigridError):
+            LocalDefectCorrection((N, N), Box((0, 8), (24, 24)))  # touches edge
+        with pytest.raises(MultigridError):
+            LocalDefectCorrection((16, 16), Box((4, 4), (40, 40)))  # outside
+        with pytest.raises(MultigridError):
+            LocalDefectCorrection((N, N), PATCH, factor=1)
+
+    def test_rhs_shapes_checked(self):
+        ldc = LocalDefectCorrection((N, N), PATCH, dx=DX)
+        with pytest.raises(MultigridError):
+            ldc.solve(np.zeros((N, N)), np.zeros((4, 4)))
+        with pytest.raises(MultigridError):
+            ldc.solve(np.zeros((4, 4)), np.zeros(ldc.fine_shape))
+
+
+class TestAccuracy:
+    def test_iteration_contracts(self):
+        (Xc, Yc), (Xf, Yf) = grids(4)
+        ldc = LocalDefectCorrection((N, N), PATCH, dx=DX, factor=4)
+        _, _, info = ldc.solve(rhs(Xc, Yc), rhs(Xf, Yf), iterations=6)
+        changes = info["changes"][1:]  # first step is the initial solve
+        for a, b in zip(changes, changes[1:]):
+            assert b < 0.7 * a
+
+    def test_beats_coarse_only_on_local_feature(self):
+        """The whole point of the composite solve: a sharp local feature is
+        resolved far better than the global coarse grid can."""
+        (Xc, Yc), (Xf, Yf) = grids(4)
+        ldc = LocalDefectCorrection((N, N), PATCH, dx=DX, factor=4)
+        _, u_fine, _ = ldc.solve(rhs(Xc, Yc), rhs(Xf, Yf), iterations=8)
+        coarse_only, _ = PoissonMultigrid((N, N), dx=DX).solve(
+            rhs(Xc, Yc), tol=1e-11
+        )
+        sl = tuple(slice(l, u) for l, u in zip(PATCH.lower, PATCH.upper))
+        err_coarse = np.abs(coarse_only[sl] - exact(Xc, Yc)[sl]).max()
+        err_ldc = np.abs(u_fine - exact(Xf, Yf)).max()
+        assert err_ldc < 0.2 * err_coarse
+
+    def test_composite_consistency(self):
+        """The coarse solution under the patch equals the restricted fine
+        solution (the defect-correction fixed point)."""
+        (Xc, Yc), (Xf, Yf) = grids(2)
+        ldc = LocalDefectCorrection((N, N), PATCH, dx=DX, factor=2)
+        u_coarse, u_fine, _ = ldc.solve(
+            rhs(Xc, Yc), rhs(Xf, Yf), iterations=8
+        )
+        sl = tuple(slice(l, u) for l, u in zip(PATCH.lower, PATCH.upper))
+        restricted = ldc._restrict(u_fine, 2)
+        np.testing.assert_allclose(
+            u_coarse[sl], restricted, atol=5e-4
+        )
+
+    def test_zero_rhs_gives_zero(self):
+        ldc = LocalDefectCorrection((16, 16), Box((4, 4), (12, 12)), dx=1.0 / 16)
+        uc, uf, _ = ldc.solve(
+            np.zeros((16, 16)), np.zeros(ldc.fine_shape), iterations=3
+        )
+        np.testing.assert_allclose(uc, 0.0, atol=1e-12)
+        np.testing.assert_allclose(uf, 0.0, atol=1e-12)

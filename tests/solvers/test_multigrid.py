@@ -1,0 +1,119 @@
+"""Tests for the geometric multigrid Poisson solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers import PoissonMultigrid
+from repro.solvers.multigrid import MultigridError
+
+
+def manufactured_2d(n: int):
+    """u = sin(pi x) sin(pi y) on [0,1]^2, f = 2 pi^2 u, u=0 on boundary."""
+    dx = 1.0 / n
+    x = (np.arange(n) + 0.5) * dx
+    X, Y = np.meshgrid(x, x, indexing="ij")
+    u = np.sin(np.pi * X) * np.sin(np.pi * Y)
+    return u, 2 * np.pi**2 * u, dx
+
+
+class TestConstruction:
+    def test_level_hierarchy(self):
+        mg = PoissonMultigrid((64, 64), dx=1.0 / 64)
+        assert mg.num_levels == 6
+        assert mg.level_shapes[-1] == (2, 2)
+
+    def test_non_power_of_two_stops_early(self):
+        mg = PoissonMultigrid((12, 12))
+        assert mg.level_shapes == [(12, 12), (6, 6), (3, 3)][: mg.num_levels]
+
+    def test_guards(self):
+        with pytest.raises(MultigridError):
+            PoissonMultigrid((0, 4))
+        with pytest.raises(MultigridError):
+            PoissonMultigrid((4, 4, 4, 4))
+        with pytest.raises(MultigridError):
+            PoissonMultigrid((4, 4), dx=0.0)
+        with pytest.raises(MultigridError):
+            PoissonMultigrid((4, 4), coarse_sweeps=0)
+
+    def test_rhs_shape_checked(self):
+        mg = PoissonMultigrid((8, 8))
+        with pytest.raises(MultigridError):
+            mg.solve(np.zeros((4, 4)))
+        with pytest.raises(MultigridError):
+            mg.solve(np.zeros((8, 8)), u0=np.zeros((4, 4)))
+
+
+class TestConvergence:
+    def test_manufactured_solution_2d(self):
+        u_exact, f, dx = manufactured_2d(64)
+        mg = PoissonMultigrid((64, 64), dx=dx)
+        u, info = mg.solve(f, tol=1e-10)
+        assert info["converged"]
+        # Discretization error of the 5-point stencil is O(dx^2).
+        assert np.abs(u - u_exact).max() < 5 * dx**2
+
+    def test_vcycle_contraction(self):
+        """Residual shrinks by a healthy multigrid factor each cycle."""
+        _, f, dx = manufactured_2d(64)
+        mg = PoissonMultigrid((64, 64), dx=dx)
+        _, info = mg.solve(f, tol=0.0, max_cycles=6)
+        res = info["residuals"]
+        for a, b in zip(res[1:], res[2:]):
+            assert b < 0.3 * a
+
+    def test_grid_convergence_order(self):
+        """Halving dx quarters the solution error (2nd order)."""
+        errs = []
+        for n in (16, 32, 64):
+            u_exact, f, dx = manufactured_2d(n)
+            u, _ = PoissonMultigrid((n, n), dx=dx).solve(f, tol=1e-11)
+            errs.append(np.abs(u - u_exact).max())
+        assert errs[0] / errs[1] > 3.0
+        assert errs[1] / errs[2] > 3.0
+
+    def test_1d(self):
+        n = 128
+        dx = 1.0 / n
+        x = (np.arange(n) + 0.5) * dx
+        u_exact = np.sin(np.pi * x)
+        f = np.pi**2 * u_exact
+        u, info = PoissonMultigrid((n,), dx=dx).solve(f, tol=1e-10)
+        assert info["converged"]
+        assert np.abs(u - u_exact).max() < 5 * dx**2
+
+    def test_3d(self):
+        n = 16
+        dx = 1.0 / n
+        x = (np.arange(n) + 0.5) * dx
+        X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+        u_exact = (
+            np.sin(np.pi * X) * np.sin(np.pi * Y) * np.sin(np.pi * Z)
+        )
+        f = 3 * np.pi**2 * u_exact
+        u, info = PoissonMultigrid((n, n, n), dx=dx).solve(f, tol=1e-9)
+        assert info["converged"]
+        assert np.abs(u - u_exact).max() < 10 * dx**2
+
+    def test_zero_rhs_zero_solution(self):
+        mg = PoissonMultigrid((16, 16))
+        u, info = mg.solve(np.zeros((16, 16)))
+        np.testing.assert_allclose(u, 0.0)
+        assert info["cycles"] == 0
+
+    def test_warm_start(self):
+        u_exact, f, dx = manufactured_2d(32)
+        mg = PoissonMultigrid((32, 32), dx=dx)
+        u1, info_cold = mg.solve(f, tol=1e-9)
+        _, info_warm = mg.solve(f, tol=1e-9, u0=u1)
+        assert info_warm["cycles"] < info_cold["cycles"]
+
+    def test_residual_operator(self):
+        """residual(u_exact_discrete) is ~0 for the discrete solution."""
+        u_exact, f, dx = manufactured_2d(32)
+        mg = PoissonMultigrid((32, 32), dx=dx)
+        u, _ = mg.solve(f, tol=1e-12, max_cycles=60)
+        r = mg.residual(u, f, dx)
+        assert np.abs(r).max() < 1e-9 * np.abs(f).max()
