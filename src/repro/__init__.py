@@ -20,7 +20,11 @@ Runtime Partitioning of AMR Applications on Heterogeneous Clusters*
   ACEHeterogeneous (system-sensitive) and ACEComposite (default baseline);
 - the **adaptive runtime** (:mod:`repro.runtime`) wiring it all into the
   sense -> capacity -> partition -> execute loop, plus experiment builders
-  for every table and figure in the paper.
+  for every table and figure in the paper;
+- a **telemetry subsystem** (:mod:`repro.telemetry`): structured phase
+  tracing over wall and simulated clocks, a metrics registry, and
+  exporters to JSONL / Chrome trace-event (Perfetto) / flat summaries --
+  no-op by default, enabled per run or via ``repro trace``.
 
 Quickstart::
 
@@ -70,6 +74,13 @@ from repro.partition import (
     makespan_estimate,
 )
 from repro.runtime import RunResult, RuntimeConfig, SamrRuntime
+from repro.telemetry import (
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    activate,
+)
 from repro.util import Box, BoxList, ReproError
 
 __version__ = "1.0.0"
@@ -115,5 +126,11 @@ __all__ = [
     "SamrRuntime",
     "RuntimeConfig",
     "RunResult",
+    # telemetry
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "activate",
     "__version__",
 ]

@@ -6,6 +6,12 @@ Usage::
     python -m repro run fig7             # regenerate Fig. 7 / Table I
     python -m repro run table2 --quick   # smaller configuration
     python -m repro run all              # everything (takes a few minutes)
+    python -m repro trace fig7           # run instrumented, export traces
+
+``trace`` runs one experiment under an enabled telemetry tracer and writes
+three artifacts to ``--out-dir`` (default ``traces/``): a Chrome
+trace-event JSON loadable in Perfetto (one track per simulated rank), a
+JSONL span/event log, and a JSON metrics summary.
 
 Each experiment prints the same rows/series the paper reports, produced by
 the corresponding builder in :mod:`repro.runtime.experiment` /
@@ -16,11 +22,20 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable
 
 from repro.runtime import ablation as ab
 from repro.runtime import experiment as ex
 from repro.runtime import reporting as rep
+from repro.telemetry import (
+    Tracer,
+    activate,
+    aggregate_phases,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_json,
+)
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -193,6 +208,47 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], str]]] = {
 }
 
 
+def _run_traced(experiment: str, quick: bool, out_dir: str) -> int:
+    """Run one experiment instrumented; write trace + metrics artifacts."""
+    try:
+        _, fn = EXPERIMENTS[experiment]
+    except KeyError:
+        print(
+            f"unknown experiment {experiment!r}; "
+            f"try: {', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    tracer = Tracer()
+    with activate(tracer):
+        print(fn(quick))
+    trace_path = out / f"{experiment}.trace.json"
+    events_path = out / f"{experiment}.events.jsonl"
+    metrics_path = out / f"{experiment}.metrics.json"
+    write_chrome_trace(tracer, trace_path)
+    write_jsonl(tracer, events_path)
+    write_metrics_json(tracer, metrics_path)
+    phases = aggregate_phases(tracer)
+    print()
+    print(
+        f"telemetry: {len(tracer.spans)} spans, {len(tracer.events)} events, "
+        f"{len(tracer.run_labels)} traced runs"
+    )
+    for name in sorted(phases, key=lambda n: -phases[n]["sim_seconds"]):
+        agg = phases[name]
+        print(
+            f"  {name:>16}: {agg['count']:5.0f} spans, "
+            f"{agg['sim_seconds']:10.2f} sim s, "
+            f"{agg['wall_seconds']:8.3f} wall s"
+        )
+    print(f"chrome trace (Perfetto-loadable): {trace_path}")
+    print(f"event log (JSONL):                {events_path}")
+    print(f"metrics summary (JSON):           {metrics_path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -205,6 +261,19 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument(
         "--quick", action="store_true",
         help="smaller configuration (fewer seeds/iterations)",
+    )
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment instrumented; export trace + metrics",
+    )
+    trace.add_argument("experiment", help="experiment id from 'list'")
+    trace.add_argument(
+        "--quick", action="store_true",
+        help="smaller configuration (fewer seeds/iterations)",
+    )
+    trace.add_argument(
+        "--out-dir", default="traces",
+        help="directory for trace artifacts (default: traces/)",
     )
     args = parser.parse_args(argv)
 
@@ -237,6 +306,9 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         print(fn(args.quick))
         return 0
+
+    if args.command == "trace":
+        return _run_traced(args.experiment, args.quick, args.out_dir)
     return 2
 
 

@@ -28,6 +28,7 @@ from repro.cluster.events import SimClock
 from repro.cluster.loadgen import SyntheticLoadGenerator, cpu_share_under_load
 from repro.cluster.network import LinkModel
 from repro.cluster.node import NodeSpec, NodeState
+from repro.telemetry.spans import NULL_TRACER
 from repro.util.errors import SimulationError
 from repro.util.rng import make_rng
 
@@ -62,6 +63,7 @@ class Cluster:
             raise SimulationError("a cluster needs at least one node")
         self.link = link if link is not None else LinkModel()
         self.clock = SimClock()
+        self.tracer = NULL_TRACER
         self._generators: list[SyntheticLoadGenerator] = []
         for g in load_generators:
             self.add_load_generator(g)
@@ -71,6 +73,31 @@ class Cluster:
     def num_nodes(self) -> int:
         return len(self.nodes)
 
+    def attach_tracer(self, tracer) -> None:
+        """Route cluster topology/load events onto ``tracer``.
+
+        Emits one ``cluster`` event describing the static topology and one
+        ``load_generator`` event per already-attached generator; generators
+        added later emit their event at attach time.
+        """
+        self.tracer = tracer
+        tracer.event(
+            "cluster",
+            num_nodes=self.num_nodes,
+            num_load_generators=len(self._generators),
+            nodes=[spec.name for spec in self.nodes],
+        )
+        for g in self._generators:
+            self._trace_generator(g)
+
+    def _trace_generator(self, gen: SyntheticLoadGenerator) -> None:
+        self.tracer.event(
+            "load_generator",
+            node=gen.node,
+            start_time=gen.start_time,
+            target_level=gen.target_level,
+        )
+
     def add_load_generator(self, gen: SyntheticLoadGenerator) -> None:
         if not 0 <= gen.node < self.num_nodes:
             raise SimulationError(
@@ -78,6 +105,8 @@ class Cluster:
                 f"{self.num_nodes} nodes"
             )
         self._generators.append(gen)
+        if self.tracer.enabled:
+            self._trace_generator(gen)
 
     @property
     def load_generators(self) -> tuple[SyntheticLoadGenerator, ...]:

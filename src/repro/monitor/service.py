@@ -24,6 +24,7 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.monitor.forecasting import Forecaster, make_forecaster
 from repro.monitor.sensors import METRICS, MetricSensor
+from repro.telemetry.spans import NULL_TRACER
 from repro.util.errors import MonitorError
 
 __all__ = ["MonitorSnapshot", "ResourceMonitor"]
@@ -78,6 +79,9 @@ class ResourceMonitor:
         ``last | mean | median | ar | adaptive``.
     seed:
         Base seed for sensor noise streams.
+    tracer:
+        Telemetry sink for probe spans (no-op by default; the runtime
+        attaches its tracer when tracing is enabled).
     """
 
     def __init__(
@@ -89,6 +93,7 @@ class ResourceMonitor:
         failure_rate: float = 0.0,
         forecaster: str = "last",
         seed: int = 0,
+        tracer=NULL_TRACER,
     ):
         if probe_overhead_s < 0:
             raise MonitorError(f"negative probe overhead {probe_overhead_s}")
@@ -100,6 +105,7 @@ class ResourceMonitor:
         self.probe_overhead_s = probe_overhead_s
         self.aggregation_s_per_node = aggregation_s_per_node
         self.forecaster_kind = forecaster
+        self.tracer = tracer
         self._sensors = {
             metric: MetricSensor(
                 cluster, metric, noise=noise, failure_rate=failure_rate,
@@ -158,19 +164,29 @@ class ResourceMonitor:
         keeps the monitor reusable for pure observation in tests.
         """
         when = self.cluster.clock.now if t is None else t
-        stale: set[int] = set()
-        cpu = self._probe_metric("cpu", t, stale)
-        mem = self._probe_metric("memory", t, stale)
-        bw = self._probe_metric("bandwidth", t, stale)
-        self.num_probes += 1
-        return MonitorSnapshot(
-            time=when,
-            cpu=cpu,
-            memory_mb=mem,
-            bandwidth_mbps=bw,
-            overhead_seconds=self.sweep_overhead_seconds(),
-            stale_nodes=tuple(sorted(stale)),
-        )
+        with self.tracer.span(
+            "probe", num_nodes=self.cluster.num_nodes
+        ) as span:
+            stale: set[int] = set()
+            cpu = self._probe_metric("cpu", t, stale)
+            mem = self._probe_metric("memory", t, stale)
+            bw = self._probe_metric("bandwidth", t, stale)
+            self.num_probes += 1
+            snapshot = MonitorSnapshot(
+                time=when,
+                cpu=cpu,
+                memory_mb=mem,
+                bandwidth_mbps=bw,
+                overhead_seconds=self.sweep_overhead_seconds(),
+                stale_nodes=tuple(sorted(stale)),
+            )
+            span.set(
+                overhead_seconds=snapshot.overhead_seconds,
+                num_stale=len(stale),
+            )
+        if self.tracer.enabled and stale:
+            self.tracer.metrics.counter("probe_failures").inc(len(stale))
+        return snapshot
 
     def forecast_all(self, t: float | None = None) -> MonitorSnapshot:
         """Forecast every metric from history (requires >= 1 prior probe).

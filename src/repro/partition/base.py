@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import abc
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.telemetry.spans import NULL_TRACER
 from repro.util.errors import PartitionError
 from repro.util.geometry import Box, BoxList
 
@@ -85,12 +87,64 @@ class PartitionResult:
             raise PartitionError("assignment produced overlapping boxes")
 
 
+def _traced_partition(impl: Callable) -> Callable:
+    """Wrap a subclass's ``partition`` in a telemetry span.
+
+    With the default :data:`~repro.telemetry.spans.NULL_TRACER` the wrapper
+    costs one attribute lookup and one no-op call; with an enabled tracer
+    every partition call -- including inner calls made by composite
+    partitioners -- records its wall time, box/split counts and realized
+    makespan of the decomposition.
+    """
+
+    @functools.wraps(impl)
+    def partition(self, boxes, capacities, work_of=None):
+        tracer = self.tracer
+        if not tracer.enabled:
+            return impl(self, boxes, capacities, work_of)
+        with tracer.span(
+            "partition", partitioner=self.name, num_boxes=len(boxes)
+        ) as span:
+            result = impl(self, boxes, capacities, work_of)
+            span.set(
+                num_assigned=len(result.assignment),
+                num_splits=result.num_splits,
+                num_ranks=result.num_ranks,
+            )
+        metrics = tracer.metrics
+        metrics.counter("partition_calls", partitioner=self.name).inc()
+        if result.num_splits:
+            metrics.counter("boxes_split").inc(result.num_splits)
+            tracer.event(
+                "split", partitioner=self.name, count=result.num_splits
+            )
+        return result
+
+    partition._telemetry_wrapped = True  # type: ignore[attr-defined]
+    return partition
+
+
 class Partitioner(abc.ABC):
     """Common interface: distribute a bounding-box list over ranks with
-    given relative capacities."""
+    given relative capacities.
+
+    Subclasses implement :meth:`partition`; the base class transparently
+    wraps each implementation in a telemetry span driven by the
+    partitioner's ``tracer`` attribute (the shared no-op tracer unless the
+    runtime attaches a real one).
+    """
 
     #: human-readable name used in experiment reports
     name: str = "abstract"
+
+    #: telemetry sink; the runtime replaces this when tracing is enabled
+    tracer = NULL_TRACER
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        impl = cls.__dict__.get("partition")
+        if impl is not None and not getattr(impl, "_telemetry_wrapped", False):
+            cls.partition = _traced_partition(impl)
 
     @abc.abstractmethod
     def partition(
@@ -104,6 +158,24 @@ class Partitioner(abc.ABC):
         ``capacities`` are relative (summing to ~1); ``work_of`` defaults to
         :func:`default_work`.
         """
+
+    def set_tracer(self, tracer) -> None:
+        """Attach ``tracer`` to this partitioner and nested partitioners.
+
+        Composite schemes (levelwise, hybrid) delegate to inner
+        partitioners held as attributes; walking ``vars(self)`` attaches
+        the tracer to the whole tree so inner partition calls show up as
+        nested spans.
+        """
+        self.tracer = tracer
+        for value in vars(self).values():
+            if isinstance(value, Partitioner):
+                value.set_tracer(tracer)
+            elif isinstance(value, (list, tuple, dict)):
+                items = value.values() if isinstance(value, dict) else value
+                for item in items:
+                    if isinstance(item, Partitioner):
+                        item.set_tracer(tracer)
 
     @staticmethod
     def _check_inputs(

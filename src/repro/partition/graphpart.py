@@ -27,7 +27,6 @@ from __future__ import annotations
 from typing import Sequence
 
 import networkx as nx
-import numpy as np
 
 from repro.partition.base import (
     Partitioner,

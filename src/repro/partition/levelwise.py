@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from repro.partition.base import (
     Partitioner,

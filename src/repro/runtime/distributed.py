@@ -37,6 +37,7 @@ from repro.partition.base import Partitioner
 from repro.partition.capacity import CapacityCalculator
 from repro.partition.metrics import redistribution_volume
 from repro.runtime.timemodel import TimeModel
+from repro.telemetry.spans import NullTracer, Tracer, get_active_tracer
 from repro.util.errors import SimulationError
 from repro.util.geometry import Box, BoxList
 
@@ -102,6 +103,7 @@ class DistributedAmrRun:
         config: DistributedRunConfig | None = None,
         regrid_params: RegridParams | None = None,
         time_model: TimeModel | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ):
         self.hierarchy = hierarchy
         self.cluster = cluster
@@ -110,6 +112,10 @@ class DistributedAmrRun:
         self.capacity = capacity_calculator or CapacityCalculator()
         self.config = config or DistributedRunConfig()
         self.time_model = time_model or TimeModel(cluster)
+        self.tracer = tracer if tracer is not None else get_active_tracer()
+        if self.tracer.enabled:
+            self.partitioner.set_tracer(self.tracer)
+            self.monitor.tracer = self.tracer
         self.integrator = BergerOligerIntegrator(
             hierarchy,
             cfl=self.config.cfl,
@@ -143,9 +149,21 @@ class DistributedAmrRun:
 
     # ------------------------------------------------------------------
     def _sense(self) -> None:
-        snapshot = self.monitor.probe_all()
-        self.cluster.clock.advance(snapshot.overhead_seconds)
-        self._capacities = self.capacity.relative_capacities(snapshot)
+        with self.tracer.span("sense") as span:
+            snapshot = self.monitor.probe_all()
+            self.cluster.clock.advance(snapshot.overhead_seconds)
+            with self.tracer.span("capacity"):
+                self._capacities = self.capacity.relative_capacities(snapshot)
+            span.set(
+                overhead_seconds=snapshot.overhead_seconds,
+                capacities=self._capacities,
+            )
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            metrics.counter("num_sensings").inc()
+            metrics.counter("probe_cost_seconds").inc(
+                snapshot.overhead_seconds
+            )
         result = self._result
         if result is not None:
             result.sensing_seconds += snapshot.overhead_seconds
@@ -166,13 +184,23 @@ class DistributedAmrRun:
             by_level.setdefault(box.level, []).append(box)
         for level in sorted(by_level):
             hierarchy.repatch_level(level, BoxList(by_level[level]))
-        # Price the data migration (cell-owner diff vs previous assignment).
-        moved = redistribution_volume(
-            self._assignment, part.assignment, self.bytes_per_cell
-        )
-        migration = self.time_model.migration_cost(moved)
-        self.cluster.clock.advance(migration)
-        self._assignment = part.assignment
+        with self.tracer.span("migrate") as span:
+            # Price the data migration (cell-owner diff vs previous
+            # assignment).
+            moved = redistribution_volume(
+                self._assignment, part.assignment, self.bytes_per_cell
+            )
+            migration = self.time_model.migration_cost(moved)
+            self.cluster.clock.advance(migration)
+            self._assignment = part.assignment
+            span.set(
+                bytes=int(sum(moved.values())), sim_seconds=migration
+            )
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            metrics.counter("num_repartitions").inc()
+            metrics.counter("migration_bytes").inc(int(sum(moved.values())))
+            metrics.counter("migration_seconds").inc(migration)
         result = self._result
         if result is not None:
             result.migration_seconds += migration
@@ -182,30 +210,80 @@ class DistributedAmrRun:
     # ------------------------------------------------------------------
     def run(self) -> DistributedRunResult:
         """Set up and execute ``config.steps`` coarse steps."""
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.begin_run(
+                f"DistributedAmrRun[{self.partitioner.name}]",
+                sim_clock=lambda: self.cluster.clock.now,
+            )
+            self.cluster.attach_tracer(tracer)
         self._result = DistributedRunResult()
         result = self._result
-        self._sense()
-        self.integrator.setup()
-        cfg = self.config
-        for step in range(cfg.steps):
-            if (
-                cfg.sensing_interval
-                and step > 0
-                and step % cfg.sensing_interval == 0
-            ):
-                self._sense()
-            self.integrator.advance()
-            loads = self.owned_loads()
-            volumes = plan_exchange_volumes(
-                BoxList(b for b, _ in self._assignment),
-                self.owner_map(),
-                ghost_width=self.hierarchy.kernel.ghost_width,
-                bytes_per_cell=self.bytes_per_cell,
-                refine_factor=self.hierarchy.refine_factor,
-            )
-            cost = self.time_model.iteration_cost(loads, volumes)
-            self.cluster.clock.advance(cost.total)
-            result.step_seconds.append(cost.total)
-            result.steps += 1
+        with tracer.span(
+            "run",
+            partitioner=self.partitioner.name,
+            num_nodes=self.cluster.num_nodes,
+            steps=self.config.steps,
+        ):
+            self._sense()
+            self.integrator.setup()
+            cfg = self.config
+            for step in range(cfg.steps):
+                if (
+                    cfg.sensing_interval
+                    and step > 0
+                    and step % cfg.sensing_interval == 0
+                ):
+                    self._sense()
+                step_start = self.cluster.clock.now
+                with tracer.span("advance", step=step):
+                    self.integrator.advance()
+                loads = self.owned_loads()
+                volumes = plan_exchange_volumes(
+                    BoxList(b for b, _ in self._assignment),
+                    self.owner_map(),
+                    ghost_width=self.hierarchy.kernel.ghost_width,
+                    bytes_per_cell=self.bytes_per_cell,
+                    refine_factor=self.hierarchy.refine_factor,
+                )
+                cost = self.time_model.iteration_cost(loads, volumes)
+                self.cluster.clock.advance(cost.total)
+                if tracer.enabled:
+                    self._emit_step_spans(step, step_start, cost)
+                    tracer.metrics.histogram("step_seconds").observe(
+                        cost.total
+                    )
+                result.step_seconds.append(cost.total)
+                result.steps += 1
         result.total_seconds = self.cluster.clock.now
+        if tracer.enabled:
+            tracer.metrics.counter("total_sim_seconds").inc(
+                result.total_seconds
+            )
         return result
+
+    def _emit_step_spans(self, step, start_sim, cost) -> None:
+        """Per-rank simulated-time tracks for one priced coarse step."""
+        tracer = self.tracer
+        tracer.add_span(
+            "iteration", start_sim, start_sim + cost.total, step=step
+        )
+        for rank in range(len(cost.compute)):
+            compute = float(cost.compute[rank])
+            comm = float(cost.comm[rank])
+            if compute > 0.0:
+                tracer.add_span(
+                    "compute", start_sim, start_sim + compute, rank=rank
+                )
+            if comm > 0.0:
+                tracer.add_span(
+                    "ghost-exchange",
+                    start_sim + compute,
+                    start_sim + compute + comm,
+                    rank=rank,
+                )
+        if cost.sync > 0.0:
+            busy = float((cost.compute + cost.comm).max())
+            tracer.add_span(
+                "sync", start_sim + busy, start_sim + busy + cost.sync
+            )

@@ -33,7 +33,8 @@ from repro.monitor.service import ResourceMonitor
 from repro.partition.base import Partitioner, default_work
 from repro.partition.capacity import CapacityCalculator
 from repro.partition.metrics import load_imbalance, redistribution_volume
-from repro.runtime.timemodel import TimeModel
+from repro.runtime.timemodel import IterationCost, TimeModel
+from repro.telemetry.spans import NullTracer, Tracer, get_active_tracer
 from repro.util.errors import SimulationError
 
 __all__ = ["RuntimeConfig", "RegridRecord", "RunResult", "SamrRuntime"]
@@ -174,6 +175,7 @@ class SamrRuntime:
         capacity_calculator: CapacityCalculator | None = None,
         config: RuntimeConfig | None = None,
         time_model: TimeModel | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ):
         self.workload = workload
         self.cluster = cluster
@@ -182,6 +184,14 @@ class SamrRuntime:
         self.capacity = capacity_calculator or CapacityCalculator()
         self.config = config or RuntimeConfig()
         self.time_model = time_model or TimeModel(cluster)
+        # Telemetry is injectable and defaults to the ambient tracer
+        # (the shared no-op unless `repro.telemetry.activate` installed
+        # one); an enabled tracer is propagated to every collaborator so
+        # partition/probe/cluster spans land in the same trace.
+        self.tracer = tracer if tracer is not None else get_active_tracer()
+        if self.tracer.enabled:
+            self.partitioner.set_tracer(self.tracer)
+            self.monitor.tracer = self.tracer
         space = HierarchicalIndexSpace(
             workload.domain,
             max_levels=max(
@@ -204,14 +214,28 @@ class SamrRuntime:
 
     def _sense(self, result: RunResult) -> np.ndarray:
         """Probe the cluster, charge overhead, return fresh capacities."""
-        snapshot = self.monitor.probe_all()
-        self.cluster.clock.advance(snapshot.overhead_seconds)
-        result.sensing_seconds += snapshot.overhead_seconds
-        result.num_sensings += 1
-        if self.config.use_forecast:
-            snapshot = self.monitor.forecast_all()
-        caps = self.capacity.relative_capacities(snapshot)
-        result.capacity_history.append((self.cluster.clock.now, caps))
+        tracer = self.tracer
+        with tracer.span("sense", iteration=result.iterations) as sense_span:
+            snapshot = self.monitor.probe_all()
+            overhead = snapshot.overhead_seconds
+            self.cluster.clock.advance(overhead)
+            result.sensing_seconds += overhead
+            result.num_sensings += 1
+            if self.config.use_forecast:
+                snapshot = self.monitor.forecast_all()
+            with tracer.span("capacity"):
+                caps = self.capacity.relative_capacities(snapshot)
+            result.capacity_history.append((self.cluster.clock.now, caps))
+            sense_span.set(overhead_seconds=overhead, capacities=caps)
+        if tracer.enabled:
+            metrics = tracer.metrics
+            metrics.counter("num_sensings").inc()
+            metrics.counter("probe_cost_seconds").inc(overhead)
+            for node in range(snapshot.num_nodes):
+                metrics.gauge("node_cpu_available", node=node).set(
+                    snapshot.cpu[node]
+                )
+                metrics.gauge("node_capacity", node=node).set(caps[node])
         return caps
 
     def _repartition(
@@ -225,20 +249,23 @@ class SamrRuntime:
 
         Returns (per-rank loads, pair ghost-exchange volumes).
         """
+        tracer = self.tracer
         boxes = self.workload.epoch(min(epoch_idx, self.workload.num_regrids - 1))
         part = self.partitioner.partition(boxes, capacities, self._work_of)
         owners = part.owners()
-        # Geometric cell-owner diff against the previous assignment: the
-        # true redistribution traffic, robust to boxes being re-split.
-        moved = redistribution_volume(
-            self._prev_assignment, part.assignment, self.config.bytes_per_cell
-        )
-        self.hdda.apply_assignment(owners)
-        self._prev_assignment = part.assignment
-        mig_seconds = self.time_model.migration_cost(moved)
-        self.cluster.clock.advance(mig_seconds)
-        result.migration_seconds += mig_seconds
-        mig_bytes = int(sum(moved.values()))
+        with tracer.span("migrate", trigger=trigger) as mig_span:
+            # Geometric cell-owner diff against the previous assignment: the
+            # true redistribution traffic, robust to boxes being re-split.
+            moved = redistribution_volume(
+                self._prev_assignment, part.assignment, self.config.bytes_per_cell
+            )
+            self.hdda.apply_assignment(owners)
+            self._prev_assignment = part.assignment
+            mig_seconds = self.time_model.migration_cost(moved)
+            self.cluster.clock.advance(mig_seconds)
+            result.migration_seconds += mig_seconds
+            mig_bytes = int(sum(moved.values()))
+            mig_span.set(bytes=mig_bytes, sim_seconds=mig_seconds)
 
         loads = part.loads(self._work_of)
         total = loads.sum()
@@ -273,12 +300,81 @@ class SamrRuntime:
             bytes_per_cell=self.config.bytes_per_cell,
             refine_factor=self.workload.refine_factor,
         )
+        if tracer.enabled:
+            metrics = tracer.metrics
+            metrics.counter("num_repartitions").inc()
+            metrics.counter("migration_bytes").inc(mig_bytes)
+            metrics.counter("migration_seconds").inc(mig_seconds)
+            metrics.histogram("residual_imbalance_pct").observe(
+                float(record.imbalance.mean())
+            )
+            for node in range(self.cluster.num_nodes):
+                utilization = (
+                    loads[node] / targets[node] if targets[node] > 0 else 0.0
+                )
+                metrics.gauge("node_utilization", node=node).set(utilization)
         return loads, volumes
 
     # ------------------------------------------------------------------
+    def _emit_iteration_spans(
+        self, iteration: int, start_sim: float, cost: IterationCost
+    ) -> None:
+        """Per-rank compute/ghost-exchange tracks for one priced iteration.
+
+        The time model prices the whole iteration at once; this decomposes
+        the per-rank breakdown into simulated-time spans (compute first,
+        then the rank's serialized ghost exchange, then the collective
+        sync gating everyone).
+        """
+        tracer = self.tracer
+        tracer.add_span(
+            "iteration", start_sim, start_sim + cost.total, iteration=iteration
+        )
+        for rank in range(len(cost.compute)):
+            compute = float(cost.compute[rank])
+            comm = float(cost.comm[rank])
+            if compute > 0.0:
+                tracer.add_span(
+                    "compute", start_sim, start_sim + compute, rank=rank
+                )
+            if comm > 0.0:
+                tracer.add_span(
+                    "ghost-exchange",
+                    start_sim + compute,
+                    start_sim + compute + comm,
+                    rank=rank,
+                )
+        if cost.sync > 0.0:
+            busy = float((cost.compute + cost.comm).max())
+            tracer.add_span(
+                "sync", start_sim + busy, start_sim + busy + cost.sync
+            )
+
     def run(self) -> RunResult:
         """Execute the configured number of iterations; returns the record."""
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.begin_run(
+                f"SamrRuntime[{self.partitioner.name}]",
+                sim_clock=lambda: self.cluster.clock.now,
+            )
+            self.cluster.attach_tracer(tracer)
+        with tracer.span(
+            "run",
+            partitioner=self.partitioner.name,
+            num_nodes=self.cluster.num_nodes,
+            iterations=self.config.iterations,
+        ):
+            result = self._run_loop()
+        if tracer.enabled:
+            metrics = tracer.metrics
+            metrics.counter("total_sim_seconds").inc(result.total_seconds)
+            metrics.counter("iterations").inc(result.iterations)
+        return result
+
+    def _run_loop(self) -> RunResult:
         cfg = self.config
+        tracer = self.tracer
         result = RunResult()
         capacities = self._sense(result)  # sense once before the start
         loads, volumes = self._repartition(0, capacities, result)
@@ -312,6 +408,7 @@ class SamrRuntime:
                     epoch, capacities, result, trigger="sense"
                 )
                 baseline = None
+            iteration_start = self.cluster.clock.now
             if cfg.sync_mode == "per_level":
                 cost = self.time_model.iteration_cost_per_level(
                     self._level_loads, self._subcycles, volumes
@@ -319,6 +416,11 @@ class SamrRuntime:
             else:
                 cost = self.time_model.iteration_cost(loads, volumes)
             self.cluster.clock.advance(cost.total)
+            if tracer.enabled:
+                self._emit_iteration_spans(it, iteration_start, cost)
+                tracer.metrics.histogram("iteration_seconds").observe(
+                    cost.total
+                )
             result.iteration_times.append(cost.total)
             result.compute_seconds += float(cost.compute.max())
             result.comm_seconds += float(cost.comm.max() + cost.sync)

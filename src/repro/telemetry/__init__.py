@@ -1,0 +1,83 @@
+"""Telemetry: structured tracing, metrics and trace export for the runtime.
+
+The observability backbone of the adaptive runtime.  Three modules, no
+third-party dependencies:
+
+- :mod:`repro.telemetry.spans` -- :class:`Tracer` records nested phase
+  spans (sense, capacity, partition, migrate, ghost-exchange, compute,
+  sync) over both the host wall clock and the simulated cluster clock;
+  :data:`NULL_TRACER` is the zero-cost default everywhere.
+- :mod:`repro.telemetry.metrics` -- :class:`MetricsRegistry` of counters,
+  gauges and histograms (probe cost, migration bytes, boxes split,
+  residual imbalance, per-node utilization, iteration durations).
+- :mod:`repro.telemetry.export` -- JSONL event logs, Chrome trace-event
+  JSON (loadable in Perfetto, one track per simulated rank) and flat
+  metric summaries for the benchmark suite.
+
+Instrumented call sites accept an injectable tracer and default to the
+ambient one (:func:`get_active_tracer`), which is the no-op tracer unless
+:func:`activate` installed a real one::
+
+    from repro.telemetry import Tracer, activate
+    from repro.telemetry.export import write_chrome_trace
+
+    tracer = Tracer()
+    with activate(tracer):
+        SamrRuntime(workload, cluster, partitioner).run()
+    write_chrome_trace(tracer, "run.trace.json")
+"""
+
+from repro.telemetry.export import (
+    aggregate_phases,
+    chrome_trace_events,
+    metrics_csv,
+    metrics_summary,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from repro.telemetry.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.telemetry.spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceEvent,
+    Tracer,
+    activate,
+    get_active_tracer,
+)
+
+__all__ = [
+    # spans
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "TraceEvent",
+    "activate",
+    "get_active_tracer",
+    # metrics
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    # export
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "aggregate_phases",
+    "metrics_summary",
+    "metrics_csv",
+    "write_metrics_csv",
+    "write_metrics_json",
+]

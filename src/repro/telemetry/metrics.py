@@ -1,0 +1,277 @@
+"""Metrics registry: counters, gauges and histograms for the runtime.
+
+The registry is the quantitative half of the telemetry subsystem (the
+tracer in :mod:`repro.telemetry.spans` is the structural half).  The
+runtime instrumentation records, per run: probe cost and sensing count,
+migration bytes and seconds, boxes split, residual imbalance, per-node
+utilization and iteration durations.  Everything is pure stdlib -- no
+numpy -- so the package stays a zero-required-dependency leaf that any
+layer of the system may import.
+
+Disabled telemetry must cost nothing on hot paths, so the module also
+provides :data:`NULL_REGISTRY`, whose ``counter``/``gauge``/``histogram``
+accessors hand back shared no-op instruments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+from repro.util.errors import TelemetryError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+]
+
+#: Histograms keep at most this many raw observations for percentile
+#: estimation; beyond it only the running aggregates stay exact.
+HISTOGRAM_SAMPLE_CAP = 4096
+
+
+def _label_key(labels: dict[str, Any]) -> tuple:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing total (e.g. migration bytes)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict[str, Any]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += float(amount)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-written value (e.g. a node's current utilization)."""
+
+    __slots__ = ("name", "labels", "value", "num_updates")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict[str, Any]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0.0
+        self.num_updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.num_updates += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"value": self.value, "updates": self.num_updates}
+
+
+class Histogram:
+    """Distribution of observations (e.g. per-iteration seconds).
+
+    Running count/sum/min/max are always exact; percentiles come from the
+    first :data:`HISTOGRAM_SAMPLE_CAP` raw samples (runs in this codebase
+    are far smaller than the cap, so in practice they are exact too).
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "_samples")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: dict[str, Any]):
+        self.name = name
+        self.labels = dict(labels)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < HISTOGRAM_SAMPLE_CAP:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained samples."""
+        if not 0.0 <= q <= 100.0:
+            raise TelemetryError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def snapshot(self) -> dict[str, Any]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class MetricsRegistry:
+    """Creates and caches instruments keyed by (kind, name, labels).
+
+    Asking twice for the same instrument returns the same object, so call
+    sites never need to hold references across phases::
+
+        registry.counter("migration_bytes").inc(volume)
+        registry.gauge("node_utilization", node=3).set(0.97)
+        registry.histogram("iteration_seconds").observe(cost.total)
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple, Counter | Gauge | Histogram] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _get(self, cls, name: str, labels: dict[str, Any]):
+        known = self._kinds.get(name)
+        if known is not None and known != cls.kind:
+            raise TelemetryError(
+                f"metric {name!r} already registered as a {known}, "
+                f"cannot re-register as a {cls.kind}"
+            )
+        key = (cls.kind, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels)
+            self._metrics[key] = metric
+            self._kinds[name] = cls.kind
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """Nested ``{name: {kind, series: [{labels, ...stats}]}}`` view."""
+        out: dict[str, Any] = {}
+        for metric in self._metrics.values():
+            entry = out.setdefault(
+                metric.name, {"kind": metric.kind, "series": []}
+            )
+            entry["series"].append(
+                {"labels": dict(metric.labels), **metric.snapshot()}
+            )
+        return out
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Flat rows (one per instrument) for CSV export or DataFrames."""
+        rows = []
+        for metric in self._metrics.values():
+            row: dict[str, Any] = {"name": metric.name, "kind": metric.kind}
+            row.update({f"label_{k}": v for k, v in metric.labels.items()})
+            row.update(metric.snapshot())
+            rows.append(row)
+        return rows
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    name = "null"
+    labels: dict[str, Any] = {}
+    kind = "null"
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+    num_updates = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """No-op registry: every accessor returns the shared null instrument."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def __iter__(self) -> Iterator[_NullInstrument]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def summary(self) -> dict[str, Any]:
+        return {}
+
+    def rows(self) -> list[dict[str, Any]]:
+        return []
+
+
+#: Process-wide shared no-op registry.
+NULL_REGISTRY = NullMetricsRegistry()

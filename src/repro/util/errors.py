@@ -43,3 +43,8 @@ class KernelError(ReproError):
 
 class ExperimentError(ReproError):
     """Experiment-harness errors: unknown experiment id or invalid config."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry misuse: a metric re-registered under a different kind, or
+    an exporter asked to write an unfinished trace to an invalid target."""

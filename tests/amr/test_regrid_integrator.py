@@ -7,7 +7,7 @@ import pytest
 
 from repro.amr.hierarchy import GridHierarchy
 from repro.amr.integrator import BergerOligerIntegrator
-from repro.amr.regrid import RegridParams, build_initial_hierarchy, regrid_hierarchy
+from repro.amr.regrid import build_initial_hierarchy, regrid_hierarchy
 from repro.kernels.advection import AdvectionKernel
 from repro.util.errors import KernelError
 from repro.util.geometry import Box

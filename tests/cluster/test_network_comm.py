@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.cluster import Cluster, LinkModel, NodeSpec, SyntheticLoadGenerator
+from repro.cluster import Cluster, LinkModel, NodeSpec
 from repro.comm import SimCommunicator
 from repro.util.errors import SimulationError
 

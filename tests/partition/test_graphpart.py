@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.kernels.workloads import moving_blob_trace, paper_rm3d_trace
 from repro.partition import GraphPartitioner, build_box_graph

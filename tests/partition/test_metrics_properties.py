@@ -3,8 +3,6 @@ exchange planning."""
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -13,7 +11,7 @@ from repro.kernels.workloads import moving_blob_trace
 from repro.partition import ACEHeterogeneous, ACEComposite
 from repro.partition.base import default_work
 from repro.partition.metrics import redistribution_volume
-from repro.util.geometry import Box, BoxList
+from repro.util.geometry import Box
 
 
 def tiles(n: int) -> list[Box]:

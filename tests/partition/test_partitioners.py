@@ -19,7 +19,7 @@ from repro.partition import (
 )
 from repro.partition.base import default_work
 from repro.util.errors import PartitionError
-from repro.util.geometry import Box, BoxList
+from repro.util.geometry import BoxList
 
 PAPER_CAPS = np.array([0.16, 0.19, 0.31, 0.34])
 

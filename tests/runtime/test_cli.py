@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
@@ -54,3 +56,55 @@ class TestRun:
     def test_quick_sweep_probe_cost(self, capsys):
         assert main(["run", "sweep-probe-cost", "--quick"]) == 0
         assert "probe" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_unknown_experiment(self, tmp_path, capsys):
+        code = main(
+            ["trace", "nope", "--quick", "--out-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_trace_writes_all_artifacts(self, tmp_path, capsys):
+        code = main(
+            ["trace", "fig10", "--quick", "--out-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "regrid" in out  # the experiment's own report still prints
+        assert "telemetry:" in out
+        for suffix in (".trace.json", ".events.jsonl", ".metrics.json"):
+            assert (tmp_path / f"fig10{suffix}").exists()
+
+    def test_chrome_trace_is_valid(self, tmp_path, capsys):
+        assert (
+            main(["trace", "fig10", "--quick", "--out-dir", str(tmp_path)])
+            == 0
+        )
+        events = json.loads((tmp_path / "fig10.trace.json").read_text())
+        assert isinstance(events, list) and events
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        for event in complete:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+        # One thread track per simulated rank (4 ranks) plus the runtime.
+        assert {e["tid"] for e in complete} == {0, 1, 2, 3, 4}
+        names = {e["name"] for e in complete}
+        assert {"run", "sense", "partition", "compute"} <= names
+
+    def test_event_log_and_metrics(self, tmp_path, capsys):
+        assert (
+            main(["trace", "fig10", "--quick", "--out-dir", str(tmp_path)])
+            == 0
+        )
+        lines = (tmp_path / "fig10.events.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert all("type" in r and "name" in r for r in records)
+        assert any(r["type"] == "span" for r in records)
+        metrics = json.loads((tmp_path / "fig10.metrics.json").read_text())
+        assert metrics["num_spans"] == sum(
+            1 for r in records if r["type"] == "span"
+        )
+        assert "migration_bytes" in metrics["metrics"]
+        assert "partition" in metrics["phases"]

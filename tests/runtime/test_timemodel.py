@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cluster import Cluster, NodeSpec, SyntheticLoadGenerator
+from repro.cluster import Cluster, SyntheticLoadGenerator
 from repro.runtime.timemodel import TimeModel
 from repro.util.errors import SimulationError
 

@@ -1,0 +1,151 @@
+"""Tests for the trace/metrics exporters."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+
+from repro.telemetry import (
+    Tracer,
+    aggregate_phases,
+    chrome_trace_events,
+    metrics_csv,
+    metrics_summary,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_csv,
+    write_metrics_json,
+)
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.begin_run("sample")
+    with tracer.span("run", partitioner="ACEHeterogeneous"):
+        with tracer.span("sense") as span:
+            span.set(capacities=np.array([0.25, 0.75]))
+        tracer.add_span("compute", 1.0, 3.0, rank=0)
+        tracer.add_span("compute", 1.0, 2.0, rank=1)
+        tracer.event("split", count=int(np.int64(2)))
+    tracer.metrics.counter("migration_bytes").inc(4096)
+    tracer.metrics.gauge("node_utilization", node=0).set(0.9)
+    tracer.metrics.histogram("iteration_seconds").observe(2.0)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_event_fields(self):
+        events = chrome_trace_events(sample_tracer())
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete, "no complete events exported"
+        for event in complete:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+
+    def test_one_tid_per_rank(self):
+        events = chrome_trace_events(sample_tracer())
+        by_name = {
+            e["name"]: e["tid"] for e in events if e["ph"] == "X"
+        }
+        assert by_name["run"] == 0  # runtime control track
+        ranks = {
+            e["tid"] for e in events
+            if e["ph"] == "X" and e["name"] == "compute"
+        }
+        assert ranks == {1, 2}  # rank k -> tid k+1
+
+    def test_metadata_names_tracks(self):
+        events = chrome_trace_events(sample_tracer())
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {
+            (e["name"], e["args"]["name"]) for e in meta
+        }
+        assert ("thread_name", "runtime") in names
+        assert ("thread_name", "rank 0") in names
+        assert any(n == "process_name" for n, _ in names)
+
+    def test_sim_microsecond_timestamps(self):
+        events = chrome_trace_events(sample_tracer())
+        compute = [
+            e for e in events if e["ph"] == "X" and e["name"] == "compute"
+        ]
+        assert {e["ts"] for e in compute} == {1e6}
+        assert {e["dur"] for e in compute} == {2e6, 1e6}
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(sample_tracer(), path)
+        events = json.loads(path.read_text())
+        assert isinstance(events, list) and events
+
+    def test_numpy_attributes_serialized(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(sample_tracer(), path)
+        events = json.loads(path.read_text())
+        (sense,) = [e for e in events if e.get("name") == "sense"]
+        assert sense["args"]["capacities"] == [0.25, 0.75]
+
+
+class TestJsonl:
+    def test_one_record_per_line(self, tmp_path):
+        tracer = sample_tracer()
+        path = tmp_path / "events.jsonl"
+        write_jsonl(tracer, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(tracer.spans) + len(tracer.events)
+        records = [json.loads(line) for line in lines]
+        assert {r["type"] for r in records} == {"span", "event"}
+
+    def test_ordered_by_sim_time(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_jsonl(sample_tracer(), path)
+        spans = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        starts = [
+            r["start_sim"] for r in spans if r["type"] == "span"
+        ]
+        assert starts == sorted(starts)
+
+
+class TestAggregation:
+    def test_phase_totals(self):
+        phases = aggregate_phases(sample_tracer())
+        assert phases["compute"]["count"] == 2
+        assert phases["compute"]["sim_seconds"] == 3.0
+        assert phases["sense"]["count"] == 1
+
+    def test_metrics_summary_from_tracer(self):
+        summary = metrics_summary(sample_tracer())
+        assert summary["num_runs"] == 1
+        assert summary["num_events"] == 1
+        assert "compute" in summary["phases"]
+        assert (
+            summary["metrics"]["migration_bytes"]["series"][0]["value"]
+            == 4096.0
+        )
+
+    def test_metrics_json_file(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics_json(sample_tracer(), path)
+        data = json.loads(path.read_text())
+        assert data["num_spans"] == 4
+
+
+class TestCsv:
+    def test_csv_round_trips(self, tmp_path):
+        tracer = sample_tracer()
+        path = tmp_path / "metrics.csv"
+        write_metrics_csv(tracer.metrics, path)
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        names = {row["name"] for row in rows}
+        assert names == {
+            "migration_bytes", "node_utilization", "iteration_seconds",
+        }
+
+    def test_csv_text_has_union_header(self):
+        text = metrics_csv(sample_tracer().metrics)
+        header = text.splitlines()[0].split(",")
+        assert "label_node" in header and "value" in header

@@ -1,0 +1,118 @@
+"""Tests for the metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import NULL_REGISTRY, MetricsRegistry
+from repro.telemetry.metrics import HISTOGRAM_SAMPLE_CAP
+from repro.util.errors import TelemetryError
+
+
+class TestCounter:
+    def test_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("migration_bytes").inc(100)
+        reg.counter("migration_bytes").inc(50)
+        assert reg.counter("migration_bytes").value == 150.0
+
+    def test_default_increment_is_one(self):
+        reg = MetricsRegistry()
+        reg.counter("num_sensings").inc()
+        assert reg.counter("num_sensings").value == 1.0
+
+    def test_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            reg.counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("node_utilization", node=3)
+        gauge.set(0.5)
+        gauge.set(0.9)
+        assert gauge.value == 0.9
+        assert gauge.num_updates == 2
+
+    def test_labels_separate_series(self):
+        reg = MetricsRegistry()
+        reg.gauge("u", node=0).set(1.0)
+        reg.gauge("u", node=1).set(2.0)
+        assert reg.gauge("u", node=0).value == 1.0
+        assert reg.gauge("u", node=1).value == 2.0
+        assert len(reg) == 2
+
+
+class TestHistogram:
+    def test_running_stats(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("iteration_seconds")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.total == 10.0
+        assert hist.min == 1.0
+        assert hist.max == 4.0
+        assert hist.mean == 2.5
+        assert hist.percentile(50) == 2.0
+        assert hist.percentile(100) == 4.0
+
+    def test_sample_cap_keeps_aggregates_exact(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h")
+        for i in range(HISTOGRAM_SAMPLE_CAP + 10):
+            hist.observe(float(i))
+        assert hist.count == HISTOGRAM_SAMPLE_CAP + 10
+        assert hist.max == float(HISTOGRAM_SAMPLE_CAP + 9)
+
+    def test_percentile_bounds(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            reg.histogram("h").percentile(101)
+
+    def test_empty_snapshot(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h").snapshot() == {"count": 0, "sum": 0.0}
+
+
+class TestRegistry:
+    def test_same_instrument_returned(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TelemetryError):
+            reg.gauge("x")
+
+    def test_summary_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes").inc(7)
+        reg.gauge("util", node=1).set(0.5)
+        summary = reg.summary()
+        assert summary["bytes"]["kind"] == "counter"
+        assert summary["bytes"]["series"][0]["value"] == 7.0
+        assert summary["util"]["series"][0]["labels"] == {"node": 1}
+
+    def test_rows_are_flat(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes").inc(7)
+        reg.histogram("h").observe(2.0)
+        rows = reg.rows()
+        assert {r["name"] for r in rows} == {"bytes", "h"}
+        for row in rows:
+            assert "kind" in row
+
+
+class TestNullRegistry:
+    def test_all_accessors_share_instrument(self):
+        a = NULL_REGISTRY.counter("a")
+        b = NULL_REGISTRY.histogram("b", node=2)
+        assert a is b
+        a.inc()
+        b.observe(1.0)
+        assert len(NULL_REGISTRY) == 0
+        assert NULL_REGISTRY.rows() == []
