@@ -1,5 +1,14 @@
 """``python -m repro`` entry point."""
 
+import sys
+
 from repro.cli import main
 
-raise SystemExit(main())
+try:
+    code = main()
+except BrokenPipeError:
+    # Downstream pager/`head` closed the pipe early; exit quietly like a
+    # well-behaved Unix tool instead of tracebacking.
+    sys.stderr.close()
+    code = 0
+raise SystemExit(code)

@@ -7,11 +7,20 @@ Usage::
     python -m repro run table2 --quick   # smaller configuration
     python -m repro run all              # everything (takes a few minutes)
     python -m repro trace fig7           # run instrumented, export traces
+    python -m repro report fig7          # run + health-analyse + HTML dash
+    python -m repro report traces/fig7.events.jsonl   # offline, from file
+    python -m repro bench-diff OLD.json NEW.json      # perf trajectory
 
 ``trace`` runs one experiment under an enabled telemetry tracer and writes
 three artifacts to ``--out-dir`` (default ``traces/``): a Chrome
 trace-event JSON loadable in Perfetto (one track per simulated rank), a
 JSONL span/event log, and a JSON metrics summary.
+
+``report`` additionally runs the health monitor (anomaly detection
+against the paper's 40 % imbalance bound, probe-overhead and
+capacity-drift rules, duration-spike z-scores) and renders one
+self-contained HTML dashboard; given a path to an exported ``.jsonl``
+trace it analyses offline without re-running anything.
 
 Each experiment prints the same rows/series the paper reports, produced by
 the corresponding builder in :mod:`repro.runtime.experiment` /
@@ -29,10 +38,14 @@ from repro.runtime import ablation as ab
 from repro.runtime import experiment as ex
 from repro.runtime import reporting as rep
 from repro.telemetry import (
+    HealthMonitor,
     Tracer,
     activate,
     aggregate_phases,
+    diff_bench_files,
+    format_diff,
     write_chrome_trace,
+    write_dashboard,
     write_jsonl,
     write_metrics_json,
 )
@@ -208,16 +221,30 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], str]]] = {
 }
 
 
+def _lookup_experiment(name: str) -> Callable[[bool], str] | None:
+    """Resolve an experiment id, printing a clear error for unknown names.
+
+    Every subcommand that takes an experiment goes through here, so a typo
+    always yields exit code 2 with the list of valid ids -- never a raw
+    traceback.
+    """
+    entry = EXPERIMENTS.get(name)
+    if entry is not None:
+        return entry[1]
+    close = [k for k in EXPERIMENTS if name.lower() in k or k in name.lower()]
+    hint = f" (did you mean: {', '.join(close)}?)" if close else ""
+    print(
+        f"unknown experiment {name!r}{hint}; "
+        f"valid ids: {', '.join(EXPERIMENTS)}",
+        file=sys.stderr,
+    )
+    return None
+
+
 def _run_traced(experiment: str, quick: bool, out_dir: str) -> int:
     """Run one experiment instrumented; write trace + metrics artifacts."""
-    try:
-        _, fn = EXPERIMENTS[experiment]
-    except KeyError:
-        print(
-            f"unknown experiment {experiment!r}; "
-            f"try: {', '.join(EXPERIMENTS)}",
-            file=sys.stderr,
-        )
+    fn = _lookup_experiment(experiment)
+    if fn is None:
         return 2
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -249,6 +276,94 @@ def _run_traced(experiment: str, quick: bool, out_dir: str) -> int:
     return 0
 
 
+def _print_health_summary(monitor: HealthMonitor) -> None:
+    summary = monitor.summary()
+    print(
+        f"health: {summary['num_snapshots']} iteration snapshots, "
+        f"worst mean imbalance "
+        f"{summary['worst_imbalance_pct']:.1f}% "
+        f"(bound {summary['imbalance_bound_pct']:g}%)"
+    )
+    if monitor.events:
+        by_sev = summary["events_by_severity"]
+        counts = ", ".join(f"{n} {sev}" for sev, n in sorted(by_sev.items()))
+        print(f"anomalies: {counts}")
+        for event in monitor.events[:10]:
+            print(
+                f"  [{event.severity}] it {event.iteration} "
+                f"(run {event.pid}): {event.message}"
+            )
+        if len(monitor.events) > 10:
+            print(f"  ... and {len(monitor.events) - 10} more (see dashboard)")
+    else:
+        print("anomalies: none detected")
+
+
+def _run_report(target: str, quick: bool, out_dir: str) -> int:
+    """Render the health dashboard for an experiment or a trace file.
+
+    ``target`` is either an experiment id (the experiment runs
+    instrumented with a health monitor attached) or a path to a
+    previously exported ``.events.jsonl`` trace (offline analysis).
+    """
+    out = Path(out_dir)
+    path = Path(target)
+    if path.suffix == ".jsonl" or path.is_file():
+        if not path.is_file():
+            print(f"trace file not found: {path}", file=sys.stderr)
+            return 2
+        out.mkdir(parents=True, exist_ok=True)
+        stem = path.name.removesuffix(".jsonl").removesuffix(".events")
+        dashboard_path = out / f"{stem}.dashboard.html"
+        write_dashboard(
+            str(path),
+            dashboard_path,
+            title=f"Health dashboard — {path.name}",
+        )
+        print(f"health dashboard (self-contained): {dashboard_path}")
+        return 0
+    fn = _lookup_experiment(target)
+    if fn is None:
+        return 2
+    out.mkdir(parents=True, exist_ok=True)
+    tracer = Tracer()
+    health = HealthMonitor()
+    health.attach(tracer)
+    with activate(tracer):
+        print(fn(quick))
+    health.finish()
+    print()
+    _print_health_summary(health)
+    events_path = out / f"{target}.events.jsonl"
+    dashboard_path = out / f"{target}.dashboard.html"
+    write_jsonl(tracer, events_path)
+    write_dashboard(
+        tracer, dashboard_path, title=f"Health dashboard — {target}"
+    )
+    print(f"event log (JSONL):                 {events_path}")
+    print(f"health dashboard (self-contained): {dashboard_path}")
+    return 0
+
+
+def _run_bench_diff(
+    old: str, new: str, tolerance: float, fail_on_regression: bool,
+    verbose: bool,
+) -> int:
+    for path in (old, new):
+        if not Path(path).is_file():
+            print(f"bench file not found: {path}", file=sys.stderr)
+            return 2
+    try:
+        comparison = diff_bench_files(old, new, tolerance=tolerance)
+    except ValueError as exc:  # malformed JSON
+        print(f"could not parse bench file: {exc}", file=sys.stderr)
+        return 2
+    print(format_diff(comparison, verbose=verbose))
+    if comparison.regressions and fail_on_regression:
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -275,6 +390,43 @@ def main(argv: list[str] | None = None) -> int:
         "--out-dir", default="traces",
         help="directory for trace artifacts (default: traces/)",
     )
+    report = sub.add_parser(
+        "report",
+        help="run the health monitor; render a self-contained HTML "
+        "dashboard (accepts an experiment id or a .events.jsonl trace)",
+    )
+    report.add_argument(
+        "target",
+        help="experiment id from 'list', or path to an exported "
+        ".events.jsonl trace",
+    )
+    report.add_argument(
+        "--quick", action="store_true",
+        help="smaller configuration (fewer seeds/iterations)",
+    )
+    report.add_argument(
+        "--out-dir", default="traces",
+        help="directory for the dashboard (default: traces/)",
+    )
+    bench = sub.add_parser(
+        "bench-diff",
+        help="compare two BENCH_*.json artifacts; flag perf regressions",
+    )
+    bench.add_argument("old", help="baseline BENCH_*.json")
+    bench.add_argument("new", help="fresh BENCH_*.json to compare")
+    bench.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="relative wall-clock slowdown treated as a regression "
+        "(default: 0.2)",
+    )
+    bench.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when regressions are found (CI gate mode)",
+    )
+    bench.add_argument(
+        "--verbose", action="store_true",
+        help="also list added/removed metrics",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list" or args.command is None:
@@ -295,20 +447,21 @@ def main(argv: list[str] | None = None) -> int:
                 print(fn(args.quick))
                 print()
             return 0
-        try:
-            _, fn = EXPERIMENTS[args.experiment]
-        except KeyError:
-            print(
-                f"unknown experiment {args.experiment!r}; "
-                f"try: {', '.join(EXPERIMENTS)}",
-                file=sys.stderr,
-            )
+        fn = _lookup_experiment(args.experiment)
+        if fn is None:
             return 2
         print(fn(args.quick))
         return 0
 
     if args.command == "trace":
         return _run_traced(args.experiment, args.quick, args.out_dir)
+    if args.command == "report":
+        return _run_report(args.target, args.quick, args.out_dir)
+    if args.command == "bench-diff":
+        return _run_bench_diff(
+            args.old, args.new, args.tolerance, args.fail_on_regression,
+            args.verbose,
+        )
     return 2
 
 

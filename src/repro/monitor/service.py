@@ -17,6 +17,7 @@ mirroring how the paper's framework only saw its testbed through NWS:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -122,6 +123,7 @@ class ResourceMonitor:
             metric: [None] * cluster.num_nodes for metric in METRICS
         }
         self.num_probes = 0
+        self.last_probe_time: float | None = None
 
     # ------------------------------------------------------------------
     def _probe_metric(
@@ -155,6 +157,19 @@ class ResourceMonitor:
             + self.aggregation_s_per_node * self.cluster.num_nodes
         )
 
+    def staleness_s(self, t: float | None = None) -> float:
+        """Seconds of simulated time since the last probe sweep.
+
+        The health monitor's sensing-staleness signal: decisions made on a
+        snapshot sensed long ago may no longer reflect the cluster.
+        Returns ``inf`` before the first probe so consumers can flag
+        "never sensed" distinctly from "sensed at t=0".
+        """
+        if self.last_probe_time is None:
+            return math.inf
+        now = self.cluster.clock.now if t is None else t
+        return max(now - self.last_probe_time, 0.0)
+
     def probe_all(self, t: float | None = None) -> MonitorSnapshot:
         """Measure every metric on every node.
 
@@ -172,6 +187,7 @@ class ResourceMonitor:
             mem = self._probe_metric("memory", t, stale)
             bw = self._probe_metric("bandwidth", t, stale)
             self.num_probes += 1
+            self.last_probe_time = when
             snapshot = MonitorSnapshot(
                 time=when,
                 cpu=cpu,

@@ -262,11 +262,36 @@ class DistributedAmrRun:
             )
         return result
 
+    def _health_attrs(self) -> dict:
+        """Health signals for one step's iteration span (see engine)."""
+        staleness = self.monitor.staleness_s()
+        result = self._result
+        attrs: dict = {
+            "staleness_s": staleness if staleness != float("inf") else None,
+            "epoch": result.num_regrids if result is not None else 0,
+        }
+        if self._assignment and self._capacities is not None:
+            loads = self.owned_loads()
+            targets = self._capacities * loads.sum()
+            ok = targets > 0
+            if ok.any():
+                pct = np.abs(loads[ok] - targets[ok]) / targets[ok] * 100.0
+                attrs["imbalance_pct"] = float(pct.mean())
+                attrs["max_imbalance_pct"] = float(pct.max())
+        self.tracer.metrics.gauge("sensing_staleness_seconds").set(
+            0.0 if staleness == float("inf") else staleness
+        )
+        return attrs
+
     def _emit_step_spans(self, step, start_sim, cost) -> None:
         """Per-rank simulated-time tracks for one priced coarse step."""
         tracer = self.tracer
         tracer.add_span(
-            "iteration", start_sim, start_sim + cost.total, step=step
+            "iteration",
+            start_sim,
+            start_sim + cost.total,
+            step=step,
+            **self._health_attrs(),
         )
         for rank in range(len(cost.compute)):
             compute = float(cost.compute[rank])

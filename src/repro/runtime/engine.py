@@ -316,8 +316,37 @@ class SamrRuntime:
         return loads, volumes
 
     # ------------------------------------------------------------------
+    def _health_attrs(self, result: RunResult) -> dict:
+        """Per-iteration health signals published on the iteration span.
+
+        The health monitor (:mod:`repro.telemetry.analysis`) and the HTML
+        dashboard read these straight off the trace, so an exported JSONL
+        file is self-sufficient for offline diagnosis.
+        """
+        staleness = self.monitor.staleness_s()
+        attrs: dict = {
+            "staleness_s": staleness if staleness != float("inf") else None,
+            # Repartition count: the z-score detector resets its window on
+            # change, so a regrid's legitimate cost shift is not a "spike".
+            "epoch": len(result.regrids),
+        }
+        if result.regrids:
+            record = result.regrids[-1]
+            finite = record.imbalance[np.isfinite(record.imbalance)]
+            if finite.size:
+                attrs["imbalance_pct"] = float(finite.mean())
+                attrs["max_imbalance_pct"] = float(finite.max())
+        self.tracer.metrics.gauge("sensing_staleness_seconds").set(
+            0.0 if staleness == float("inf") else staleness
+        )
+        return attrs
+
     def _emit_iteration_spans(
-        self, iteration: int, start_sim: float, cost: IterationCost
+        self,
+        iteration: int,
+        start_sim: float,
+        cost: IterationCost,
+        health: dict | None = None,
     ) -> None:
         """Per-rank compute/ghost-exchange tracks for one priced iteration.
 
@@ -328,7 +357,11 @@ class SamrRuntime:
         """
         tracer = self.tracer
         tracer.add_span(
-            "iteration", start_sim, start_sim + cost.total, iteration=iteration
+            "iteration",
+            start_sim,
+            start_sim + cost.total,
+            iteration=iteration,
+            **(health or {}),
         )
         for rank in range(len(cost.compute)):
             compute = float(cost.compute[rank])
@@ -417,7 +450,9 @@ class SamrRuntime:
                 cost = self.time_model.iteration_cost(loads, volumes)
             self.cluster.clock.advance(cost.total)
             if tracer.enabled:
-                self._emit_iteration_spans(it, iteration_start, cost)
+                self._emit_iteration_spans(
+                    it, iteration_start, cost, health=self._health_attrs(result)
+                )
                 tracer.metrics.histogram("iteration_seconds").observe(
                     cost.total
                 )

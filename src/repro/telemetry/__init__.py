@@ -14,6 +14,20 @@ third-party dependencies:
   JSON (loadable in Perfetto, one track per simulated rank) and flat
   metric summaries for the benchmark suite.
 
+On top of the recording layer sit the consumers added in PR 2:
+
+- :mod:`repro.telemetry.analysis` -- :class:`HealthMonitor` subscribes to
+  a live tracer via the span-close observer hook, derives per-iteration
+  :class:`HealthSnapshot` records (imbalance vs. the paper's 40 % bound,
+  capacity drift, sensing staleness, probe-overhead fraction, migration
+  churn) and runs pluggable anomaly detectors.
+- :mod:`repro.telemetry.report` -- renders a tracer or JSONL trace into a
+  single self-contained HTML dashboard (inline SVG, no external
+  resources): ``repro report <experiment-or-trace>``.
+- :mod:`repro.telemetry.benchdiff` -- compares ``BENCH_*.json`` perf
+  artifacts across runs and flags wall-clock regressions:
+  ``repro bench-diff OLD NEW``.
+
 Instrumented call sites accept an injectable tracer and default to the
 ambient one (:func:`get_active_tracer`), which is the no-op tracer unless
 :func:`activate` installed a real one::
@@ -27,6 +41,23 @@ ambient one (:func:`get_active_tracer`), which is the no-op tracer unless
     write_chrome_trace(tracer, "run.trace.json")
 """
 
+from repro.telemetry.analysis import (
+    PAPER_IMBALANCE_BOUND_PCT,
+    AnomalyDetector,
+    HealthEvent,
+    HealthMonitor,
+    HealthSnapshot,
+    RollingZScore,
+    ThresholdRule,
+    analyze_records,
+    default_detectors,
+)
+from repro.telemetry.benchdiff import (
+    diff_bench,
+    diff_bench_files,
+    flatten_bench,
+    format_diff,
+)
 from repro.telemetry.export import (
     aggregate_phases,
     chrome_trace_events,
@@ -44,6 +75,11 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+)
+from repro.telemetry.report import (
+    load_trace_records,
+    render_dashboard,
+    write_dashboard,
 )
 from repro.telemetry.spans import (
     NULL_TRACER,
@@ -80,4 +116,23 @@ __all__ = [
     "metrics_csv",
     "write_metrics_csv",
     "write_metrics_json",
+    # analysis
+    "PAPER_IMBALANCE_BOUND_PCT",
+    "AnomalyDetector",
+    "HealthEvent",
+    "HealthMonitor",
+    "HealthSnapshot",
+    "RollingZScore",
+    "ThresholdRule",
+    "analyze_records",
+    "default_detectors",
+    # report
+    "load_trace_records",
+    "render_dashboard",
+    "write_dashboard",
+    # benchdiff
+    "diff_bench",
+    "diff_bench_files",
+    "flatten_bench",
+    "format_diff",
 ]

@@ -1,0 +1,234 @@
+"""Bench-trajectory diffing: compare ``BENCH_*.json`` files across runs.
+
+``benchmarks/test_telemetry_export.py`` emits ``BENCH_telemetry.json`` on
+every run; this module compares two such artifacts -- typically the
+committed baseline against a freshly generated one -- and flags
+regressions, so CI can watch the performance trajectory across PRs
+instead of a human eyeballing JSON diffs.
+
+Two metric classes are compared differently:
+
+- **wall-clock keys** (``*wall_seconds*``): host performance.  A value
+  growing past ``(1 + tolerance)`` of the baseline *and* past an absolute
+  floor (micro-benchmark noise is real) is a **regression**; shrinking by
+  the same margin is an **improvement**.
+- **simulated keys** (everything else numeric): determinism signals.  The
+  simulation is seeded, so any change means *behaviour* changed -- those
+  are reported as **drift**, never as perf regressions.
+
+Used by ``repro bench-diff OLD NEW`` (exit code 1 with
+``--fail-on-regression``, otherwise warnings only, which is how CI runs
+it initially).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.errors import TelemetryError
+
+__all__ = ["BenchComparison", "BenchDelta", "diff_bench", "diff_bench_files",
+           "format_diff", "flatten_bench"]
+
+#: Relative slowdown beyond which a wall-clock key is a regression.
+DEFAULT_TOLERANCE = 0.20
+
+#: Absolute wall-seconds floor: changes smaller than this are noise no
+#: matter the ratio (micro-benchmarks jitter by tens of microseconds).
+DEFAULT_ABS_FLOOR_S = 1e-4
+
+#: Relative tolerance for simulated (deterministic) quantities.
+SIM_DRIFT_TOLERANCE = 1e-9
+
+
+@dataclass(slots=True)
+class BenchDelta:
+    """One compared metric."""
+
+    key: str
+    old: float | None
+    new: float | None
+    status: str  # "ok" | "regression" | "improvement" | "drift"
+    #           | "added" | "removed"
+    ratio: float | None = None
+
+    def describe(self) -> str:
+        if self.status == "added":
+            return f"{self.key}: added (new={self.new:g})"
+        if self.status == "removed":
+            return f"{self.key}: removed (old={self.old:g})"
+        pct = (self.ratio - 1.0) * 100.0 if self.ratio is not None else 0.0
+        return (
+            f"{self.key}: {self.old:g} -> {self.new:g} ({pct:+.1f}%)"
+        )
+
+
+@dataclass(slots=True)
+class BenchComparison:
+    """Full diff of two bench artifacts."""
+
+    tolerance: float
+    deltas: list[BenchDelta] = field(default_factory=list)
+
+    def _with_status(self, status: str) -> list[BenchDelta]:
+        return [d for d in self.deltas if d.status == status]
+
+    @property
+    def regressions(self) -> list[BenchDelta]:
+        return self._with_status("regression")
+
+    @property
+    def improvements(self) -> list[BenchDelta]:
+        return self._with_status("improvement")
+
+    @property
+    def drifts(self) -> list[BenchDelta]:
+        return self._with_status("drift")
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def flatten_bench(bench: dict[str, Any]) -> dict[str, float]:
+    """Flatten a ``BENCH_telemetry.json`` payload to comparable scalars.
+
+    Keys are dotted paths; lists of ``{"partitioner": ...}`` /
+    ``{"labels": ...}`` rows are keyed by their identity fields rather
+    than positions, so reordering rows never shows up as a change.
+    """
+    flat: dict[str, float] = {}
+
+    def walk(prefix: str, value: Any) -> None:
+        if isinstance(value, bool):
+            return
+        if isinstance(value, (int, float)):
+            flat[prefix] = float(value)
+            return
+        if isinstance(value, dict):
+            for k, v in sorted(value.items()):
+                walk(f"{prefix}.{k}" if prefix else str(k), v)
+            return
+        if isinstance(value, list):
+            for i, item in enumerate(value):
+                key = str(i)
+                if isinstance(item, dict):
+                    if "partitioner" in item:
+                        key = str(item["partitioner"])
+                    elif "labels" in item and item["labels"]:
+                        key = ",".join(
+                            f"{k}={v}" for k, v in sorted(item["labels"].items())
+                        )
+                    elif "labels" in item:
+                        key = "total"
+                walk(f"{prefix}.{key}" if prefix else key, item)
+
+    for top, value in sorted(bench.items()):
+        if top in ("schema_version", "python", "repro_version"):
+            continue
+        walk(top, value)
+    # Drop configuration coordinates -- they describe the benchmark, not
+    # its outcome, and changing them legitimately changes everything else.
+    return {
+        k: v
+        for k, v in flat.items()
+        if ".config." not in k and not k.endswith(".epochs")
+    }
+
+
+def _is_wall_key(key: str) -> bool:
+    return "wall_seconds" in key
+
+
+def diff_bench(
+    old: dict[str, Any],
+    new: dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+) -> BenchComparison:
+    """Compare two parsed bench payloads; see the module docstring."""
+    if tolerance <= 0:
+        raise TelemetryError(f"tolerance must be positive, got {tolerance}")
+    old_flat = flatten_bench(old)
+    new_flat = flatten_bench(new)
+    comparison = BenchComparison(tolerance=tolerance)
+    for key in sorted(old_flat.keys() | new_flat.keys()):
+        a, b = old_flat.get(key), new_flat.get(key)
+        if a is None:
+            comparison.deltas.append(
+                BenchDelta(key=key, old=None, new=b, status="added")
+            )
+            continue
+        if b is None:
+            comparison.deltas.append(
+                BenchDelta(key=key, old=a, new=None, status="removed")
+            )
+            continue
+        ratio = (b / a) if a else (float("inf") if b else 1.0)
+        status = "ok"
+        if _is_wall_key(key):
+            if b > a * (1.0 + tolerance) and b - a > abs_floor_s:
+                status = "regression"
+            elif b < a * (1.0 - tolerance) and a - b > abs_floor_s:
+                status = "improvement"
+        else:
+            denom = max(abs(a), abs(b), 1.0)
+            if abs(b - a) / denom > SIM_DRIFT_TOLERANCE:
+                status = "drift"
+        comparison.deltas.append(
+            BenchDelta(key=key, old=a, new=b, status=status, ratio=ratio)
+        )
+    return comparison
+
+
+def diff_bench_files(
+    old_path: str | os.PathLike,
+    new_path: str | os.PathLike,
+    tolerance: float = DEFAULT_TOLERANCE,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+) -> BenchComparison:
+    """Load and compare two bench JSON files."""
+    with open(old_path, "r", encoding="utf-8") as fh:
+        old = json.load(fh)
+    with open(new_path, "r", encoding="utf-8") as fh:
+        new = json.load(fh)
+    return diff_bench(old, new, tolerance=tolerance, abs_floor_s=abs_floor_s)
+
+
+def format_diff(comparison: BenchComparison, verbose: bool = False) -> str:
+    """Human-readable report (what ``repro bench-diff`` prints)."""
+    lines: list[str] = []
+    reg = comparison.regressions
+    imp = comparison.improvements
+    drift = comparison.drifts
+    added = comparison._with_status("added")
+    removed = comparison._with_status("removed")
+    compared = sum(
+        1 for d in comparison.deltas if d.status not in ("added", "removed")
+    )
+    lines.append(
+        f"compared {compared} metrics "
+        f"(tolerance {comparison.tolerance:.0%} on wall-clock keys): "
+        f"{len(reg)} regressions, {len(imp)} improvements, "
+        f"{len(drift)} behaviour drifts, "
+        f"{len(added)} added, {len(removed)} removed"
+    )
+    for title, rows in (
+        ("REGRESSIONS", reg),
+        ("improvements", imp),
+        ("behaviour drift (simulated quantities changed)", drift),
+    ):
+        if rows:
+            lines.append(f"{title}:")
+            lines.extend(f"  {d.describe()}" for d in rows)
+    if verbose:
+        for title, rows in (("added", added), ("removed", removed)):
+            if rows:
+                lines.append(f"{title}:")
+                lines.extend(f"  {d.describe()}" for d in rows)
+    if not reg:
+        lines.append("no wall-clock regressions beyond tolerance.")
+    return "\n".join(lines)

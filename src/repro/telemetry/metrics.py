@@ -118,6 +118,15 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def values(self) -> tuple[float, ...]:
+        """The retained raw samples, in observation order.
+
+        Consumers that need the actual distribution -- the health
+        monitor's rolling statistics, the dashboard's charts -- read it
+        from here rather than re-deriving it from percentile calls.
+        """
+        return tuple(self._samples)
+
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile over the retained samples."""
         if not 0.0 <= q <= 100.0:
@@ -189,6 +198,14 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    def series(self, name: str) -> list[Counter | Gauge | Histogram]:
+        """All instruments registered under ``name`` (one per label set).
+
+        A read-only lookup: unlike the accessors it never creates the
+        instrument, so observers can poll without polluting the registry.
+        """
+        return [m for m in self._metrics.values() if m.name == name]
+
     # ------------------------------------------------------------------
     def summary(self) -> dict[str, Any]:
         """Nested ``{name: {kind, series: [{labels, ...stats}]}}`` view."""
@@ -239,6 +256,9 @@ class _NullInstrument:
     def percentile(self, q: float) -> float:
         return 0.0
 
+    def values(self) -> tuple[float, ...]:
+        return ()
+
     def snapshot(self) -> dict[str, Any]:
         return {}
 
@@ -259,6 +279,9 @@ class NullMetricsRegistry:
 
     def histogram(self, name: str, **labels: Any) -> _NullInstrument:
         return _NULL_INSTRUMENT
+
+    def series(self, name: str) -> list[_NullInstrument]:
+        return []
 
     def __iter__(self) -> Iterator[_NullInstrument]:
         return iter(())

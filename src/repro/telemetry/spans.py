@@ -21,6 +21,12 @@ lookup and one method call, nothing else, and behaviour is bit-identical
 to uninstrumented code.  An enabled tracer is either passed explicitly to
 the runtime classes or installed for a block via :func:`activate` (how the
 ``repro trace`` CLI instruments experiment builders it does not own).
+
+Consumers that want to *interpret* the trace while it is being recorded
+(the health monitor in :mod:`repro.telemetry.analysis`) subscribe through
+:meth:`Tracer.add_observer`: every span is delivered to each observer
+exactly once, at the moment it closes.  With no observers registered the
+close path pays a single truthiness check on an empty list.
 """
 
 from __future__ import annotations
@@ -182,6 +188,7 @@ class Tracer:
         self._next_id = 1
         self.pid = 0
         self.run_labels: dict[int, str] = {}
+        self._observers: list[Callable[[Span], None]] = []
 
     # ------------------------------------------------------------------
     def _sim_now(self) -> float:
@@ -209,6 +216,29 @@ class Tracer:
         return self.pid
 
     # ------------------------------------------------------------------
+    def add_observer(self, callback: Callable[[Span], None]) -> None:
+        """Deliver every span to ``callback`` the moment it closes.
+
+        Observers fire after the span's end times are stamped and after it
+        lands in :attr:`spans`, so a callback sees the finished record.  A
+        callback may call :meth:`event` (health monitors annotate the trace
+        this way) but must not open spans, which would corrupt the stack.
+        """
+        if callback not in self._observers:
+            self._observers.append(callback)
+
+    def remove_observer(self, callback: Callable[[Span], None]) -> None:
+        """Unsubscribe; unknown callbacks are ignored."""
+        try:
+            self._observers.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify(self, span: Span) -> None:
+        for callback in self._observers:
+            callback(span)
+
+    # ------------------------------------------------------------------
     def span(self, name: str, rank: int | None = None, **attrs: Any) -> _ActiveSpan:
         """Open a nested span; use as a context manager."""
         parent = self._stack[-1].span_id if self._stack else None
@@ -234,6 +264,8 @@ class Tracer:
         elif span in self._stack:  # tolerate out-of-order exits
             self._stack.remove(span)
         self.spans.append(span)
+        if self._observers:
+            self._notify(span)
 
     def add_span(
         self,
@@ -267,6 +299,8 @@ class Tracer:
         )
         self._next_id += 1
         self.spans.append(span)
+        if self._observers:
+            self._notify(span)
         return span
 
     def event(self, name: str, rank: int | None = None, **attrs: Any) -> None:
@@ -332,6 +366,12 @@ class NullTracer:
     metrics: NullMetricsRegistry = NULL_REGISTRY
 
     def bind_sim_clock(self, sim_clock: Callable[[], float] | None) -> None:
+        pass
+
+    def add_observer(self, callback: Callable[[Span], None]) -> None:
+        pass
+
+    def remove_observer(self, callback: Callable[[Span], None]) -> None:
         pass
 
     def begin_run(

@@ -3,14 +3,17 @@ exchange planning."""
 
 from __future__ import annotations
 
+import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.amr.ghost import plan_exchange_volumes
 from repro.kernels.workloads import moving_blob_trace
 from repro.partition import ACEHeterogeneous, ACEComposite
-from repro.partition.base import default_work
-from repro.partition.metrics import redistribution_volume
+from repro.partition.base import PartitionResult, default_work
+from repro.partition.metrics import load_imbalance, redistribution_volume
+from repro.util.errors import PartitionError
 from repro.util.geometry import Box
 
 
@@ -87,3 +90,74 @@ def test_exchange_volume_nonnegative_and_self_free(epoch_idx, which):
         assert v > 0
     solo = part.partition(bl, [1.0], default_work)
     assert plan_exchange_volumes(solo.boxes(), solo.owners()) == {}
+
+
+class TestLoadImbalanceEdgeCases:
+    def test_no_targets_raises(self):
+        result = PartitionResult(assignment=[], targets=np.zeros(0))
+        with pytest.raises(PartitionError, match="no targets"):
+            load_imbalance(result)
+
+    def test_target_count_mismatch_raises(self):
+        box = Box((0, 0), (2, 2))
+        result = PartitionResult(
+            assignment=[(box, 0)], targets=np.array([2.0, 2.0])
+        )
+        with pytest.raises(PartitionError, match="targets for"):
+            load_imbalance(result, targets=[4.0])
+
+    def test_single_node_perfect_balance(self):
+        box = Box((0, 0), (2, 2))
+        result = PartitionResult(
+            assignment=[(box, 0)], targets=np.array([float(box.num_cells)])
+        )
+        assert load_imbalance(result).tolist() == [0.0]
+
+    def test_zero_total_load_scores_full_imbalance(self):
+        # Nothing assigned but positive targets: every rank missed its
+        # ideal share entirely -- 100% off, not a division error.
+        result = PartitionResult(
+            assignment=[], targets=np.array([3.0, 5.0])
+        )
+        assert load_imbalance(result).tolist() == [100.0, 100.0]
+
+    def test_zero_capacity_rank_balanced_only_when_idle(self):
+        box = Box((0, 0), (2, 2))
+        idle = PartitionResult(
+            assignment=[(box, 0)],
+            targets=np.array([float(box.num_cells), 0.0]),
+        )
+        imb = load_imbalance(idle)
+        assert imb.tolist() == [0.0, 0.0]
+        loaded = PartitionResult(
+            assignment=[(box, 1)],
+            targets=np.array([float(box.num_cells), 0.0]),
+        )
+        imb = load_imbalance(loaded)
+        assert imb[1] == float("inf")
+
+
+class TestRedistributionVolumeEdgeCases:
+    def test_both_empty(self):
+        assert redistribution_volume([], []) == {}
+
+    def test_empty_previous_assignment_is_free(self):
+        # Newly refined regions have no prior owner; their data is
+        # prolonged locally, never migrated.
+        new = [(Box((0, 0), (4, 4)), 1)]
+        assert redistribution_volume([], new) == {}
+
+    def test_empty_new_assignment(self):
+        prev = [(Box((0, 0), (4, 4)), 0)]
+        assert redistribution_volume(prev, []) == {}
+
+    def test_single_node_never_moves(self):
+        boxes = [Box((0, 0), (4, 4)), Box((4, 0), (8, 4))]
+        prev = [(b, 0) for b in boxes]
+        new = [(b, 0) for b in reversed(boxes)]
+        assert redistribution_volume(prev, new) == {}
+
+    def test_disjoint_levels_do_not_interact(self):
+        coarse = Box((0, 0), (4, 4), level=0)
+        fine = Box((0, 0), (4, 4), level=1)
+        assert redistribution_volume([(coarse, 0)], [(fine, 1)]) == {}

@@ -108,3 +108,86 @@ class TestTrace:
         )
         assert "migration_bytes" in metrics["metrics"]
         assert "partition" in metrics["phases"]
+
+
+class TestReport:
+    def test_unknown_experiment(self, tmp_path, capsys):
+        code = main(
+            ["report", "nope", "--quick", "--out-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_missing_trace_file(self, tmp_path, capsys):
+        code = main(
+            ["report", str(tmp_path / "no.events.jsonl"),
+             "--out-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_report_writes_dashboard_and_events(self, tmp_path, capsys):
+        code = main(
+            ["report", "fig10", "--quick", "--out-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "health:" in out and "iteration snapshots" in out
+        assert (tmp_path / "fig10.events.jsonl").exists()
+        html = (tmp_path / "fig10.dashboard.html").read_text()
+        assert "<svg" in html
+        assert "40% paper bound" in html
+        assert "<script src" not in html and "<link" not in html
+
+    def test_report_from_trace_file(self, tmp_path, capsys):
+        assert (
+            main(["report", "fig10", "--quick", "--out-dir", str(tmp_path)])
+            == 0
+        )
+        offline = tmp_path / "offline"
+        code = main(
+            ["report", str(tmp_path / "fig10.events.jsonl"),
+             "--out-dir", str(offline)]
+        )
+        assert code == 0
+        html = (offline / "fig10.dashboard.html").read_text()
+        assert "Per-rank phase timeline" in html
+
+
+class TestBenchDiff:
+    BENCH = {
+        "results": [{"partitioner": "ACE", "wall_seconds": 1.0,
+                     "total_sim_seconds": 10.0}],
+    }
+
+    def write(self, path, payload):
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_identical_files_pass(self, tmp_path, capsys):
+        old = self.write(tmp_path / "old.json", self.BENCH)
+        new = self.write(tmp_path / "new.json", self.BENCH)
+        assert main(["bench-diff", old, new, "--fail-on-regression"]) == 0
+        assert "0 regressions" in capsys.readouterr().out
+
+    def test_regression_fails_when_gated(self, tmp_path, capsys):
+        slow = json.loads(json.dumps(self.BENCH))
+        slow["results"][0]["wall_seconds"] = 1.5
+        old = self.write(tmp_path / "old.json", self.BENCH)
+        new = self.write(tmp_path / "new.json", slow)
+        assert main(["bench-diff", old, new, "--fail-on-regression"]) == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+        # Without the gate the same regression only warns.
+        assert main(["bench-diff", old, new]) == 0
+
+    def test_missing_file(self, tmp_path, capsys):
+        old = self.write(tmp_path / "old.json", self.BENCH)
+        assert main(["bench-diff", old, str(tmp_path / "gone.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_malformed_json(self, tmp_path, capsys):
+        old = self.write(tmp_path / "old.json", self.BENCH)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["bench-diff", old, str(bad)]) == 2
+        assert "could not parse" in capsys.readouterr().err

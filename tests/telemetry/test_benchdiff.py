@@ -1,0 +1,138 @@
+"""Tests for BENCH_*.json diffing (`repro bench-diff`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import diff_bench, diff_bench_files, flatten_bench, format_diff
+from repro.util.errors import TelemetryError
+
+BASE = {
+    "schema_version": 1,
+    "python": "3.12.0",
+    "results": [
+        {
+            "partitioner": "ACEHeterogeneous",
+            "wall_seconds": 1.0,
+            "total_sim_seconds": 10.0,
+            "config": {"iterations": 30},
+        },
+        {
+            "partitioner": "SFCHybrid",
+            "wall_seconds": 2.0,
+            "total_sim_seconds": 12.0,
+        },
+    ],
+    "metrics": {"migration_bytes": 4096.0},
+}
+
+
+def clone():
+    return json.loads(json.dumps(BASE))
+
+
+class TestFlatten:
+    def test_lists_keyed_by_partitioner_not_position(self):
+        reordered = clone()
+        reordered["results"].reverse()
+        assert flatten_bench(BASE) == flatten_bench(reordered)
+
+    def test_config_and_provenance_keys_dropped(self):
+        flat = flatten_bench(BASE)
+        assert not any(".config." in k for k in flat)
+        assert not any(k.startswith(("schema_version", "python")) for k in flat)
+        assert "results.ACEHeterogeneous.wall_seconds" in flat
+
+
+class TestDiff:
+    def test_identical_inputs_are_clean(self):
+        cmp = diff_bench(BASE, clone())
+        assert cmp.ok
+        assert cmp.regressions == []
+        assert cmp.improvements == []
+        assert cmp.drifts == []
+
+    def test_injected_slowdown_is_flagged(self):
+        slow = clone()
+        slow["results"][0]["wall_seconds"] = 1.30  # +30% > 20% tolerance
+        cmp = diff_bench(BASE, slow)
+        assert not cmp.ok
+        (reg,) = cmp.regressions
+        assert "ACEHeterogeneous" in reg.key
+        assert reg.ratio == pytest.approx(1.30)
+
+    def test_slowdown_at_tolerance_is_not_flagged(self):
+        edge = clone()
+        edge["results"][0]["wall_seconds"] = 1.20
+        assert diff_bench(BASE, edge).ok
+
+    def test_speedup_is_an_improvement(self):
+        fast = clone()
+        fast["results"][0]["wall_seconds"] = 0.5
+        cmp = diff_bench(BASE, fast)
+        assert cmp.ok
+        assert len(cmp.improvements) == 1
+
+    def test_absolute_floor_mutes_micro_noise(self):
+        # 10x relative change, but well under the absolute floor: noise.
+        tiny_old, tiny_new = clone(), clone()
+        tiny_old["results"][0]["wall_seconds"] = 1e-6
+        tiny_new["results"][0]["wall_seconds"] = 1e-5
+        assert diff_bench(tiny_old, tiny_new).ok
+
+    def test_simulated_change_is_drift_not_regression(self):
+        moved = clone()
+        moved["results"][0]["total_sim_seconds"] = 10.5
+        cmp = diff_bench(BASE, moved)
+        assert cmp.ok  # drift never fails the comparison
+        (drift,) = cmp.drifts
+        assert "total_sim_seconds" in drift.key
+
+    def test_added_and_removed_keys(self):
+        grown = clone()
+        grown["metrics"]["num_splits"] = 3.0
+        deltas = {d.status for d in diff_bench(BASE, grown).deltas}
+        assert "added" in deltas
+        deltas = {d.status for d in diff_bench(grown, BASE).deltas}
+        assert "removed" in deltas
+
+    def test_custom_tolerance(self):
+        slow = clone()
+        slow["results"][0]["wall_seconds"] = 1.30
+        assert diff_bench(BASE, slow, tolerance=0.5).ok
+        assert not diff_bench(BASE, slow, tolerance=0.1).ok
+
+    def test_invalid_tolerance_raises(self):
+        with pytest.raises(TelemetryError):
+            diff_bench(BASE, clone(), tolerance=0.0)
+
+
+class TestFilesAndFormat:
+    def test_diff_bench_files(self, tmp_path):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        old.write_text(json.dumps(BASE))
+        slow = clone()
+        slow["results"][1]["wall_seconds"] = 3.0
+        new.write_text(json.dumps(slow))
+        cmp = diff_bench_files(old, new)
+        assert len(cmp.regressions) == 1
+
+    def test_format_mentions_regressions(self):
+        slow = clone()
+        slow["results"][0]["wall_seconds"] = 1.5
+        text = format_diff(diff_bench(BASE, slow))
+        assert "REGRESSIONS" in text
+        assert "ACEHeterogeneous" in text
+        assert "+50.0%" in text
+
+    def test_format_clean_run(self):
+        text = format_diff(diff_bench(BASE, clone()))
+        assert "no wall-clock regressions" in text
+
+    def test_verbose_lists_added_keys(self):
+        grown = clone()
+        grown["metrics"]["num_splits"] = 3.0
+        text = format_diff(diff_bench(BASE, grown), verbose=True)
+        assert "added" in text and "num_splits" in text

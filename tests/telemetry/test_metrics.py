@@ -116,3 +116,48 @@ class TestNullRegistry:
         b.observe(1.0)
         assert len(NULL_REGISTRY) == 0
         assert NULL_REGISTRY.rows() == []
+
+
+class TestHistogramPercentileEdgeCases:
+    def test_empty_histogram_percentile_is_zero(self):
+        h = MetricsRegistry().histogram("h")
+        for q in (0.0, 50.0, 100.0):
+            assert h.percentile(q) == 0.0
+        assert h.snapshot() == {"count": 0, "sum": 0.0}
+
+    def test_single_sample_dominates_every_quantile(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(3.5)
+        for q in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert h.percentile(q) == 3.5
+        snap = h.snapshot()
+        assert snap["p50"] == snap["p95"] == 3.5
+        assert snap["min"] == snap["max"] == 3.5
+
+    def test_out_of_range_quantile_raises(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(1.0)
+        with pytest.raises(TelemetryError):
+            h.percentile(-0.1)
+        with pytest.raises(TelemetryError):
+            h.percentile(100.1)
+
+    def test_values_accessor_returns_retained_samples(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        assert h.values() == ()
+        h.observe(2.0)
+        h.observe(1.0)
+        assert h.values() == (2.0, 1.0)
+
+    def test_series_lookup_is_readonly(self):
+        reg = MetricsRegistry()
+        reg.gauge("util", node=0).set(0.5)
+        reg.gauge("util", node=1).set(0.9)
+        assert len(reg.series("util")) == 2
+        assert reg.series("missing") == []
+        assert len(reg) == 2  # lookup created nothing
+
+    def test_null_registry_values_and_series(self):
+        assert NULL_REGISTRY.histogram("h").values() == ()
+        assert NULL_REGISTRY.series("h") == []
