@@ -1,0 +1,187 @@
+"""Partitioner-throughput export: write ``BENCH_partition.json``.
+
+Measures end-to-end partitioning throughput (boxes/second) before and
+after the vectorized work-model refactor, at two box counts:
+
+- **before**: a faithful replica of the pre-refactor hot path, embedded
+  below -- per-box ``work_of`` calls in the greedy loop, the legacy
+  O(n^2) pairwise ``is_disjoint`` validation, and the runtime's triple
+  per-box load accounting (loads were recomputed from scratch for
+  imbalance, per-level breakdown, and the regrid record).
+- **after**: the current :class:`GreedyLPT` handed a fresh
+  :class:`WorkModel` per call (fresh, so identity-cache hits across
+  repeats cannot flatter the numbers), plus one cached-vector
+  ``loads()`` call, matching what the repartition pipeline now does.
+
+The artifact feeds ``repro bench-diff`` alongside
+``BENCH_telemetry.json``; throughput keys (``boxes_per_wall_second``,
+``wall_speedup``) diff with inverted direction (higher is better).
+
+Not pytest-collected -- CI runs it explicitly::
+
+    PYTHONPATH=src python benchmarks/bench_partition.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__
+from repro.partition import GreedyLPT, WorkModel
+from repro.partition.base import default_work
+from repro.util.errors import PartitionError
+from repro.util.geometry import Box, BoxList
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_partition.json"
+
+SIZES = (1_000, 10_000)
+CAPACITIES = np.array([0.16, 0.19, 0.31, 0.34])
+REPEATS_AFTER = 5
+#: The legacy path is quadratic in box count; one repeat at the large
+#: size keeps the script's runtime bounded (~25 s total).
+REPEATS_BEFORE = {1_000: 3, 10_000: 1}
+
+
+def make_boxes(n: int) -> BoxList:
+    """Synthetic patchwork: ``n`` disjoint 2-D boxes over three levels."""
+    side = math.ceil(math.sqrt(n))
+    boxes = []
+    for i in range(n):
+        x = (i % side) * 16
+        y = (i // side) * 16
+        sz = 8 + 4 * (i % 3)
+        boxes.append(Box((x, y), (x + sz, y + sz), level=i % 3))
+    return BoxList(boxes)
+
+
+# --------------------------------------------------------------------------
+# Faithful pre-refactor replicas (kept verbatim so "before" stays honest
+# even as the live code evolves).
+# --------------------------------------------------------------------------
+
+
+def _legacy_is_disjoint(boxes: BoxList) -> bool:
+    by_level: dict[int, list[Box]] = {}
+    for b in boxes:
+        by_level.setdefault(b.level, []).append(b)
+    for bxs in by_level.values():
+        for i, a in enumerate(bxs):
+            for b in bxs[i + 1:]:
+                if a.intersects(b):
+                    return False
+    return True
+
+
+def _legacy_validate_covers(assignment, original: BoxList) -> None:
+    got = BoxList(b for b, _ in assignment)
+    for level in set(original.levels) | set(got.levels):
+        if got.at_level(level).total_cells != original.at_level(level).total_cells:
+            raise PartitionError(f"assignment lost cells at level {level}")
+    if not _legacy_is_disjoint(got):
+        raise PartitionError("assignment produced overlapping boxes")
+
+
+def _legacy_loads(assignment, num_ranks: int) -> np.ndarray:
+    out = np.zeros(num_ranks)
+    for box, rank in assignment:
+        out[rank] += default_work(box)
+    return out
+
+
+def legacy_partition_and_account(boxes: BoxList, capacities) -> np.ndarray:
+    """Pre-refactor GreedyLPT + the runtime's triple load accounting."""
+    caps = np.asarray(capacities, dtype=float)
+    caps = caps / caps.sum()
+    work_of = default_work
+    total = sum(work_of(b) for b in boxes)  # noqa: F841 (targets, as before)
+    assignment: list[tuple[Box, int]] = []
+    loads = np.zeros(len(caps))
+    safe_caps = np.where(caps > 0, caps, 1e-12)
+    for box in sorted(boxes, key=lambda b: (-work_of(b), b.corner_key())):
+        w = work_of(box)
+        rank = int(np.argmin((loads + w) / safe_caps))
+        assignment.append((box, rank))
+        loads[rank] += w
+    _legacy_validate_covers(assignment, boxes)
+    # SamrRuntime._repartition used to walk the assignment three times:
+    # imbalance loads, per-level loads, and the regrid record.
+    out = _legacy_loads(assignment, len(caps))
+    _legacy_loads(assignment, len(caps))
+    _legacy_loads(assignment, len(caps))
+    return out
+
+
+def current_partition_and_account(boxes: BoxList, capacities) -> np.ndarray:
+    r = GreedyLPT().partition(boxes, capacities, WorkModel())
+    return r.loads()
+
+
+def _best_wall(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_size(n: int) -> dict:
+    boxes = make_boxes(n)
+    before_loads = legacy_partition_and_account(boxes, CAPACITIES)
+    after_loads = current_partition_and_account(boxes, CAPACITIES)
+    if not np.array_equal(before_loads, after_loads):
+        raise AssertionError(
+            f"vectorized path changed loads at n={n}: "
+            f"{before_loads} != {after_loads}"
+        )
+    before = _best_wall(
+        lambda: legacy_partition_and_account(boxes, CAPACITIES),
+        REPEATS_BEFORE[n],
+    )
+    after = _best_wall(
+        lambda: current_partition_and_account(boxes, CAPACITIES),
+        REPEATS_AFTER,
+    )
+    return {
+        "partitioner": f"GreedyLPT@{n}",
+        "num_boxes": n,
+        "before": {
+            "wall_seconds": before,
+            "boxes_per_wall_second": n / before,
+        },
+        "after": {
+            "wall_seconds": after,
+            "boxes_per_wall_second": n / after,
+        },
+        "wall_speedup": before / after,
+    }
+
+
+def main() -> None:
+    rows = [bench_size(n) for n in SIZES]
+    summary = {
+        "schema_version": 1,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "sizes": rows,
+    }
+    OUTPUT.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    for row in rows:
+        print(
+            f"  {row['num_boxes']:>6} boxes: "
+            f"before {row['before']['wall_seconds'] * 1e3:9.1f} ms, "
+            f"after {row['after']['wall_seconds'] * 1e3:7.1f} ms, "
+            f"speedup {row['wall_speedup']:6.1f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

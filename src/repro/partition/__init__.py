@@ -24,8 +24,18 @@ from repro.partition.greedy import GreedyLPT
 from repro.partition.heterogeneous import ACEHeterogeneous
 from repro.partition.hybrid import SFCHybrid
 from repro.partition.levelwise import LevelPartitioner
-from repro.partition.metrics import load_imbalance, makespan_estimate
+from repro.partition.metrics import (
+    imbalance_pct,
+    load_imbalance,
+    makespan_estimate,
+)
 from repro.partition.splitting import SplitConstraints
+from repro.partition.workmodel import (
+    CallableWorkModel,
+    WorkFunction,
+    WorkModel,
+    as_work_model,
+)
 
 __all__ = [
     "Partitioner",
@@ -40,6 +50,11 @@ __all__ = [
     "build_box_graph",
     "LevelPartitioner",
     "SplitConstraints",
+    "WorkFunction",
+    "WorkModel",
+    "CallableWorkModel",
+    "as_work_model",
+    "imbalance_pct",
     "load_imbalance",
     "makespan_estimate",
 ]

@@ -9,14 +9,23 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.partition.workmodel import (
+    WorkFunction,
+    WorkModel,
+    as_work_model,
+)
 from repro.telemetry.spans import NULL_TRACER
 from repro.util.errors import PartitionError
 from repro.util.geometry import Box, BoxList
 
-__all__ = ["WorkFunction", "default_work", "PartitionResult", "Partitioner"]
-
-#: Work of one box, in abstract work units.
-WorkFunction = Callable[[Box], float]
+__all__ = [
+    "WorkFunction",
+    "WorkModel",
+    "as_work_model",
+    "default_work",
+    "PartitionResult",
+    "Partitioner",
+]
 
 
 def default_work(box: Box, refine_factor: int = 2) -> float:
@@ -24,7 +33,9 @@ def default_work(box: Box, refine_factor: int = 2) -> float:
 
     Finer grids both have more cells *and* take more steps per coarse step,
     which is why the coarse level's load "cannot be ignored" but fine levels
-    dominate (paper section 3.1).
+    dominate (paper section 3.1).  This is the per-box form of the default
+    :class:`~repro.partition.workmodel.WorkModel`; hot paths use the
+    model's cached vector instead of calling this in a loop.
     """
     return float(box.num_cells * refine_factor**box.level)
 
@@ -41,11 +52,22 @@ class PartitionResult:
         Ideal per-rank loads ``L_k`` the partitioner aimed for.
     num_splits:
         How many box splits were performed.
+    work_model:
+        The :class:`~repro.partition.workmodel.WorkModel` the partitioner
+        priced boxes with; :meth:`loads` and :meth:`work_vector` default
+        to it so load accounting reuses the partitioner's cached vectors.
     """
 
     assignment: list[tuple[Box, int]] = field(default_factory=list)
     targets: np.ndarray = field(default_factory=lambda: np.zeros(0))
     num_splits: int = 0
+    work_model: WorkModel | None = field(
+        default=None, repr=False, compare=False
+    )
+    _ranks: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+    _boxes: BoxList | None = field(default=None, repr=False, compare=False)
 
     @property
     def num_ranks(self) -> int:
@@ -56,15 +78,48 @@ class PartitionResult:
         return dict(self.assignment)
 
     def boxes(self) -> BoxList:
-        return BoxList(b for b, _ in self.assignment)
+        """The assigned boxes (memoized once the assignment is final)."""
+        boxes = self._boxes
+        if boxes is None or len(boxes) != len(self.assignment):
+            boxes = BoxList(b for b, _ in self.assignment)
+            self._boxes = boxes
+        return boxes
 
-    def loads(self, work_of: WorkFunction | None = None) -> np.ndarray:
-        """Realized per-rank work W_k."""
-        work_of = work_of or default_work
-        out = np.zeros(self.num_ranks)
-        for box, rank in self.assignment:
-            out[rank] += work_of(box)
-        return out
+    def _model(self, work_of: WorkFunction | WorkModel | None) -> WorkModel:
+        if work_of is None and self.work_model is not None:
+            return self.work_model
+        return as_work_model(work_of)
+
+    def rank_vector(self) -> np.ndarray:
+        """Assigned rank per box, aligned with :attr:`assignment`."""
+        ranks = self._ranks
+        if ranks is None or len(ranks) != len(self.assignment):
+            ranks = np.fromiter(
+                (r for _, r in self.assignment),
+                dtype=np.intp,
+                count=len(self.assignment),
+            )
+            ranks.setflags(write=False)
+            self._ranks = ranks
+        return ranks
+
+    def work_vector(
+        self, work_of: WorkFunction | WorkModel | None = None
+    ) -> np.ndarray:
+        """Per-box work aligned with :attr:`assignment` (cached vector)."""
+        return self._model(work_of).vector(self.boxes())
+
+    def loads(
+        self, work_of: WorkFunction | WorkModel | None = None
+    ) -> np.ndarray:
+        """Realized per-rank work W_k, from the cached work vector."""
+        if not self.assignment:
+            return np.zeros(self.num_ranks)
+        return np.bincount(
+            self.rank_vector(),
+            weights=self.work_vector(work_of),
+            minlength=self.num_ranks,
+        )
 
     def boxes_of(self, rank: int) -> BoxList:
         return BoxList(b for b, r in self.assignment if r == rank)
@@ -76,12 +131,14 @@ class PartitionResult:
         disjoint; raises :class:`PartitionError` otherwise.
         """
         got = self.boxes()
-        for level in set(original.levels) | set(got.levels):
-            if got.at_level(level).total_cells != original.at_level(level).total_cells:
+        got_cells = got.cells_by_level()
+        orig_cells = original.cells_by_level()
+        for level in sorted(set(got_cells) | set(orig_cells)):
+            if got_cells.get(level, 0) != orig_cells.get(level, 0):
                 raise PartitionError(
                     f"assignment lost cells at level {level}: "
-                    f"{got.at_level(level).total_cells} != "
-                    f"{original.at_level(level).total_cells}"
+                    f"{got_cells.get(level, 0)} != "
+                    f"{orig_cells.get(level, 0)}"
                 )
         if not got.is_disjoint():
             raise PartitionError("assignment produced overlapping boxes")
@@ -151,12 +208,15 @@ class Partitioner(abc.ABC):
         self,
         boxes: BoxList,
         capacities: Sequence[float],
-        work_of: WorkFunction | None = None,
+        work_of: WorkFunction | WorkModel | None = None,
     ) -> PartitionResult:
         """Distribute ``boxes`` over ``len(capacities)`` ranks.
 
-        ``capacities`` are relative (summing to ~1); ``work_of`` defaults to
-        :func:`default_work`.
+        ``capacities`` are relative (summing to ~1); ``work_of`` may be a
+        :class:`~repro.partition.workmodel.WorkModel` (preferred: its
+        cached vector prices the whole box list at once), a legacy per-box
+        callable (adapted transparently), or ``None`` for the default
+        Berger-Oliger model.
         """
 
     def set_tracer(self, tracer) -> None:

@@ -24,7 +24,8 @@ from repro.partition.base import (
     Partitioner,
     PartitionResult,
     WorkFunction,
-    default_work,
+    WorkModel,
+    as_work_model,
 )
 from repro.partition.splitting import SplitConstraints, split_to_target
 from repro.util.geometry import BoxList
@@ -36,7 +37,7 @@ __all__ = ["ACEComposite", "assign_curve_spans"]
 def assign_curve_spans(
     ordered: list,
     targets: np.ndarray,
-    work_of: WorkFunction,
+    work_of: WorkFunction | WorkModel,
     constraints: SplitConstraints,
     result: PartitionResult,
 ) -> None:
@@ -47,15 +48,21 @@ def assign_curve_spans(
     under ``constraints`` (remainders stay at the current curve position).
     When a boundary cannot be carved, the shortfall carries into the next
     rank's span so the global sum is preserved.  Mutates ``result``.
+
+    Box works come from the model's vector in one shot; split remainders
+    are priced incrementally through the model's per-box cache, keeping a
+    ``works`` list aligned with the (mutating) curve position list.
     """
+    model = as_work_model(work_of)
     num_ranks = len(targets)
     pending = ordered
+    works = model.compute(pending).tolist()
     rank = 0
     remaining = targets[0]
     i = 0
     while i < len(pending):
         box = pending[i]
-        w = work_of(box)
+        w = works[i]
         last_rank = rank == num_ranks - 1
         if last_rank or w <= remaining + 1e-9:
             result.assignment.append((box, rank))
@@ -66,7 +73,7 @@ def assign_curve_spans(
                 remaining += targets[rank]
             continue
         split = (
-            split_to_target(box, remaining, work_of, constraints)
+            split_to_target(box, remaining, model, constraints)
             if remaining > 0
             else None
         )
@@ -77,9 +84,10 @@ def assign_curve_spans(
         piece, rest = split
         result.num_splits += len(rest)
         result.assignment.append((piece, rank))
-        remaining -= work_of(piece)
+        remaining -= model.work(piece)
         # Remainders stay at the current curve position.
         pending[i : i + 1] = rest
+        works[i : i + 1] = [model.work(r) for r in rest]
         if remaining <= 0 and rank < num_ranks - 1:
             rank += 1
             remaining += targets[rank]
@@ -110,20 +118,20 @@ class ACEComposite(Partitioner):
         self,
         boxes: BoxList,
         capacities: Sequence[float],
-        work_of: WorkFunction | None = None,
+        work_of: WorkFunction | WorkModel | None = None,
     ) -> PartitionResult:
         # Capacities are accepted (interface parity) but only their count
         # matters: the default scheme assumes homogeneity.
         caps = self._check_inputs(boxes, capacities)
         num_ranks = len(caps)
-        work_of = work_of or default_work
-        total = sum(work_of(b) for b in boxes)
+        model = as_work_model(work_of)
+        total = model.total(boxes)
         targets = np.full(num_ranks, total / num_ranks)
-        result = PartitionResult(targets=targets)
+        result = PartitionResult(targets=targets, work_model=model)
         if len(boxes) == 0:
             return result
 
         ordered = list(sfc_order_boxes(boxes, curve=self.curve))
-        assign_curve_spans(ordered, targets, work_of, self.constraints, result)
+        assign_curve_spans(ordered, targets, model, self.constraints, result)
         result.validate_covers(boxes)
         return result

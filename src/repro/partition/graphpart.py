@@ -32,7 +32,8 @@ from repro.partition.base import (
     Partitioner,
     PartitionResult,
     WorkFunction,
-    default_work,
+    WorkModel,
+    as_work_model,
 )
 from repro.util.geometry import Box, BoxList
 
@@ -41,20 +42,22 @@ __all__ = ["build_box_graph", "GraphPartitioner"]
 
 def build_box_graph(
     boxes: BoxList,
-    work_of: WorkFunction,
+    work_of: WorkFunction | WorkModel,
     ghost_width: int = 1,
     refine_factor: int = 2,
 ) -> nx.Graph:
     """Connectivity graph of a hierarchy's bounding boxes.
 
-    Node attributes: ``work``.  Edge attribute ``volume``: cells that
-    would cross between the two boxes in one ghost exchange (both
-    directions), including coarse-fine prolongation overlap.
+    Node attributes: ``work`` (priced in one vectorized pass).  Edge
+    attribute ``volume``: cells that would cross between the two boxes in
+    one ghost exchange (both directions), including coarse-fine
+    prolongation overlap.
     """
     g = nx.Graph()
     box_list = list(boxes)
+    works = as_work_model(work_of).vector(boxes).tolist()
     for i, b in enumerate(box_list):
-        g.add_node(i, box=b, work=work_of(b))
+        g.add_node(i, box=b, work=works[i])
     by_level: dict[int, list[tuple[int, Box]]] = {}
     for i, b in enumerate(box_list):
         by_level.setdefault(b.level, []).append((i, b))
@@ -150,16 +153,16 @@ class GraphPartitioner(Partitioner):
         self,
         boxes: BoxList,
         capacities: Sequence[float],
-        work_of: WorkFunction | None = None,
+        work_of: WorkFunction | WorkModel | None = None,
     ) -> PartitionResult:
         caps = self._check_inputs(boxes, capacities)
-        work_of = work_of or default_work
-        total = sum(work_of(b) for b in boxes)
-        result = PartitionResult(targets=caps * total)
+        model = as_work_model(work_of)
+        total = model.total(boxes)
+        result = PartitionResult(targets=caps * total, work_model=model)
         if len(boxes) == 0:
             return result
         g = build_box_graph(
-            boxes, work_of, self.ghost_width, self.refine_factor
+            boxes, model, self.ghost_width, self.refine_factor
         )
         assignment: dict[int, int] = {}
 

@@ -11,13 +11,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from repro.partition.base import (
     Partitioner,
     PartitionResult,
     WorkFunction,
-    default_work,
+    WorkModel,
+    as_work_model,
 )
 from repro.util.geometry import BoxList
 
@@ -33,23 +32,30 @@ class GreedyLPT(Partitioner):
         self,
         boxes: BoxList,
         capacities: Sequence[float],
-        work_of: WorkFunction | None = None,
+        work_of: WorkFunction | WorkModel | None = None,
     ) -> PartitionResult:
         caps = self._check_inputs(boxes, capacities)
-        work_of = work_of or default_work
-        total = sum(work_of(b) for b in boxes)
+        model = as_work_model(work_of)
+        works = model.vector(boxes).tolist()
+        total = model.total(boxes)
         targets = caps * total
-        result = PartitionResult(targets=targets)
-        loads = np.zeros(len(caps))
+        result = PartitionResult(targets=targets, work_model=model)
+        num_ranks = len(caps)
+        loads = [0.0] * num_ranks
         # Guard capacities so a zero-capacity rank is only used when every
         # rank has zero capacity (which _check_inputs already excludes).
-        safe_caps = np.where(caps > 0, caps, 1e-12)
-        for box in sorted(
-            boxes, key=lambda b: (-work_of(b), b.corner_key())
-        ):
-            w = work_of(box)
-            rank = int(np.argmin((loads + w) / safe_caps))
-            result.assignment.append((box, rank))
+        safe_caps = [c if c > 0 else 1e-12 for c in caps.tolist()]
+        rank_range = range(num_ranks)
+        order = sorted(
+            range(len(boxes)),
+            key=lambda i: (-works[i], boxes[i].corner_key()),
+        )
+        for i in order:
+            w = works[i]
+            rank = min(
+                rank_range, key=lambda r: (loads[r] + w) / safe_caps[r]
+            )
+            result.assignment.append((boxes[i], rank))
             loads[rank] += w
         result.validate_covers(boxes)
         return result

@@ -32,7 +32,8 @@ from repro.partition.base import (
     Partitioner,
     PartitionResult,
     WorkFunction,
-    default_work,
+    WorkModel,
+    as_work_model,
 )
 from repro.partition.splitting import SplitConstraints, split_to_target
 from repro.util.geometry import Box, BoxList
@@ -67,23 +68,28 @@ class ACEHeterogeneous(Partitioner):
         self,
         boxes: BoxList,
         capacities: Sequence[float],
-        work_of: WorkFunction | None = None,
+        work_of: WorkFunction | WorkModel | None = None,
     ) -> PartitionResult:
         caps = self._check_inputs(boxes, capacities)
-        work_of = work_of or default_work
-        total = sum(work_of(b) for b in boxes)
+        model = as_work_model(work_of)
+        works = model.vector(boxes).tolist()
+        total = model.total(boxes)
         targets = caps * total
-        result = PartitionResult(targets=targets)
+        result = PartitionResult(targets=targets, work_model=model)
         if len(boxes) == 0:
             return result
 
         # Work-ascending queue of (work, seq, box); seq is a tie-breaker
         # keeping the order deterministic for equal-work boxes.
-        seq = 0
         queue: list[tuple[float, int, Box]] = []
-        for b in sorted(boxes, key=lambda bb: (work_of(bb), bb.corner_key())):
-            queue.append((work_of(b), seq, b))
-            seq += 1
+        for seq, i in enumerate(
+            sorted(
+                range(len(boxes)),
+                key=lambda j: (works[j], boxes[j].corner_key()),
+            )
+        ):
+            queue.append((works[i], seq, boxes[i]))
+        seq = len(queue)
 
         rank_order = np.argsort(caps, kind="stable")
         for idx, rank in enumerate(rank_order):
@@ -104,7 +110,7 @@ class ACEHeterogeneous(Partitioner):
                     continue
                 if remaining <= 0:
                     break
-                split = split_to_target(box, remaining, work_of, self.constraints)
+                split = split_to_target(box, remaining, model, self.constraints)
                 if split is None:
                     # Unsplittable: accept the imbalance on this rank only
                     # if nothing smaller is available, else move on.
@@ -113,10 +119,10 @@ class ACEHeterogeneous(Partitioner):
                 piece, rest = split
                 result.num_splits += len(rest)  # one cut per remainder box
                 result.assignment.append((piece, rank))
-                remaining -= work_of(piece)
+                remaining -= model.work(piece)
                 for r in rest:
                     bisect.insort(
-                        queue, (work_of(r), seq, r), key=lambda t: t[0]
+                        queue, (model.work(r), seq, r), key=lambda t: t[0]
                     )
                     seq += 1
                 if remaining <= 0:

@@ -20,7 +20,8 @@ from repro.partition.base import (
     Partitioner,
     PartitionResult,
     WorkFunction,
-    default_work,
+    WorkModel,
+    as_work_model,
 )
 from repro.partition.composite import assign_curve_spans
 from repro.partition.splitting import SplitConstraints
@@ -47,16 +48,16 @@ class SFCHybrid(Partitioner):
         self,
         boxes: BoxList,
         capacities: Sequence[float],
-        work_of: WorkFunction | None = None,
+        work_of: WorkFunction | WorkModel | None = None,
     ) -> PartitionResult:
         caps = self._check_inputs(boxes, capacities)
-        work_of = work_of or default_work
-        total = sum(work_of(b) for b in boxes)
+        model = as_work_model(work_of)
+        total = model.total(boxes)
         targets = caps * total  # the one change vs ACEComposite
-        result = PartitionResult(targets=targets)
+        result = PartitionResult(targets=targets, work_model=model)
         if len(boxes) == 0:
             return result
         ordered = list(sfc_order_boxes(boxes, curve=self.curve))
-        assign_curve_spans(ordered, targets, work_of, self.constraints, result)
+        assign_curve_spans(ordered, targets, model, self.constraints, result)
         result.validate_covers(boxes)
         return result

@@ -24,7 +24,8 @@ from repro.partition.base import (
     Partitioner,
     PartitionResult,
     WorkFunction,
-    default_work,
+    WorkModel,
+    as_work_model,
 )
 from repro.util.geometry import BoxList
 
@@ -42,16 +43,16 @@ class LevelPartitioner(Partitioner):
         self,
         boxes: BoxList,
         capacities: Sequence[float],
-        work_of: WorkFunction | None = None,
+        work_of: WorkFunction | WorkModel | None = None,
     ) -> PartitionResult:
         caps = self._check_inputs(boxes, capacities)
-        work_of = work_of or default_work
-        total = sum(work_of(b) for b in boxes)
-        result = PartitionResult(targets=caps * total)
+        model = as_work_model(work_of)
+        total = model.total(boxes)
+        result = PartitionResult(targets=caps * total, work_model=model)
         splits = 0
         for level in boxes.levels:
             level_boxes = boxes.at_level(level)
-            sub = self.inner.partition(level_boxes, caps, work_of)
+            sub = self.inner.partition(level_boxes, caps, model)
             result.assignment.extend(sub.assignment)
             splits += sub.num_splits
         result.num_splits = splits

@@ -15,10 +15,15 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.partition.base import PartitionResult, WorkFunction
+from repro.partition.base import PartitionResult, WorkFunction, WorkModel
 from repro.util.errors import PartitionError
 
-__all__ = ["load_imbalance", "makespan_estimate", "redistribution_volume"]
+__all__ = [
+    "imbalance_pct",
+    "load_imbalance",
+    "makespan_estimate",
+    "redistribution_volume",
+]
 
 
 def redistribution_volume(
@@ -53,9 +58,28 @@ def redistribution_volume(
     return volumes
 
 
+def imbalance_pct(
+    loads: Sequence[float], targets: Sequence[float]
+) -> np.ndarray:
+    """Eq. (2) on raw vectors: ``|W_k - L_k| / L_k * 100`` elementwise.
+
+    A zero-target rank is perfectly balanced only when idle (0 %), and
+    infinitely imbalanced otherwise.  Both runtimes and
+    :func:`load_imbalance` derive their imbalance figures from this one
+    vectorized form.
+    """
+    loads = np.asarray(loads, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    out = np.zeros(len(targets))
+    pos = targets > 0
+    out[pos] = np.abs(loads[pos] - targets[pos]) / targets[pos] * 100.0
+    out[~pos & (loads != 0)] = float("inf")
+    return out
+
+
 def load_imbalance(
     result: PartitionResult,
-    work_of: WorkFunction | None = None,
+    work_of: WorkFunction | WorkModel | None = None,
     targets: Sequence[float] | None = None,
 ) -> np.ndarray:
     """Per-rank percentage imbalance I_k.
@@ -73,21 +97,13 @@ def load_imbalance(
         raise PartitionError(
             f"{len(targets)} targets for {result.num_ranks} ranks"
         )
-    loads = result.loads(work_of)
-    out = np.zeros(len(targets))
-    for k, (w, l) in enumerate(zip(loads, targets)):
-        if l <= 0:
-            # A zero-capacity rank is perfectly balanced only when idle.
-            out[k] = 0.0 if w == 0 else float("inf")
-        else:
-            out[k] = abs(w - l) / l * 100.0
-    return out
+    return imbalance_pct(result.loads(work_of), targets)
 
 
 def makespan_estimate(
     result: PartitionResult,
     effective_speeds: Sequence[float],
-    work_of: WorkFunction | None = None,
+    work_of: WorkFunction | WorkModel | None = None,
 ) -> float:
     """Seconds the slowest rank needs to chew through its assigned work."""
     speeds = np.asarray(effective_speeds, dtype=float)

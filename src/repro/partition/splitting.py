@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.partition.base import WorkFunction
+from repro.partition.workmodel import WorkFunction, WorkModel
 from repro.util.errors import PartitionError
 from repro.util.geometry import Box
 
@@ -78,14 +78,16 @@ def _candidate_cut(
 def split_to_target(
     box: Box,
     target_work: float,
-    work_of: WorkFunction,
+    work_of: WorkFunction | WorkModel,
     constraints: SplitConstraints | None = None,
     _depth: int = 0,
 ) -> tuple[Box, list[Box]] | None:
     """Split ``box`` so the first returned piece's work is as close to (and
     preferably at most) ``target_work`` as the constraints allow; the
     second element is the list of remainder boxes (one for a single cut,
-    several in multi-axis mode).
+    several in multi-axis mode).  ``work_of`` may be a legacy per-box
+    callable or a :class:`~repro.partition.workmodel.WorkModel`, whose
+    per-box memo makes the repeated work probes here O(1).
 
     With ``allow_multi_axis`` the piece is *recursively* re-cut along its
     own longest axis while its work still exceeds the target -- single cuts

@@ -1,0 +1,184 @@
+"""Vectorized per-box work model -- the single source of box weights.
+
+Every partitioner, :meth:`PartitionResult.loads`, the partition metrics
+and both runtime loops used to walk Python ``work_of`` callables box by
+box (``sum(work_of(b) for b in boxes)``), re-deriving the same weights
+many times per repartition.  The AMReX load-balancing literature treats
+per-box weights as one precomputed vector handed to interchangeable
+strategies; :class:`WorkModel` is that vector, plus the caching that
+keeps box *splitting* cheap.
+
+Contract
+--------
+- :meth:`WorkModel.vector` returns the per-box work of a box sequence as
+  one read-only ``float64`` array, computed vectorized over the stacked
+  box corner arrays and memoized per sequence object (``BoxList`` is
+  immutable, so identity caching is safe; plain lists must not be mutated
+  after the call).
+- :meth:`WorkModel.work` (also ``model(box)``) prices a single box with a
+  per-box memo, so the repeated ``work(piece)`` probes of constrained
+  splitting never recompute; fresh split pieces are priced incrementally
+  in O(1) instead of invalidating any list-level result.
+- :meth:`WorkModel.total` reduces the vector with *sequential* (left to
+  right) summation, bit-identical to the legacy
+  ``sum(work_of(b) for b in boxes)`` it replaces -- partitioner targets,
+  and therefore assignments, are unchanged by the migration.
+- Legacy :data:`WorkFunction` callables keep working everywhere through
+  :class:`CallableWorkModel` (see :func:`as_work_model`); a ``WorkModel``
+  *is* a ``WorkFunction``, so code that still calls ``work_of(box)``
+  needs no change.
+
+The default model is the Berger-Oliger weight
+``cells * refine_factor ** level`` (finer grids have more cells *and*
+subcycle more steps per coarse step, paper section 3.1).  Subclass and
+override :meth:`compute` / :meth:`work` for application-specific weights
+(e.g. particle-weighted, per the AMReX dual-grid studies).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.util.errors import PartitionError
+from repro.util.geometry import Box
+
+__all__ = ["WorkFunction", "WorkModel", "CallableWorkModel", "as_work_model"]
+
+#: Work of one box, in abstract work units (legacy per-box protocol).
+WorkFunction = Callable[[Box], float]
+
+#: Vector results memoized per model; FIFO-bounded so a long run over many
+#: epochs cannot grow without bound.
+_MAX_CACHED_LISTS = 32
+
+
+class WorkModel:
+    """Berger-Oliger work, vectorized: ``cells * refine_factor ** level``."""
+
+    def __init__(self, refine_factor: int = 2):
+        if refine_factor < 1:
+            raise PartitionError(
+                f"refine_factor must be >= 1, got {refine_factor}"
+            )
+        self.refine_factor = int(refine_factor)
+        self._box_cache: dict[Box, float] = {}
+        # id -> (pinned sequence, vector); pinning the sequence keeps its
+        # id from being reused while the entry lives.
+        self._list_cache: OrderedDict[int, tuple[object, np.ndarray]] = (
+            OrderedDict()
+        )
+
+    @property
+    def name(self) -> str:
+        return f"cells*{self.refine_factor}^level"
+
+    # ------------------------------------------------------------------
+    # Vector path
+    # ------------------------------------------------------------------
+    def compute(self, boxes: Sequence[Box]) -> np.ndarray:
+        """Uncached per-box work vector (override point for custom models).
+
+        One pass over the boxes gathers corner/level arrays; all
+        arithmetic is NumPy from there.
+        """
+        if len(boxes) == 0:
+            return np.zeros(0)
+        lowers = np.array([b.lower for b in boxes], dtype=np.int64)
+        uppers = np.array([b.upper for b in boxes], dtype=np.int64)
+        levels = np.array([b.level for b in boxes], dtype=np.int64)
+        cells = np.prod(uppers - lowers, axis=1)
+        return (cells * self.refine_factor**levels).astype(np.float64)
+
+    def vector(self, boxes: Sequence[Box]) -> np.ndarray:
+        """Per-box work of ``boxes`` as one read-only float64 array.
+
+        Memoized on the sequence object's identity -- pass the same
+        ``BoxList`` twice and the second call is a dict lookup.  Do not
+        mutate a plain list after handing it in.
+        """
+        key = id(boxes)
+        hit = self._list_cache.get(key)
+        if hit is not None and hit[0] is boxes:
+            return hit[1]
+        vec = self.compute(boxes)
+        vec.setflags(write=False)
+        self._list_cache[key] = (boxes, vec)
+        while len(self._list_cache) > _MAX_CACHED_LISTS:
+            self._list_cache.popitem(last=False)
+        return vec
+
+    def total(self, boxes: Sequence[Box]) -> float:
+        """Total work, summed left to right (matches the legacy
+        ``sum(work_of(b) for b in boxes)`` bit for bit)."""
+        return float(sum(self.vector(boxes).tolist()))
+
+    # ------------------------------------------------------------------
+    # Single-box path (splitting, adapters)
+    # ------------------------------------------------------------------
+    def work(self, box: Box) -> float:
+        """Work of one box, memoized (split pieces are priced once)."""
+        w = self._box_cache.get(box)
+        if w is None:
+            w = self._work_one(box)
+            self._box_cache[box] = w
+        return w
+
+    def _work_one(self, box: Box) -> float:
+        return float(box.num_cells * self.refine_factor**box.level)
+
+    # A WorkModel is itself a valid WorkFunction.
+    __call__ = work
+
+    def clear_cache(self) -> None:
+        """Drop all memoized results (rarely needed; caches are bounded)."""
+        self._box_cache.clear()
+        self._list_cache.clear()
+
+
+class CallableWorkModel(WorkModel):
+    """Adapter giving a legacy :data:`WorkFunction` the vector interface.
+
+    The vector is necessarily built by calling the wrapped function once
+    per box (in sequence order, so results are bit-identical to the code
+    it replaces), but the per-box memo still removes the repeated calls
+    the legacy path paid during splitting and load accounting.
+    """
+
+    def __init__(self, fn: WorkFunction, refine_factor: int = 2):
+        super().__init__(refine_factor)
+        self.fn = fn
+
+    @property
+    def name(self) -> str:
+        return getattr(self.fn, "__name__", type(self.fn).__name__)
+
+    def compute(self, boxes: Sequence[Box]) -> np.ndarray:
+        fn = self.fn
+        return np.array([fn(b) for b in boxes], dtype=np.float64)
+
+    def _work_one(self, box: Box) -> float:
+        return float(self.fn(box))
+
+
+def as_work_model(
+    work_of: "WorkFunction | WorkModel | None",
+    refine_factor: int = 2,
+) -> WorkModel:
+    """Coerce any accepted work argument to a :class:`WorkModel`.
+
+    ``None`` yields the default Berger-Oliger model; an existing model
+    passes through (preserving its caches); any other callable is wrapped
+    in a :class:`CallableWorkModel`.
+    """
+    if work_of is None:
+        return WorkModel(refine_factor)
+    if isinstance(work_of, WorkModel):
+        return work_of
+    if not callable(work_of):
+        raise PartitionError(
+            f"work_of must be callable or a WorkModel, got {work_of!r}"
+        )
+    return CallableWorkModel(work_of, refine_factor)

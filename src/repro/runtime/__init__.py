@@ -17,12 +17,20 @@ execution time with :mod:`repro.runtime.timemodel`.
 """
 
 from repro.runtime.engine import RunResult, RuntimeConfig, SamrRuntime
+from repro.runtime.pipeline import (
+    RepartitionOutcome,
+    RepartitionPipeline,
+    SenseOutcome,
+)
 from repro.runtime.timemodel import IterationCost, TimeModel
 
 __all__ = [
     "SamrRuntime",
     "RuntimeConfig",
     "RunResult",
+    "RepartitionPipeline",
+    "RepartitionOutcome",
+    "SenseOutcome",
     "TimeModel",
     "IterationCost",
 ]

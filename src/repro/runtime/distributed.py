@@ -27,7 +27,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.amr.ghost import plan_exchange_volumes
 from repro.amr.hierarchy import GridHierarchy
 from repro.amr.integrator import BergerOligerIntegrator
 from repro.amr.regrid import RegridParams
@@ -35,7 +34,8 @@ from repro.cluster.cluster import Cluster
 from repro.monitor.service import ResourceMonitor
 from repro.partition.base import Partitioner
 from repro.partition.capacity import CapacityCalculator
-from repro.partition.metrics import redistribution_volume
+from repro.partition.workmodel import WorkModel
+from repro.runtime.pipeline import RepartitionPipeline
 from repro.runtime.timemodel import TimeModel
 from repro.telemetry.spans import NullTracer, Tracer, get_active_tracer
 from repro.util.errors import SimulationError
@@ -123,89 +123,77 @@ class DistributedAmrRun:
             regrid_params=regrid_params,
             on_regrid=self._on_regrid,
         )
+        # Shared sense/partition/migrate/plan mechanics (see the engine).
+        self.pipeline = RepartitionPipeline(
+            cluster=cluster,
+            partitioner=partitioner,
+            monitor=self.monitor,
+            capacity=self.capacity,
+            time_model=self.time_model,
+            tracer=self.tracer,
+            work_model=WorkModel(hierarchy.refine_factor),
+            bytes_per_cell=self.bytes_per_cell,
+            ghost_width=hierarchy.kernel.ghost_width,
+            refine_factor=hierarchy.refine_factor,
+        )
         self._capacities: np.ndarray | None = None
-        self._assignment: list[tuple[Box, int]] = []
         self._result: DistributedRunResult | None = None
 
     # ------------------------------------------------------------------
     def _work_of(self, box: Box) -> float:
-        return float(
-            box.num_cells * self.hierarchy.refine_factor**box.level
-        )
+        return self.pipeline.work_model.work(box)
 
     @property
     def bytes_per_cell(self) -> float:
         return self.config.bytes_per_field_cell * self.hierarchy.kernel.num_fields
 
+    @property
+    def _assignment(self) -> list[tuple[Box, int]]:
+        return self.pipeline.prev_assignment
+
     def owned_loads(self) -> np.ndarray:
-        """Per-rank work of the current assignment."""
-        loads = np.zeros(self.cluster.num_nodes)
-        for box, rank in self._assignment:
-            loads[rank] += self._work_of(box)
-        return loads
+        """Per-rank work of the current assignment (cached work vector)."""
+        out = self.pipeline.last
+        if out is None or not out.part.assignment:
+            return np.zeros(self.cluster.num_nodes)
+        return out.part.loads()
 
     def owner_map(self) -> dict[Box, int]:
         return dict(self._assignment)
 
     # ------------------------------------------------------------------
     def _sense(self) -> None:
-        with self.tracer.span("sense") as span:
-            snapshot = self.monitor.probe_all()
-            self.cluster.clock.advance(snapshot.overhead_seconds)
-            with self.tracer.span("capacity"):
-                self._capacities = self.capacity.relative_capacities(snapshot)
-            span.set(
-                overhead_seconds=snapshot.overhead_seconds,
-                capacities=self._capacities,
-            )
-        if self.tracer.enabled:
-            metrics = self.tracer.metrics
-            metrics.counter("num_sensings").inc()
-            metrics.counter("probe_cost_seconds").inc(
-                snapshot.overhead_seconds
-            )
+        out = self.pipeline.sense()
+        self._capacities = out.capacities
         result = self._result
         if result is not None:
-            result.sensing_seconds += snapshot.overhead_seconds
+            result.sensing_seconds += out.overhead_seconds
             result.num_sensings += 1
-            result.capacities_history.append(self._capacities.copy())
+            result.capacities_history.append(out.capacities.copy())
 
     def _on_regrid(self, hierarchy: GridHierarchy) -> None:
         """Partition the fresh hierarchy and make its output the patching."""
         if self._capacities is None:
             self._sense()
         boxes = hierarchy.box_list()
-        part = self.partitioner.partition(
-            boxes, self._capacities, self._work_of
+
+        def repatch(part) -> None:
+            # Turn the partitioner's (possibly split) boxes into patch
+            # layout before migration is priced.
+            by_level: dict[int, list[Box]] = {}
+            for box, _rank in part.assignment:
+                by_level.setdefault(box.level, []).append(box)
+            for level in sorted(by_level):
+                hierarchy.repatch_level(level, BoxList(by_level[level]))
+
+        out = self.pipeline.repartition(
+            boxes, self._capacities, before_migrate=repatch
         )
-        # Turn the partitioner's (possibly split) boxes into patch layout.
-        by_level: dict[int, list[Box]] = {}
-        for box, _rank in part.assignment:
-            by_level.setdefault(box.level, []).append(box)
-        for level in sorted(by_level):
-            hierarchy.repatch_level(level, BoxList(by_level[level]))
-        with self.tracer.span("migrate") as span:
-            # Price the data migration (cell-owner diff vs previous
-            # assignment).
-            moved = redistribution_volume(
-                self._assignment, part.assignment, self.bytes_per_cell
-            )
-            migration = self.time_model.migration_cost(moved)
-            self.cluster.clock.advance(migration)
-            self._assignment = part.assignment
-            span.set(
-                bytes=int(sum(moved.values())), sim_seconds=migration
-            )
-        if self.tracer.enabled:
-            metrics = self.tracer.metrics
-            metrics.counter("num_repartitions").inc()
-            metrics.counter("migration_bytes").inc(int(sum(moved.values())))
-            metrics.counter("migration_seconds").inc(migration)
         result = self._result
         if result is not None:
-            result.migration_seconds += migration
+            result.migration_seconds += out.migration_seconds
             result.num_regrids += 1
-            result.loads_history.append(part.loads(self._work_of))
+            result.loads_history.append(out.loads)
 
     # ------------------------------------------------------------------
     def run(self) -> DistributedRunResult:
@@ -239,12 +227,13 @@ class DistributedAmrRun:
                 with tracer.span("advance", step=step):
                     self.integrator.advance()
                 loads = self.owned_loads()
-                volumes = plan_exchange_volumes(
-                    BoxList(b for b, _ in self._assignment),
-                    self.owner_map(),
-                    ghost_width=self.hierarchy.kernel.ghost_width,
-                    bytes_per_cell=self.bytes_per_cell,
-                    refine_factor=self.hierarchy.refine_factor,
+                current = self.pipeline.last
+                volumes = (
+                    self.pipeline.exchange_plan(
+                        current.part.boxes(), current.owners
+                    )
+                    if current is not None
+                    else {}
                 )
                 cost = self.time_model.iteration_cost(loads, volumes)
                 self.cluster.clock.advance(cost.total)
@@ -263,52 +252,22 @@ class DistributedAmrRun:
         return result
 
     def _health_attrs(self) -> dict:
-        """Health signals for one step's iteration span (see engine)."""
-        staleness = self.monitor.staleness_s()
+        """Health signals for one step's iteration span (see the pipeline)."""
         result = self._result
-        attrs: dict = {
-            "staleness_s": staleness if staleness != float("inf") else None,
-            "epoch": result.num_regrids if result is not None else 0,
-        }
+        epoch = result.num_regrids if result is not None else 0
+        imbalance = None
         if self._assignment and self._capacities is not None:
             loads = self.owned_loads()
             targets = self._capacities * loads.sum()
             ok = targets > 0
             if ok.any():
-                pct = np.abs(loads[ok] - targets[ok]) / targets[ok] * 100.0
-                attrs["imbalance_pct"] = float(pct.mean())
-                attrs["max_imbalance_pct"] = float(pct.max())
-        self.tracer.metrics.gauge("sensing_staleness_seconds").set(
-            0.0 if staleness == float("inf") else staleness
-        )
-        return attrs
+                imbalance = (
+                    np.abs(loads[ok] - targets[ok]) / targets[ok] * 100.0
+                )
+        return self.pipeline.health_attrs(epoch, imbalance)
 
     def _emit_step_spans(self, step, start_sim, cost) -> None:
         """Per-rank simulated-time tracks for one priced coarse step."""
-        tracer = self.tracer
-        tracer.add_span(
-            "iteration",
-            start_sim,
-            start_sim + cost.total,
-            step=step,
-            **self._health_attrs(),
+        self.pipeline.emit_iteration_spans(
+            start_sim, cost, {"step": step, **self._health_attrs()}
         )
-        for rank in range(len(cost.compute)):
-            compute = float(cost.compute[rank])
-            comm = float(cost.comm[rank])
-            if compute > 0.0:
-                tracer.add_span(
-                    "compute", start_sim, start_sim + compute, rank=rank
-                )
-            if comm > 0.0:
-                tracer.add_span(
-                    "ghost-exchange",
-                    start_sim + compute,
-                    start_sim + compute + comm,
-                    rank=rank,
-                )
-        if cost.sync > 0.0:
-            busy = float((cost.compute + cost.comm).max())
-            tracer.add_span(
-                "sync", start_sim + busy, start_sim + busy + cost.sync
-            )

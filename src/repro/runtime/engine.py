@@ -25,15 +25,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.amr.ghost import plan_exchange_volumes
 from repro.cluster.cluster import Cluster
 from repro.hdda import HDDA, HierarchicalIndexSpace
 from repro.kernels.workloads import SyntheticWorkload
 from repro.monitor.service import ResourceMonitor
-from repro.partition.base import Partitioner, default_work
+from repro.partition.base import Partitioner
 from repro.partition.capacity import CapacityCalculator
-from repro.partition.metrics import load_imbalance, redistribution_volume
-from repro.runtime.timemodel import IterationCost, TimeModel
+from repro.partition.workmodel import WorkModel
+from repro.runtime.pipeline import RepartitionPipeline
+from repro.runtime.timemodel import TimeModel
 from repro.telemetry.spans import NullTracer, Tracer, get_active_tracer
 from repro.util.errors import SimulationError
 
@@ -204,39 +204,44 @@ class SamrRuntime:
             num_procs=cluster.num_nodes,
             bytes_per_cell=int(self.config.bytes_per_cell),
         )
-        self._prev_assignment: list[tuple] = []
+        # All sense/partition/migrate/plan mechanics live in the shared
+        # pipeline; the runtime keeps only loop control and bookkeeping.
+        self.pipeline = RepartitionPipeline(
+            cluster=cluster,
+            partitioner=partitioner,
+            monitor=self.monitor,
+            capacity=self.capacity,
+            time_model=self.time_model,
+            tracer=self.tracer,
+            work_model=WorkModel(workload.refine_factor),
+            bytes_per_cell=self.config.bytes_per_cell,
+            ghost_width=self.config.ghost_width,
+            refine_factor=workload.refine_factor,
+        )
         self._level_loads = np.zeros((1, cluster.num_nodes))
         self._subcycles = np.ones(1)
 
     # ------------------------------------------------------------------
+    @property
+    def _prev_assignment(self) -> list[tuple]:
+        return self.pipeline.prev_assignment
+
     def _work_of(self, box) -> float:
-        return default_work(box, self.workload.refine_factor)
+        return self.pipeline.work_model.work(box)
 
     def _sense(self, result: RunResult) -> np.ndarray:
         """Probe the cluster, charge overhead, return fresh capacities."""
-        tracer = self.tracer
-        with tracer.span("sense", iteration=result.iterations) as sense_span:
-            snapshot = self.monitor.probe_all()
-            overhead = snapshot.overhead_seconds
-            self.cluster.clock.advance(overhead)
-            result.sensing_seconds += overhead
-            result.num_sensings += 1
-            if self.config.use_forecast:
-                snapshot = self.monitor.forecast_all()
-            with tracer.span("capacity"):
-                caps = self.capacity.relative_capacities(snapshot)
-            result.capacity_history.append((self.cluster.clock.now, caps))
-            sense_span.set(overhead_seconds=overhead, capacities=caps)
-        if tracer.enabled:
-            metrics = tracer.metrics
-            metrics.counter("num_sensings").inc()
-            metrics.counter("probe_cost_seconds").inc(overhead)
-            for node in range(snapshot.num_nodes):
-                metrics.gauge("node_cpu_available", node=node).set(
-                    snapshot.cpu[node]
-                )
-                metrics.gauge("node_capacity", node=node).set(caps[node])
-        return caps
+        out = self.pipeline.sense(
+            span_attrs={"iteration": result.iterations},
+            use_forecast=self.config.use_forecast,
+            node_gauges=True,
+        )
+        result.sensing_seconds += out.overhead_seconds
+        result.num_sensings += 1
+        result.capacity_history.append(
+            (self.cluster.clock.now, out.capacities)
+        )
+        return out.capacities
 
     def _repartition(
         self,
@@ -249,34 +254,17 @@ class SamrRuntime:
 
         Returns (per-rank loads, pair ghost-exchange volumes).
         """
-        tracer = self.tracer
         boxes = self.workload.epoch(min(epoch_idx, self.workload.num_regrids - 1))
-        part = self.partitioner.partition(boxes, capacities, self._work_of)
-        owners = part.owners()
-        with tracer.span("migrate", trigger=trigger) as mig_span:
-            # Geometric cell-owner diff against the previous assignment: the
-            # true redistribution traffic, robust to boxes being re-split.
-            moved = redistribution_volume(
-                self._prev_assignment, part.assignment, self.config.bytes_per_cell
-            )
-            self.hdda.apply_assignment(owners)
-            self._prev_assignment = part.assignment
-            mig_seconds = self.time_model.migration_cost(moved)
-            self.cluster.clock.advance(mig_seconds)
-            result.migration_seconds += mig_seconds
-            mig_bytes = int(sum(moved.values()))
-            mig_span.set(bytes=mig_bytes, sim_seconds=mig_seconds)
-
-        loads = part.loads(self._work_of)
-        total = loads.sum()
-        targets = capacities * total
+        out = self.pipeline.repartition(
+            boxes,
+            capacities,
+            migrate_attrs={"trigger": trigger},
+            on_apply=self.hdda.apply_assignment,
+            stats=True,
+        )
+        result.migration_seconds += out.migration_seconds
         # Per-level load matrix for the per-level synchronization model.
-        levels = sorted({b.level for b, _ in part.assignment})
-        level_loads = np.zeros((max(len(levels), 1), self.cluster.num_nodes))
-        index = {lvl: i for i, lvl in enumerate(levels)}
-        for box, rank in part.assignment:
-            level_loads[index[box.level], rank] += self._work_of(box)
-        self._level_loads = level_loads
+        levels, self._level_loads = out.level_loads(self.cluster.num_nodes)
         self._subcycles = np.array(
             [self.workload.refine_factor**lvl for lvl in levels] or [1]
         )
@@ -285,103 +273,22 @@ class SamrRuntime:
             regrid_number=len(result.regrids),
             trigger=trigger,
             capacities=capacities.copy(),
-            loads=loads,
-            targets=targets,
-            imbalance=load_imbalance(part, self._work_of, targets=targets),
-            num_splits=part.num_splits,
-            migration_bytes=mig_bytes,
-            migration_seconds=mig_seconds,
+            loads=out.loads,
+            targets=out.targets,
+            imbalance=out.imbalance,
+            num_splits=out.part.num_splits,
+            migration_bytes=out.migration_bytes,
+            migration_seconds=out.migration_seconds,
         )
         result.regrids.append(record)
-        volumes = plan_exchange_volumes(
-            part.boxes(),
-            owners,
-            ghost_width=self.config.ghost_width,
-            bytes_per_cell=self.config.bytes_per_cell,
-            refine_factor=self.workload.refine_factor,
-        )
-        if tracer.enabled:
-            metrics = tracer.metrics
-            metrics.counter("num_repartitions").inc()
-            metrics.counter("migration_bytes").inc(mig_bytes)
-            metrics.counter("migration_seconds").inc(mig_seconds)
-            metrics.histogram("residual_imbalance_pct").observe(
-                float(record.imbalance.mean())
-            )
-            for node in range(self.cluster.num_nodes):
-                utilization = (
-                    loads[node] / targets[node] if targets[node] > 0 else 0.0
-                )
-                metrics.gauge("node_utilization", node=node).set(utilization)
-        return loads, volumes
+        volumes = self.pipeline.exchange_plan(out.part.boxes(), out.owners)
+        return out.loads, volumes
 
     # ------------------------------------------------------------------
     def _health_attrs(self, result: RunResult) -> dict:
-        """Per-iteration health signals published on the iteration span.
-
-        The health monitor (:mod:`repro.telemetry.analysis`) and the HTML
-        dashboard read these straight off the trace, so an exported JSONL
-        file is self-sufficient for offline diagnosis.
-        """
-        staleness = self.monitor.staleness_s()
-        attrs: dict = {
-            "staleness_s": staleness if staleness != float("inf") else None,
-            # Repartition count: the z-score detector resets its window on
-            # change, so a regrid's legitimate cost shift is not a "spike".
-            "epoch": len(result.regrids),
-        }
-        if result.regrids:
-            record = result.regrids[-1]
-            finite = record.imbalance[np.isfinite(record.imbalance)]
-            if finite.size:
-                attrs["imbalance_pct"] = float(finite.mean())
-                attrs["max_imbalance_pct"] = float(finite.max())
-        self.tracer.metrics.gauge("sensing_staleness_seconds").set(
-            0.0 if staleness == float("inf") else staleness
-        )
-        return attrs
-
-    def _emit_iteration_spans(
-        self,
-        iteration: int,
-        start_sim: float,
-        cost: IterationCost,
-        health: dict | None = None,
-    ) -> None:
-        """Per-rank compute/ghost-exchange tracks for one priced iteration.
-
-        The time model prices the whole iteration at once; this decomposes
-        the per-rank breakdown into simulated-time spans (compute first,
-        then the rank's serialized ghost exchange, then the collective
-        sync gating everyone).
-        """
-        tracer = self.tracer
-        tracer.add_span(
-            "iteration",
-            start_sim,
-            start_sim + cost.total,
-            iteration=iteration,
-            **(health or {}),
-        )
-        for rank in range(len(cost.compute)):
-            compute = float(cost.compute[rank])
-            comm = float(cost.comm[rank])
-            if compute > 0.0:
-                tracer.add_span(
-                    "compute", start_sim, start_sim + compute, rank=rank
-                )
-            if comm > 0.0:
-                tracer.add_span(
-                    "ghost-exchange",
-                    start_sim + compute,
-                    start_sim + compute + comm,
-                    rank=rank,
-                )
-        if cost.sync > 0.0:
-            busy = float((cost.compute + cost.comm).max())
-            tracer.add_span(
-                "sync", start_sim + busy, start_sim + busy + cost.sync
-            )
+        """Health signals for the iteration span (see the pipeline)."""
+        imbalance = result.regrids[-1].imbalance if result.regrids else None
+        return self.pipeline.health_attrs(len(result.regrids), imbalance)
 
     def run(self) -> RunResult:
         """Execute the configured number of iterations; returns the record."""
@@ -450,8 +357,10 @@ class SamrRuntime:
                 cost = self.time_model.iteration_cost(loads, volumes)
             self.cluster.clock.advance(cost.total)
             if tracer.enabled:
-                self._emit_iteration_spans(
-                    it, iteration_start, cost, health=self._health_attrs(result)
+                self.pipeline.emit_iteration_spans(
+                    iteration_start,
+                    cost,
+                    {"iteration": it, **self._health_attrs(result)},
                 )
                 tracer.metrics.histogram("iteration_seconds").observe(
                     cost.total

@@ -1,0 +1,349 @@
+"""The repartition pipeline shared by every runtime loop.
+
+Both :class:`~repro.runtime.engine.SamrRuntime` (trace replay) and
+:class:`~repro.runtime.distributed.DistributedAmrRun` (real kernel) drive
+the same sense -> capacity -> partition -> migrate -> exchange-plan cycle
+from the paper's runtime architecture (section 5, fig. 5); they used to
+carry private near-duplicate implementations of it, down to the telemetry
+spans.  :class:`RepartitionPipeline` is that cycle as one object with one
+composable method per stage:
+
+``sense()``
+    Probe the resource monitor, charge the probe overhead to the cluster
+    clock, optionally swap in the forecaster's view, and compute fresh
+    relative capacities under a ``capacity`` span nested in a ``sense``
+    span.
+``repartition()``
+    Partition a box list against capacities using the pipeline's
+    :class:`~repro.partition.workmodel.WorkModel` (one cached work vector
+    prices the boxes, the loads and the level loads -- no per-box Python
+    calls), then price and apply the data migration under a ``migrate``
+    span, tracking the previous assignment for the cell-owner diff.
+``exchange_plan()``
+    Ghost-exchange volume planning for the current decomposition.
+``health_attrs()`` / ``emit_iteration_spans()``
+    The per-iteration observability stamping shared by both loops: the
+    health attributes the :class:`~repro.telemetry.analysis.HealthMonitor`
+    and the HTML dashboard consume, and the per-rank
+    compute/ghost-exchange/sync simulated-time tracks.
+
+Runtime-specific details stay with the runtimes and enter as small
+arguments or callbacks: extra span attributes (``iteration`` /
+``trigger``), per-node gauge emission, the HDDA assignment application
+(engine) and the hierarchy repatch between partition and migration
+(distributed).  The stage structure, span nesting, attribute ordering and
+metric creation order are exactly those of the loops this replaces --
+exported traces are byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.amr.ghost import plan_exchange_volumes
+from repro.cluster.cluster import Cluster
+from repro.monitor.service import ResourceMonitor
+from repro.partition.base import Partitioner, PartitionResult
+from repro.partition.capacity import CapacityCalculator
+from repro.partition.metrics import imbalance_pct, redistribution_volume
+from repro.partition.workmodel import WorkFunction, WorkModel, as_work_model
+from repro.runtime.timemodel import IterationCost, TimeModel
+from repro.util.geometry import Box, BoxList
+
+__all__ = ["SenseOutcome", "RepartitionOutcome", "RepartitionPipeline"]
+
+
+@dataclass(slots=True)
+class SenseOutcome:
+    """What one sensing stage produced."""
+
+    snapshot: object
+    capacities: np.ndarray
+    overhead_seconds: float
+
+
+@dataclass(slots=True)
+class RepartitionOutcome:
+    """What one partition + migrate stage produced.
+
+    ``loads``/``targets``/``imbalance`` are all derived from the single
+    cached work vector of ``part`` -- callers must not recompute them
+    with per-box loops.
+    """
+
+    part: PartitionResult
+    owners: dict[Box, int]
+    loads: np.ndarray  # realized W_k
+    targets: np.ndarray  # ideal L_k = C_k * L
+    imbalance: np.ndarray  # I_k (%)
+    migration_bytes: int
+    migration_seconds: float
+
+    def level_loads(self, num_ranks: int) -> tuple[list[int], np.ndarray]:
+        """(levels, per-level load matrix) for per-level sync pricing.
+
+        One ``np.add.at`` scatter of the cached work vector replaces the
+        per-box Python loop; unbuffered in-order accumulation keeps the
+        float result identical to the loop it replaced.
+        """
+        assignment = self.part.assignment
+        if not assignment:
+            return [], np.zeros((1, num_ranks))
+        box_levels = np.fromiter(
+            (b.level for b, _ in assignment),
+            dtype=np.int64,
+            count=len(assignment),
+        )
+        levels, index = np.unique(box_levels, return_inverse=True)
+        matrix = np.zeros((len(levels), num_ranks))
+        np.add.at(
+            matrix,
+            (index, self.part.rank_vector()),
+            self.part.work_vector(),
+        )
+        return [int(lvl) for lvl in levels], matrix
+
+
+class RepartitionPipeline:
+    """Composable sense/partition/migrate/plan stages over one cluster.
+
+    Parameters
+    ----------
+    cluster, partitioner, monitor, capacity, time_model:
+        The collaborators both runtimes already wire up.
+    tracer:
+        Telemetry sink; every stage stamps the same spans/metrics the
+        runtime loops historically emitted.
+    work_model:
+        The :class:`WorkModel` pricing boxes throughout the pipeline
+        (``None`` -> default Berger-Oliger model with ``refine_factor``;
+        a legacy callable is adapted).
+    bytes_per_cell, ghost_width, refine_factor:
+        Payload and stencil parameters for migration pricing and
+        ghost-exchange planning.
+    """
+
+    def __init__(
+        self,
+        *,
+        cluster: Cluster,
+        partitioner: Partitioner,
+        monitor: ResourceMonitor,
+        capacity: CapacityCalculator,
+        time_model: TimeModel,
+        tracer,
+        work_model: WorkModel | WorkFunction | None = None,
+        bytes_per_cell: float = 40.0,
+        ghost_width: int = 1,
+        refine_factor: int = 2,
+    ):
+        self.cluster = cluster
+        self.partitioner = partitioner
+        self.monitor = monitor
+        self.capacity = capacity
+        self.time_model = time_model
+        self.tracer = tracer
+        self.work_model = as_work_model(work_model, refine_factor)
+        self.bytes_per_cell = float(bytes_per_cell)
+        self.ghost_width = int(ghost_width)
+        self.refine_factor = int(refine_factor)
+        #: assignment of the previous epoch, diffed for migration volume
+        self.prev_assignment: list[tuple[Box, int]] = []
+        #: outcome of the most recent :meth:`repartition`
+        self.last: RepartitionOutcome | None = None
+
+    # ------------------------------------------------------------------
+    # Stage: sense + capacity
+    # ------------------------------------------------------------------
+    def sense(
+        self,
+        *,
+        span_attrs: dict | None = None,
+        use_forecast: bool = False,
+        node_gauges: bool = False,
+    ) -> SenseOutcome:
+        """Probe the cluster, charge overhead, compute fresh capacities.
+
+        ``span_attrs`` land on the ``sense`` span (the engine stamps the
+        iteration number); ``node_gauges`` additionally publishes the
+        per-node availability/capacity gauges the dashboard plots.
+        """
+        tracer = self.tracer
+        with tracer.span("sense", **(span_attrs or {})) as sense_span:
+            snapshot = self.monitor.probe_all()
+            overhead = snapshot.overhead_seconds
+            self.cluster.clock.advance(overhead)
+            if use_forecast:
+                snapshot = self.monitor.forecast_all()
+            with tracer.span("capacity"):
+                caps = self.capacity.relative_capacities(snapshot)
+            sense_span.set(overhead_seconds=overhead, capacities=caps)
+        if tracer.enabled:
+            metrics = tracer.metrics
+            metrics.counter("num_sensings").inc()
+            metrics.counter("probe_cost_seconds").inc(overhead)
+            if node_gauges:
+                for node in range(snapshot.num_nodes):
+                    metrics.gauge("node_cpu_available", node=node).set(
+                        snapshot.cpu[node]
+                    )
+                    metrics.gauge("node_capacity", node=node).set(caps[node])
+        return SenseOutcome(snapshot, caps, overhead)
+
+    # ------------------------------------------------------------------
+    # Stage: partition + migrate
+    # ------------------------------------------------------------------
+    def repartition(
+        self,
+        boxes: BoxList,
+        capacities: np.ndarray,
+        *,
+        migrate_attrs: dict | None = None,
+        before_migrate: Callable[[PartitionResult], None] | None = None,
+        on_apply: Callable[[dict[Box, int]], None] | None = None,
+        stats: bool = False,
+    ) -> RepartitionOutcome:
+        """Partition ``boxes``, price and apply the migration.
+
+        ``before_migrate`` runs between partitioning and the migrate span
+        (the distributed runtime repatches the hierarchy there);
+        ``on_apply`` runs inside the span once the cell-owner diff is
+        taken (the engine applies the assignment to the HDDA there).
+        ``stats=True`` adds the residual-imbalance histogram and per-node
+        utilization gauges.
+        """
+        tracer = self.tracer
+        part = self.partitioner.partition(boxes, capacities, self.work_model)
+        owners = part.owners()
+        if before_migrate is not None:
+            before_migrate(part)
+        with tracer.span("migrate", **(migrate_attrs or {})) as mig_span:
+            # Geometric cell-owner diff against the previous assignment: the
+            # true redistribution traffic, robust to boxes being re-split.
+            moved = redistribution_volume(
+                self.prev_assignment, part.assignment, self.bytes_per_cell
+            )
+            if on_apply is not None:
+                on_apply(owners)
+            self.prev_assignment = part.assignment
+            mig_seconds = self.time_model.migration_cost(moved)
+            self.cluster.clock.advance(mig_seconds)
+            mig_bytes = int(sum(moved.values()))
+            mig_span.set(bytes=mig_bytes, sim_seconds=mig_seconds)
+
+        # One cached work vector yields loads, targets and imbalance.
+        loads = part.loads()
+        targets = capacities * loads.sum()
+        imbalance = imbalance_pct(loads, targets)
+        if tracer.enabled:
+            metrics = tracer.metrics
+            metrics.counter("num_repartitions").inc()
+            metrics.counter("migration_bytes").inc(mig_bytes)
+            metrics.counter("migration_seconds").inc(mig_seconds)
+            if stats:
+                metrics.histogram("residual_imbalance_pct").observe(
+                    float(imbalance.mean())
+                )
+                for node in range(self.cluster.num_nodes):
+                    utilization = (
+                        loads[node] / targets[node]
+                        if targets[node] > 0
+                        else 0.0
+                    )
+                    metrics.gauge("node_utilization", node=node).set(
+                        utilization
+                    )
+        outcome = RepartitionOutcome(
+            part=part,
+            owners=owners,
+            loads=loads,
+            targets=targets,
+            imbalance=imbalance,
+            migration_bytes=mig_bytes,
+            migration_seconds=mig_seconds,
+        )
+        self.last = outcome
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Stage: ghost-exchange planning
+    # ------------------------------------------------------------------
+    def exchange_plan(
+        self, boxes: BoxList, owners: dict[Box, int]
+    ) -> dict:
+        """Pairwise ghost-exchange volumes of the current decomposition."""
+        return plan_exchange_volumes(
+            boxes,
+            owners,
+            ghost_width=self.ghost_width,
+            bytes_per_cell=self.bytes_per_cell,
+            refine_factor=self.refine_factor,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage: observability stamping
+    # ------------------------------------------------------------------
+    def health_attrs(
+        self, epoch: int, imbalance: np.ndarray | None = None
+    ) -> dict:
+        """Per-iteration health signals published on the iteration span.
+
+        The health monitor (:mod:`repro.telemetry.analysis`) and the HTML
+        dashboard read these straight off the trace, so an exported JSONL
+        file is self-sufficient for offline diagnosis.  ``epoch`` is the
+        repartition count (the z-score detector resets its window on
+        change, so a regrid's legitimate cost shift is not a "spike");
+        ``imbalance`` is the caller's current I_k vector, if it has one.
+        """
+        staleness = self.monitor.staleness_s()
+        attrs: dict = {
+            "staleness_s": staleness if staleness != float("inf") else None,
+            "epoch": epoch,
+        }
+        if imbalance is not None:
+            finite = imbalance[np.isfinite(imbalance)]
+            if finite.size:
+                attrs["imbalance_pct"] = float(finite.mean())
+                attrs["max_imbalance_pct"] = float(finite.max())
+        self.tracer.metrics.gauge("sensing_staleness_seconds").set(
+            0.0 if staleness == float("inf") else staleness
+        )
+        return attrs
+
+    def emit_iteration_spans(
+        self, start_sim: float, cost: IterationCost, attrs: dict
+    ) -> None:
+        """Per-rank compute/ghost-exchange tracks for one priced iteration.
+
+        The time model prices the whole iteration at once; this decomposes
+        the per-rank breakdown into simulated-time spans (compute first,
+        then the rank's serialized ghost exchange, then the collective
+        sync gating everyone).  ``attrs`` land on the enclosing
+        ``iteration`` span (loop counter plus :meth:`health_attrs`).
+        """
+        tracer = self.tracer
+        tracer.add_span(
+            "iteration", start_sim, start_sim + cost.total, **attrs
+        )
+        for rank in range(len(cost.compute)):
+            compute = float(cost.compute[rank])
+            comm = float(cost.comm[rank])
+            if compute > 0.0:
+                tracer.add_span(
+                    "compute", start_sim, start_sim + compute, rank=rank
+                )
+            if comm > 0.0:
+                tracer.add_span(
+                    "ghost-exchange",
+                    start_sim + compute,
+                    start_sim + compute + comm,
+                    rank=rank,
+                )
+        if cost.sync > 0.0:
+            busy = float((cost.compute + cost.comm).max())
+            tracer.add_span(
+                "sync", start_sim + busy, start_sim + busy + cost.sync
+            )

@@ -6,12 +6,16 @@ committed baseline against a freshly generated one -- and flags
 regressions, so CI can watch the performance trajectory across PRs
 instead of a human eyeballing JSON diffs.
 
-Two metric classes are compared differently:
+Three metric classes are compared differently:
 
 - **wall-clock keys** (``*wall_seconds*``): host performance.  A value
   growing past ``(1 + tolerance)`` of the baseline *and* past an absolute
   floor (micro-benchmark noise is real) is a **regression**; shrinking by
   the same margin is an **improvement**.
+- **wall-rate keys** (``*per_wall_second*``, ``*wall_speedup*``):
+  wall-clock-derived throughputs, where *higher* is better -- the
+  regression/improvement directions are inverted and the same relative
+  tolerance applies (no absolute floor: rates are already normalized).
 - **simulated keys** (everything else numeric): determinism signals.  The
   simulation is seeded, so any change means *behaviour* changed -- those
   are reported as **drift**, never as perf regressions.
@@ -143,6 +147,11 @@ def _is_wall_key(key: str) -> bool:
     return "wall_seconds" in key
 
 
+def _is_rate_key(key: str) -> bool:
+    """Wall-derived throughput: higher is better."""
+    return "per_wall_second" in key or "wall_speedup" in key
+
+
 def diff_bench(
     old: dict[str, Any],
     new: dict[str, Any],
@@ -169,7 +178,12 @@ def diff_bench(
             continue
         ratio = (b / a) if a else (float("inf") if b else 1.0)
         status = "ok"
-        if _is_wall_key(key):
+        if _is_rate_key(key):
+            if b * (1.0 + tolerance) < a:
+                status = "regression"
+            elif b > a * (1.0 + tolerance):
+                status = "improvement"
+        elif _is_wall_key(key):
             if b > a * (1.0 + tolerance) and b - a > abs_floor_s:
                 status = "regression"
             elif b < a * (1.0 - tolerance) and a - b > abs_floor_s:

@@ -388,6 +388,24 @@ class BoxList:
         """Sorted distinct refinement levels present."""
         return tuple(sorted({b.level for b in self._boxes}))
 
+    def cells_by_level(self) -> dict[int, int]:
+        """Total cell count per refinement level, in one vectorized pass.
+
+        Replaces ``at_level(lvl).total_cells`` loops on hot validation
+        paths (one array build instead of per-box Python arithmetic per
+        level).
+        """
+        if not self._boxes:
+            return {}
+        lowers = np.array([b.lower for b in self._boxes], dtype=np.int64)
+        uppers = np.array([b.upper for b in self._boxes], dtype=np.int64)
+        levels = np.array([b.level for b in self._boxes], dtype=np.int64)
+        cells = np.prod(uppers - lowers, axis=1)
+        uniq, inverse = np.unique(levels, return_inverse=True)
+        totals = np.zeros(len(uniq), dtype=np.int64)
+        np.add.at(totals, inverse, cells)
+        return {int(lvl): int(tot) for lvl, tot in zip(uniq, totals)}
+
     def at_level(self, level: int) -> "BoxList":
         """Sub-list of boxes on one refinement level."""
         return BoxList(b for b in self._boxes if b.level == level)
@@ -413,17 +431,65 @@ class BoxList:
     def is_disjoint(self) -> bool:
         """True when no two same-level boxes overlap.
 
-        O(n^2) pairwise check; hierarchies keep per-level box counts small so
-        this is only used in validation paths and tests.
+        Small per-level lists use the plain pairwise check (early exit,
+        no array setup); larger ones a vectorized sweep along axis 0 --
+        sort by lower corner, prune candidate pairs to those whose
+        axis-0 intervals overlap, and test the survivors with one
+        broadcast comparison (chunked to bound memory).  Every partition
+        validates its output through here, so this must stay cheap at
+        thousands of boxes.
         """
         by_level: dict[int, list[Box]] = {}
         for b in self._boxes:
             by_level.setdefault(b.level, []).append(b)
         for boxes in by_level.values():
-            for i, a in enumerate(boxes):
-                for b in boxes[i + 1:]:
-                    if a.intersects(b):
+            n = len(boxes)
+            if n < 2:
+                continue
+            if n <= 32:
+                for i, a in enumerate(boxes):
+                    for b in boxes[i + 1:]:
+                        if a.intersects(b):
+                            return False
+                continue
+            lowers = np.array([b.lower for b in boxes], dtype=np.int64)
+            uppers = np.array([b.upper for b in boxes], dtype=np.int64)
+            order = np.argsort(lowers[:, 0], kind="stable")
+            lo = lowers[order]
+            up = uppers[order]
+            # Candidates for row i: the j > i whose axis-0 interval starts
+            # before i's ends (sorted starts make this a binary search).
+            ends = np.searchsorted(lo[:, 0], up[:, 0], side="left")
+            starts = np.arange(n) + 1
+            counts = np.maximum(ends - starts, 0)
+            bounds = np.concatenate(([0], np.cumsum(counts)))
+            total = int(bounds[-1])
+            if total == 0:
+                continue
+            chunk = 1 << 20
+            i0 = 0
+            while i0 < n:
+                i1 = min(
+                    max(
+                        int(np.searchsorted(bounds, bounds[i0] + chunk)),
+                        i0 + 1,
+                    ),
+                    n,
+                )
+                c = counts[i0:i1]
+                tot = int(c.sum())
+                if tot:
+                    ii = np.repeat(np.arange(i0, i1), c)
+                    offsets = np.concatenate(([0], np.cumsum(c)[:-1]))
+                    jj = (
+                        np.arange(tot)
+                        - np.repeat(offsets, c)
+                        + np.repeat(starts[i0:i1], c)
+                    )
+                    hit = (lo[ii] < up[jj]) & (lo[jj] < up[ii])
+                    if hit.all(axis=1).any():
                         return False
+                i0 = i1
         return True
 
     def bounding_box(self) -> Box:

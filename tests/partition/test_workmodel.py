@@ -1,0 +1,140 @@
+"""Unit tests for the vectorized work model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.workloads import paper_rm3d_trace
+from repro.partition.base import default_work
+from repro.partition.workmodel import (
+    CallableWorkModel,
+    WorkModel,
+    as_work_model,
+)
+from repro.util.errors import PartitionError
+from repro.util.geometry import Box, BoxList
+
+
+def boxes() -> BoxList:
+    return paper_rm3d_trace(num_regrids=6).epoch(3)
+
+
+class TestWorkModel:
+    def test_vector_matches_per_box_default_work(self):
+        model = WorkModel()
+        vec = model.vector(boxes())
+        expected = [default_work(b) for b in boxes()]
+        assert vec.tolist() == expected
+
+    def test_vector_respects_refine_factor(self):
+        model = WorkModel(refine_factor=4)
+        vec = model.vector(boxes())
+        expected = [default_work(b, refine_factor=4) for b in boxes()]
+        assert vec.tolist() == expected
+
+    def test_vector_is_cached_by_identity(self):
+        model = WorkModel()
+        bl = boxes()
+        assert model.vector(bl) is model.vector(bl)
+
+    def test_vector_is_read_only(self):
+        vec = WorkModel().vector(boxes())
+        with pytest.raises(ValueError):
+            vec[0] = 1.0
+
+    def test_list_cache_is_bounded(self):
+        model = WorkModel()
+        lists = [boxes() for _ in range(40)]
+        for bl in lists:
+            model.vector(bl)
+        assert len(model._list_cache) <= 32
+
+    def test_total_is_sequential_sum(self):
+        model = WorkModel()
+        bl = boxes()
+        # Bit-identical to the legacy sum(work_of(b) for b in boxes).
+        assert model.total(bl) == sum(default_work(b) for b in bl)
+
+    def test_single_box_work_memoized_and_callable(self):
+        model = WorkModel()
+        b = Box((0, 0), (8, 4), level=2)
+        assert model.work(b) == default_work(b)
+        assert model(b) == model.work(b)  # a WorkModel is a WorkFunction
+        assert b in model._box_cache
+
+    def test_empty_sequence(self):
+        model = WorkModel()
+        assert model.vector(BoxList()).shape == (0,)
+        assert model.total(BoxList()) == 0.0
+
+    def test_clear_cache(self):
+        model = WorkModel()
+        bl = boxes()
+        model.vector(bl)
+        model.work(bl[0])
+        model.clear_cache()
+        assert not model._list_cache and not model._box_cache
+
+    def test_invalid_refine_factor(self):
+        with pytest.raises(PartitionError):
+            WorkModel(refine_factor=0)
+
+    def test_custom_subclass_compute(self):
+        class CellsOnly(WorkModel):
+            def compute(self, bxs):
+                return np.array(
+                    [float(b.num_cells) for b in bxs], dtype=np.float64
+                )
+
+            def _work_one(self, box):
+                return float(box.num_cells)
+
+        model = CellsOnly()
+        vec = model.vector(boxes())
+        assert vec.tolist() == [float(b.num_cells) for b in boxes()]
+        assert model.work(boxes()[0]) == float(boxes()[0].num_cells)
+
+
+class TestCallableWorkModel:
+    def test_wraps_in_sequence_order(self):
+        seen = []
+
+        def fn(b):
+            seen.append(b)
+            return 2.0 * b.num_cells
+
+        model = CallableWorkModel(fn)
+        bl = boxes()
+        vec = model.vector(bl)
+        assert seen == list(bl)
+        assert vec.tolist() == [2.0 * b.num_cells for b in bl]
+
+    def test_single_box_goes_through_fn(self):
+        model = CallableWorkModel(lambda b: 7.0)
+        assert model.work(Box((0, 0), (2, 2))) == 7.0
+
+    def test_name_comes_from_fn(self):
+        assert CallableWorkModel(default_work).name == "default_work"
+
+
+class TestAsWorkModel:
+    def test_none_gives_default_model(self):
+        model = as_work_model(None, refine_factor=3)
+        assert isinstance(model, WorkModel)
+        assert model.refine_factor == 3
+
+    def test_model_passes_through_preserving_caches(self):
+        model = WorkModel()
+        bl = boxes()
+        vec = model.vector(bl)
+        assert as_work_model(model) is model
+        assert as_work_model(model).vector(bl) is vec
+
+    def test_callable_is_wrapped(self):
+        model = as_work_model(default_work)
+        assert isinstance(model, CallableWorkModel)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(PartitionError):
+            as_work_model(42)

@@ -109,6 +109,54 @@ class TestDiff:
             diff_bench(BASE, clone(), tolerance=0.0)
 
 
+class TestRateKeys:
+    """Throughput keys (`*per_wall_second*`, `*wall_speedup*`): higher
+    is better, so the regression/improvement directions invert."""
+
+    @staticmethod
+    def with_rates(throughput: float, speedup: float) -> dict:
+        bench = clone()
+        bench["results"][0]["boxes_per_wall_second"] = throughput
+        bench["results"][0]["wall_speedup"] = speedup
+        return bench
+
+    def test_throughput_drop_is_a_regression(self):
+        old = self.with_rates(1000.0, 4.0)
+        new = self.with_rates(700.0, 4.0)  # -30% > 20% tolerance
+        cmp = diff_bench(old, new)
+        assert not cmp.ok
+        (reg,) = cmp.regressions
+        assert "boxes_per_wall_second" in reg.key
+
+    def test_throughput_rise_is_an_improvement(self):
+        old = self.with_rates(1000.0, 4.0)
+        new = self.with_rates(1500.0, 4.0)
+        cmp = diff_bench(old, new)
+        assert cmp.ok
+        (imp,) = cmp.improvements
+        assert "boxes_per_wall_second" in imp.key
+
+    def test_rate_change_within_tolerance_is_ok(self):
+        old = self.with_rates(1000.0, 4.0)
+        new = self.with_rates(900.0, 4.0)  # -10% < 20% tolerance
+        cmp = diff_bench(old, new)
+        assert cmp.ok and not cmp.improvements and not cmp.drifts
+
+    def test_speedup_drop_is_a_regression(self):
+        old = self.with_rates(1000.0, 4.0)
+        new = self.with_rates(1000.0, 2.0)
+        cmp = diff_bench(old, new)
+        assert not cmp.ok
+        (reg,) = cmp.regressions
+        assert "wall_speedup" in reg.key
+
+    def test_no_absolute_floor_on_rates(self):
+        # Tiny absolute values still count: rates are already normalized.
+        old = self.with_rates(1e-6, 4.0)
+        new = self.with_rates(1e-7, 4.0)
+        assert not diff_bench(old, new).ok
+
+
 class TestFilesAndFormat:
     def test_diff_bench_files(self, tmp_path):
         old, new = tmp_path / "old.json", tmp_path / "new.json"

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Fail if per-box work-summing loops creep back outside the work model.
+
+The vectorized :class:`repro.partition.workmodel.WorkModel` is the single
+place allowed to price boxes one at a time; everywhere else must go
+through its cached vector (``model.vector`` / ``model.total`` /
+``result.loads``).  This check greps ``src/`` for the scalar idioms the
+refactor removed, so a reviewer does not have to spot them by eye:
+
+    sum(work_of(b) for b in boxes)        # O(n) Python-level pricing
+    out[rank] += work_of(box)             # per-box load accumulation
+
+Run from the repo root (CI does)::
+
+    python tools/check_vectorized_work.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+#: Substrings that indicate scalar per-box work pricing.
+FORBIDDEN = (
+    "sum(work_of(",
+    "sum(self._work_of(",
+    "work_of(b) for b",
+    "work_of(box) for box",
+    "+= work_of(",
+    "+= self._work_of(",
+)
+
+#: The one module allowed to price boxes per-box (it implements the
+#: vectorization and the legacy-callable adapter).
+ALLOWED = {SRC / "repro" / "partition" / "workmodel.py"}
+
+
+def main() -> int:
+    violations: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            stripped = line.strip()
+            if stripped.startswith("#"):
+                continue
+            for pattern in FORBIDDEN:
+                if pattern in line:
+                    rel = path.relative_to(REPO_ROOT)
+                    violations.append(
+                        f"{rel}:{lineno}: scalar work loop `{pattern}`"
+                        f" -- use WorkModel.vector()/total() instead"
+                    )
+    if violations:
+        print("per-box work pricing outside the work model:")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("vectorized-work check: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
