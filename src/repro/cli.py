@@ -10,6 +10,13 @@ Usage::
     python -m repro report fig7          # run + health-analyse + HTML dash
     python -m repro report traces/fig7.events.jsonl   # offline, from file
     python -m repro bench-diff OLD.json NEW.json      # perf trajectory
+    python -m repro chaos --nodes 8 --kill 2          # fault injection
+
+``chaos`` runs a distributed AMR execution under a seeded fault plan
+(node crashes mid-run, recovery later), with checkpoint/restart and
+failure-aware repartitioning enabled, and reports time-to-recover plus
+solution-integrity stats: the final solution must be bitwise identical
+to an undisturbed sequential run.
 
 ``trace`` runs one experiment under an enabled telemetry tracer and writes
 three artifacts to ``--out-dir`` (default ``traces/``): a Chrome
@@ -345,6 +352,75 @@ def _run_report(target: str, quick: bool, out_dir: str) -> int:
     return 0
 
 
+def _run_chaos(
+    nodes: int,
+    kill: int,
+    steps: int,
+    seed: int,
+    checkpoint_interval: int,
+    out_dir: str,
+) -> int:
+    """Run the chaos experiment; print recovery + integrity stats."""
+    from repro.runtime.experiment import chaos_experiment
+
+    if not 0 < kill < nodes:
+        print(
+            f"--kill must leave at least one survivor: "
+            f"kill={kill}, nodes={nodes}",
+            file=sys.stderr,
+        )
+        return 2
+    tracer = Tracer()
+    with activate(tracer):
+        stats = chaos_experiment(
+            num_nodes=nodes,
+            steps=steps,
+            kill=kill,
+            seed=seed,
+            checkpoint_interval=checkpoint_interval,
+            tracer=tracer,
+        )
+    print(
+        f"chaos run: {stats['steps']} steps on {stats['num_nodes']} nodes, "
+        f"killed {stats['killed_nodes']} at t={stats['outage_at_s']:.2f}s "
+        f"for {stats['outage_duration_s']:.2f}s (plan seed {seed})"
+    )
+    print(
+        f"  checkpoints: {stats['num_checkpoints']} "
+        f"({stats['checkpoint_seconds']:.3f}s I/O), "
+        f"restores: {stats['num_restores']}, "
+        f"recoveries: {stats['num_recoveries']}, "
+        f"replayed steps: {stats['replayed_steps']}"
+    )
+    ttr = stats["mean_time_to_recover_s"]
+    print(
+        "  time-to-recover: "
+        + (f"{ttr:.3f}s (mean)" if ttr is not None else "n/a")
+        + f", recovery time total: {stats['recovery_seconds']:.3f}s"
+    )
+    print(
+        f"  runtime: {stats['chaos_seconds']:.2f}s vs fault-free "
+        f"{stats['baseline_seconds']:.2f}s "
+        f"({stats['overhead_pct']:+.1f}% overhead)"
+    )
+    ok = stats["bitwise_identical"]
+    print(
+        "  solution integrity: "
+        + ("bitwise identical to the sequential run" if ok else "MISMATCH")
+    )
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    events_path = out / "chaos.events.jsonl"
+    dashboard_path = out / "chaos.dashboard.html"
+    write_jsonl(tracer, events_path)
+    write_dashboard(
+        tracer, dashboard_path, title="Chaos run — fault injection dashboard"
+    )
+    print(f"event log (JSONL):                 {events_path}")
+    print(f"health dashboard (self-contained): {dashboard_path}")
+    return 0 if ok else 1
+
+
 def _run_bench_diff(
     old: str, new: str, tolerance: float, fail_on_regression: bool,
     verbose: bool,
@@ -408,6 +484,33 @@ def main(argv: list[str] | None = None) -> int:
         "--out-dir", default="traces",
         help="directory for the dashboard (default: traces/)",
     )
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a distributed AMR execution under fault injection; "
+        "report time-to-recover and solution-integrity stats",
+    )
+    chaos.add_argument(
+        "--nodes", type=int, default=8, help="cluster size (default: 8)"
+    )
+    chaos.add_argument(
+        "--kill", type=int, default=2,
+        help="nodes crashed mid-run and recovered later (default: 2)",
+    )
+    chaos.add_argument(
+        "--steps", type=int, default=12,
+        help="coarse AMR steps to execute (default: 12)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=7, help="fault-plan seed (default: 7)"
+    )
+    chaos.add_argument(
+        "--checkpoint-interval", type=int, default=3,
+        help="steps between checkpoints (default: 3)",
+    )
+    chaos.add_argument(
+        "--out-dir", default="traces",
+        help="directory for trace + dashboard artifacts (default: traces/)",
+    )
     bench = sub.add_parser(
         "bench-diff",
         help="compare two BENCH_*.json artifacts; flag perf regressions",
@@ -457,6 +560,11 @@ def main(argv: list[str] | None = None) -> int:
         return _run_traced(args.experiment, args.quick, args.out_dir)
     if args.command == "report":
         return _run_report(args.target, args.quick, args.out_dir)
+    if args.command == "chaos":
+        return _run_chaos(
+            args.nodes, args.kill, args.steps, args.seed,
+            args.checkpoint_interval, args.out_dir,
+        )
     if args.command == "bench-diff":
         return _run_bench_diff(
             args.old, args.new, args.tolerance, args.fail_on_regression,

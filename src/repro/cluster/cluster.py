@@ -65,6 +65,10 @@ class Cluster:
         self.clock = SimClock()
         self.tracer = NULL_TRACER
         self._generators: list[SyntheticLoadGenerator] = []
+        #: node -> sim time it went down (absent = up)
+        self._down_since: dict[int, float] = {}
+        #: node -> multiplicative NIC derating in (0, 1] (absent = 1.0)
+        self._link_derate: dict[int, float] = {}
         for g in load_generators:
             self.add_load_generator(g)
 
@@ -113,6 +117,75 @@ class Cluster:
         return tuple(self._generators)
 
     # ------------------------------------------------------------------
+    # Node lifecycle (resilience)
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise SimulationError(f"unknown node index {node}")
+
+    def is_up(self, node: int) -> bool:
+        """Whether ``node`` is currently alive (default: yes)."""
+        self._check_node(node)
+        return node not in self._down_since
+
+    def mark_down(self, node: int) -> None:
+        """Take ``node`` out of service (crash/eviction).
+
+        A down node has zero CPU availability, memory and bandwidth; its
+        probes fail and the time model refuses to schedule work on it.
+        Marking an already-down node is a no-op (idempotent, so an
+        injected crash racing an eviction does not error).
+        """
+        self._check_node(node)
+        self._down_since.setdefault(node, self.clock.now)
+
+    def mark_up(self, node: int) -> None:
+        """Return ``node`` to service; idempotent like :meth:`mark_down`."""
+        self._check_node(node)
+        self._down_since.pop(node, None)
+
+    def down_since(self, node: int) -> float | None:
+        """Sim time ``node`` went down, or ``None`` if it is up."""
+        self._check_node(node)
+        return self._down_since.get(node)
+
+    @property
+    def down_nodes(self) -> tuple[int, ...]:
+        return tuple(sorted(self._down_since))
+
+    @property
+    def live_nodes(self) -> tuple[int, ...]:
+        return tuple(
+            k for k in range(self.num_nodes) if k not in self._down_since
+        )
+
+    def live_mask(self) -> np.ndarray:
+        """Boolean per-node liveness vector."""
+        mask = np.ones(self.num_nodes, dtype=bool)
+        for k in self._down_since:
+            mask[k] = False
+        return mask
+
+    def degrade_link(self, node: int, factor: float) -> None:
+        """Derate ``node``'s NIC to ``factor`` of its deliverable bandwidth
+        (a flaky switch port, a congested uplink)."""
+        self._check_node(node)
+        if not 0.0 < factor <= 1.0:
+            raise SimulationError(
+                f"link derating factor must be in (0, 1], got {factor}"
+            )
+        self._link_derate[node] = float(factor)
+
+    def restore_link(self, node: int) -> None:
+        """Lift any NIC derating on ``node``; idempotent."""
+        self._check_node(node)
+        self._link_derate.pop(node, None)
+
+    def link_derate(self, node: int) -> float:
+        self._check_node(node)
+        return self._link_derate.get(node, 1.0)
+
+    # ------------------------------------------------------------------
     def load_level(self, node: int, t: float | None = None) -> float:
         """Total synthetic load on ``node`` at time ``t`` (default: now)."""
         t = self.clock.now if t is None else t
@@ -125,11 +198,18 @@ class Cluster:
         sees node state through the resource monitor, which adds probe cost
         (and, optionally, noise and forecasting).
         """
-        if not 0 <= node < self.num_nodes:
-            raise SimulationError(f"unknown node index {node}")
+        self._check_node(node)
         t = self.clock.now if t is None else t
         spec = self.nodes[node]
         level = self.load_level(node, t)
+        if node in self._down_since:
+            # A crashed node delivers nothing -- no CPU, no memory, no NIC.
+            return NodeState(
+                cpu_available=0.0,
+                free_memory_mb=0.0,
+                bandwidth_mbps=0.0,
+                load_level=level,
+            )
         mem_used = OS_BASE_MEMORY_MB + sum(
             g.memory_at(t) for g in self._generators if g.node == node
         )
@@ -139,6 +219,7 @@ class Cluster:
             if g.node == node
         )
         bw_share = max(0.05, 1.0 - bw_consumed)  # >= 5% stays deliverable
+        bw_share *= self._link_derate.get(node, 1.0)
         return NodeState(
             cpu_available=cpu_share_under_load(level, spec.os_overhead),
             free_memory_mb=max(0.0, spec.memory_mb - mem_used),

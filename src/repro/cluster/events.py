@@ -30,6 +30,7 @@ class SimClock:
         self._now = float(start)
         self._queue: list[tuple[float, int, Callable[["SimClock"], None]]] = []
         self._counter = itertools.count()  # FIFO tie-break for equal times
+        self._advancing = False
 
     @property
     def now(self) -> float:
@@ -57,15 +58,31 @@ class SimClock:
         self.advance_to(self._now + dt)
 
     def advance_to(self, t: float) -> None:
-        """Move time to absolute ``t``, firing due events in order."""
+        """Move time to absolute ``t``, firing due events in order.
+
+        Event callbacks may :meth:`schedule` freely -- including at exactly
+        the current timestamp, which fires later in the same sweep in FIFO
+        order -- but must not call ``advance``/``advance_to`` themselves:
+        a nested advance would fast-forward past events the outer sweep
+        still owns and then yank time backwards when the outer loop resumes.
+        """
+        if self._advancing:
+            raise SimulationError(
+                "re-entrant advance: an event callback tried to move the "
+                "clock; callbacks may only schedule() further events"
+            )
         if t < self._now:
             raise SimulationError(
                 f"cannot move time backwards: now={self._now}, target={t}"
             )
-        while self._queue and self._queue[0][0] <= t:
-            when, _, callback = heapq.heappop(self._queue)
-            self._now = when
-            callback(self)
+        self._advancing = True
+        try:
+            while self._queue and self._queue[0][0] <= t:
+                when, _, callback = heapq.heappop(self._queue)
+                self._now = when
+                callback(self)
+        finally:
+            self._advancing = False
         self._now = t
 
     @property

@@ -71,6 +71,11 @@ class SimCommunicator:
         self._check_rank(dst)
         if src == dst:
             return 0.0  # local copy, charged to compute
+        if not (self.cluster.is_up(src) and self.cluster.is_up(dst)):
+            raise SimulationError(
+                f"point-to-point {src}->{dst} has a down endpoint; "
+                "recovery must evacuate or re-route this transfer"
+            )
         s_bw = self.cluster.state_of(src, t).bandwidth_mbps
         d_bw = self.cluster.state_of(dst, t).bandwidth_mbps
         seconds = self.cluster.link.transfer_time(nbytes, s_bw, d_bw)
@@ -96,11 +101,17 @@ class SimCommunicator:
         return busy
 
     def allreduce_time(self, nbytes: float, t: float | None = None) -> float:
-        """Binomial-tree allreduce over all ranks."""
-        if self.size == 1:
+        """Binomial-tree allreduce over the *live* ranks.
+
+        Down nodes are excluded from the tree -- an MPI implementation with
+        fault tolerance (ULFM-style) shrinks the communicator; pricing them
+        in would divide by a zero bandwidth.
+        """
+        live = [k for k in range(self.size) if self.cluster.is_up(k)]
+        if len(live) <= 1:
             return 0.0
-        rounds = math.ceil(math.log2(self.size))
-        states = [self.cluster.state_of(k, t) for k in range(self.size)]
+        rounds = math.ceil(math.log2(len(live)))
+        states = [self.cluster.state_of(k, t) for k in live]
         slowest_bw = min(s.bandwidth_mbps for s in states)
         per_round = self.cluster.link.transfer_time(nbytes, slowest_bw, slowest_bw)
         seconds = rounds * per_round

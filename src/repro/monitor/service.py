@@ -11,8 +11,16 @@ mirroring how the paper's framework only saw its testbed through NWS:
 - :meth:`ResourceMonitor.forecast_all` returns the forecaster suite's
   prediction instead of the raw measurement (NWS semantics).  With the
   default ``last`` forecaster this equals the latest probe.
-- Failed probes (injected) silently fall back to the node's last known
-  reading and are counted in ``snapshot.stale_nodes``.
+- Failed probes (injected, node down, or sensor blacked out) fall back to
+  the node's last known reading, are counted in ``snapshot.stale_nodes``,
+  and accumulate per-node *consecutive* sweep-failure counts on
+  ``snapshot.failure_counts`` -- persistent sensor loss is visible, not
+  silently absorbed.
+- With a :class:`~repro.resilience.policy.ProbeRetryPolicy` attached, a
+  failed probe is retried in-sweep with exponential backoff (the delays
+  are charged to the sweep's overhead), and consecutive failures escalate
+  ``healthy -> stale -> suspect -> evicted`` with ``fault.*`` /
+  ``recovery.*`` telemetry events at each transition.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.monitor.forecasting import Forecaster, make_forecaster
 from repro.monitor.sensors import METRICS, MetricSensor
+from repro.resilience.policy import NodeProbeStatus, ProbeRetryPolicy
 from repro.telemetry.spans import NULL_TRACER
 from repro.util.errors import MonitorError
 
@@ -49,6 +58,12 @@ class MonitorSnapshot:
     bandwidth_mbps: np.ndarray
     overhead_seconds: float
     stale_nodes: tuple[int, ...] = field(default=())
+    #: Per-node count of *consecutive* sweeps whose probe failed (0 =
+    #: healthy).  Unlike ``stale_nodes`` -- this sweep only -- the counts
+    #: expose persistent sensor loss to the escalation policy and the
+    #: health monitor.  Empty tuple when the monitor predates the sweep
+    #: bookkeeping (e.g. hand-built snapshots in tests).
+    failure_counts: tuple[int, ...] = field(default=())
 
     @property
     def num_nodes(self) -> int:
@@ -83,6 +98,11 @@ class ResourceMonitor:
     tracer:
         Telemetry sink for probe spans (no-op by default; the runtime
         attaches its tracer when tracing is enabled).
+    retry_policy:
+        Optional :class:`~repro.resilience.policy.ProbeRetryPolicy`.  When
+        set, failed probes retry in-sweep with backoff and consecutive
+        failures escalate to suspect/evicted status; when ``None`` the
+        monitor keeps the original carry-forward-only behaviour.
     """
 
     def __init__(
@@ -95,6 +115,7 @@ class ResourceMonitor:
         forecaster: str = "last",
         seed: int = 0,
         tracer=NULL_TRACER,
+        retry_policy: ProbeRetryPolicy | None = None,
     ):
         if probe_overhead_s < 0:
             raise MonitorError(f"negative probe overhead {probe_overhead_s}")
@@ -124,18 +145,61 @@ class ResourceMonitor:
         }
         self.num_probes = 0
         self.last_probe_time: float | None = None
+        self.retry_policy = retry_policy
+        #: Nodes whose sensors are blacked out (fault injection): the node
+        #: may be computing fine, but every probe of it fails.
+        self._blackouts: set[int] = set()
+        self._consecutive_failures = [0] * cluster.num_nodes
+        self._status = [NodeProbeStatus.HEALTHY] * cluster.num_nodes
+        self._retry_overhead_s = 0.0
 
     # ------------------------------------------------------------------
+    # Sensor blackouts (fault injection)
+    # ------------------------------------------------------------------
+    def blackout_sensor(self, node: int) -> None:
+        """All probes of ``node`` fail until :meth:`restore_sensor`."""
+        if not 0 <= node < self.cluster.num_nodes:
+            raise MonitorError(f"unknown node index {node}")
+        self._blackouts.add(node)
+
+    def restore_sensor(self, node: int) -> None:
+        """Lift a sensor blackout; idempotent."""
+        self._blackouts.discard(node)
+
+    @property
+    def blacked_out_nodes(self) -> tuple[int, ...]:
+        return tuple(sorted(self._blackouts))
+
+    # ------------------------------------------------------------------
+    def _read_sensor(self, metric: str, node: int, t: float | None) -> float:
+        """One probe attempt; unreachable nodes fail like dead sensors."""
+        if node in self._blackouts:
+            raise MonitorError(f"sensor blackout on node {node}")
+        if not self.cluster.is_up(node):
+            raise MonitorError(f"node {node} is down; probe timed out")
+        return self._sensors[metric].probe(node, t).value
+
     def _probe_metric(
         self, metric: str, t: float | None, stale: set[int]
     ) -> np.ndarray:
-        sensor = self._sensors[metric]
         values = np.empty(self.cluster.num_nodes)
         for node in range(self.cluster.num_nodes):
+            value: float | None
             try:
-                reading = sensor.probe(node, t)
-                value = reading.value
+                value = self._read_sensor(metric, node, t)
             except MonitorError:
+                value = None
+                if self.retry_policy is not None:
+                    for attempt in range(1, self.retry_policy.max_retries + 1):
+                        self._retry_overhead_s += (
+                            self.retry_policy.backoff.delay(node, attempt)
+                        )
+                        try:
+                            value = self._read_sensor(metric, node, t)
+                            break
+                        except MonitorError:
+                            continue
+            if value is None:
                 prev = self._last_values[metric][node]
                 if prev is None:
                     # Never measured: fall back to an optimistic default so
@@ -183,26 +247,94 @@ class ResourceMonitor:
             "probe", num_nodes=self.cluster.num_nodes
         ) as span:
             stale: set[int] = set()
+            self._retry_overhead_s = 0.0
             cpu = self._probe_metric("cpu", t, stale)
             mem = self._probe_metric("memory", t, stale)
             bw = self._probe_metric("bandwidth", t, stale)
             self.num_probes += 1
             self.last_probe_time = when
+            for node in range(self.cluster.num_nodes):
+                if node in stale:
+                    self._consecutive_failures[node] += 1
+                else:
+                    self._consecutive_failures[node] = 0
             snapshot = MonitorSnapshot(
                 time=when,
                 cpu=cpu,
                 memory_mb=mem,
                 bandwidth_mbps=bw,
-                overhead_seconds=self.sweep_overhead_seconds(),
+                overhead_seconds=(
+                    self.sweep_overhead_seconds() + self._retry_overhead_s
+                ),
                 stale_nodes=tuple(sorted(stale)),
+                failure_counts=tuple(self._consecutive_failures),
             )
             span.set(
                 overhead_seconds=snapshot.overhead_seconds,
                 num_stale=len(stale),
             )
+            if stale:
+                span.set(
+                    max_consecutive_failures=max(self._consecutive_failures),
+                )
+        if self.retry_policy is not None:
+            self._escalate()
         if self.tracer.enabled and stale:
             self.tracer.metrics.counter("probe_failures").inc(len(stale))
         return snapshot
+
+    def _escalate(self) -> None:
+        """Walk every node up/down the escalation ladder, emitting one
+        telemetry event per status transition."""
+        esc = self.retry_policy.escalation
+        for node in range(self.cluster.num_nodes):
+            new = esc.classify(self._consecutive_failures[node])
+            old = self._status[node]
+            if new is old:
+                continue
+            self._status[node] = new
+            if new is NodeProbeStatus.SUSPECT:
+                self.tracer.event(
+                    "fault.probe_suspect",
+                    node=node,
+                    consecutive_failures=self._consecutive_failures[node],
+                )
+            elif new is NodeProbeStatus.EVICTED:
+                self.tracer.event(
+                    "fault.probe_evicted",
+                    node=node,
+                    consecutive_failures=self._consecutive_failures[node],
+                )
+            elif new is NodeProbeStatus.HEALTHY and old in (
+                NodeProbeStatus.SUSPECT,
+                NodeProbeStatus.EVICTED,
+            ):
+                self.tracer.event("recovery.probe_healthy", node=node)
+
+    def node_status(self, node: int) -> NodeProbeStatus:
+        """Where ``node`` sits on the escalation ladder (always HEALTHY
+        when no retry policy is attached)."""
+        if not 0 <= node < self.cluster.num_nodes:
+            raise MonitorError(f"unknown node index {node}")
+        return self._status[node]
+
+    @property
+    def evicted_nodes(self) -> tuple[int, ...]:
+        """Nodes the escalation policy has removed from the live set."""
+        return tuple(
+            k
+            for k in range(self.cluster.num_nodes)
+            if self._status[k] is NodeProbeStatus.EVICTED
+        )
+
+    def trusted_mask(self) -> np.ndarray:
+        """Per-node mask: up per cluster ground truth *and* not evicted by
+        the escalation policy.  This is the live set capacity
+        renormalization uses."""
+        mask = self.cluster.live_mask()
+        for k in self.evicted_nodes:
+            mask[k] = False
+        return mask
 
     def forecast_all(self, t: float | None = None) -> MonitorSnapshot:
         """Forecast every metric from history (requires >= 1 prior probe).
@@ -225,4 +357,5 @@ class ResourceMonitor:
             memory_mb=np.maximum(arrays["memory"], 0.0),
             bandwidth_mbps=np.maximum(arrays["bandwidth"], 0.0),
             overhead_seconds=0.0,
+            failure_counts=tuple(self._consecutive_failures),
         )

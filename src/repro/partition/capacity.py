@@ -98,8 +98,44 @@ class CapacityCalculator:
             return np.full(n, 1.0 / n)
         return values / total
 
-    def relative_capacities(self, snapshot: MonitorSnapshot) -> np.ndarray:
-        """C_k for every node; non-negative and summing to 1."""
+    def relative_capacities(
+        self,
+        snapshot: MonitorSnapshot,
+        live: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """C_k for every node; non-negative and summing to 1.
+
+        ``live`` (optional boolean mask) restricts the normalization to the
+        surviving rank set: dead nodes get exactly zero capacity and the
+        remaining shares renormalize over live nodes only.  ``None`` (or an
+        all-true mask) is the original fixed-rank-set computation.
+        """
+        if live is not None:
+            live = np.asarray(live, dtype=bool)
+            if live.shape != (len(snapshot.cpu),):
+                raise PartitionError(
+                    f"live mask has shape {live.shape}, snapshot covers "
+                    f"{len(snapshot.cpu)} nodes"
+                )
+            if not live.any():
+                raise PartitionError(
+                    "no live nodes: cannot renormalize capacities"
+                )
+            if not live.all():
+                p_hat = self._normalize(
+                    np.where(live, snapshot.cpu, 0.0)[live]
+                )
+                m_hat = self._normalize(
+                    np.where(live, snapshot.memory_mb, 0.0)[live]
+                )
+                b_hat = self._normalize(
+                    np.where(live, snapshot.bandwidth_mbps, 0.0)[live]
+                )
+                w = self.weights
+                c_live = w.w_p * p_hat + w.w_m * m_hat + w.w_b * b_hat
+                c = np.zeros(len(live))
+                c[live] = c_live / c_live.sum()
+                return c
         p_hat = self._normalize(snapshot.cpu)
         m_hat = self._normalize(snapshot.memory_mb)
         b_hat = self._normalize(snapshot.bandwidth_mbps)
@@ -108,8 +144,13 @@ class CapacityCalculator:
         # Weights and shares each sum to 1, so c sums to 1 up to rounding.
         return c / c.sum()
 
-    def work_targets(self, snapshot: MonitorSnapshot, total_work: float) -> np.ndarray:
+    def work_targets(
+        self,
+        snapshot: MonitorSnapshot,
+        total_work: float,
+        live: np.ndarray | None = None,
+    ) -> np.ndarray:
         """L_k = C_k * L for every node."""
         if total_work < 0:
             raise PartitionError(f"negative total work {total_work}")
-        return self.relative_capacities(snapshot) * total_work
+        return self.relative_capacities(snapshot, live) * total_work

@@ -1,0 +1,138 @@
+"""Probe retry/backoff and failure-escalation policy.
+
+The stock :class:`~repro.monitor.service.ResourceMonitor` silently carries a
+node's last reading forward when a probe fails.  That is the right *first*
+response -- NWS sensors drop packets all the time -- but carried forward
+indefinitely it turns a dead node into a permanently "healthy looking" one.
+This module supplies the two missing mechanisms:
+
+- :class:`BackoffPolicy`: exponential backoff with deterministic jitter for
+  in-sweep probe retries.  Jitter is derived from :func:`repro.util.hashing.
+  mix64` of ``(node, attempt, seed)`` rather than a stateful RNG, so retry
+  timing replays bit-for-bit no matter how many other components draw
+  random numbers in between.
+- :class:`EscalationPolicy` / :class:`ProbeRetryPolicy`: a consecutive-
+  failure ladder ``healthy -> stale -> suspect -> evicted``.  Stale keeps
+  the carry-forward, suspect flags the node to the health monitor, evicted
+  removes it from the live set the capacity calculator normalizes over.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.errors import ResilienceError
+from repro.util.hashing import mix64
+
+__all__ = [
+    "BackoffPolicy",
+    "EscalationPolicy",
+    "NodeProbeStatus",
+    "ProbeRetryPolicy",
+]
+
+
+class NodeProbeStatus(enum.Enum):
+    """Where a node sits on the escalation ladder."""
+
+    HEALTHY = "healthy"
+    STALE = "stale"
+    SUSPECT = "suspect"
+    EVICTED = "evicted"
+
+
+@dataclass(frozen=True, slots=True)
+class BackoffPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``delay(node, attempt)`` for attempt 1, 2, ... is
+    ``min(base_s * factor**(attempt-1), max_s)`` scaled by a jitter factor
+    in ``[1 - jitter, 1 + jitter]`` drawn from a hash of
+    ``(node, attempt, seed)`` -- no RNG state is consumed, so chaos replays
+    are unaffected by retry count.
+    """
+
+    base_s: float = 0.05
+    factor: float = 2.0
+    max_s: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0:
+            raise ResilienceError(f"base_s must be > 0, got {self.base_s}")
+        if self.factor < 1.0:
+            raise ResilienceError(f"factor must be >= 1, got {self.factor}")
+        if self.max_s < self.base_s:
+            raise ResilienceError(
+                f"max_s ({self.max_s}) must be >= base_s ({self.base_s})"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ResilienceError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def delay(self, node: int, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based) on ``node``."""
+        if attempt < 1:
+            raise ResilienceError(f"attempt must be >= 1, got {attempt}")
+        raw = min(self.base_s * self.factor ** (attempt - 1), self.max_s)
+        if self.jitter == 0.0:
+            return raw
+        h = mix64(mix64(self.seed ^ (node << 20)) ^ attempt)
+        unit = h / float(1 << 64)  # uniform in [0, 1)
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+
+
+@dataclass(frozen=True, slots=True)
+class EscalationPolicy:
+    """Consecutive-failure thresholds for the escalation ladder.
+
+    A node that has failed its probe sweep ``k`` consecutive times is
+    *stale* once ``k >= stale_after``, *suspect* once ``k >= suspect_after``
+    and *evicted* once ``k >= evict_after``.  One successful sweep resets
+    the count (and the status) to healthy -- eviction is a monitoring
+    verdict, not a permanent ban.
+    """
+
+    stale_after: int = 1
+    suspect_after: int = 3
+    evict_after: int = 6
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.stale_after <= self.suspect_after <= self.evict_after:
+            raise ResilienceError(
+                "escalation thresholds must satisfy 1 <= stale_after <= "
+                f"suspect_after <= evict_after, got {self.stale_after}, "
+                f"{self.suspect_after}, {self.evict_after}"
+            )
+
+    def classify(self, consecutive_failures: int) -> NodeProbeStatus:
+        if consecutive_failures >= self.evict_after:
+            return NodeProbeStatus.EVICTED
+        if consecutive_failures >= self.suspect_after:
+            return NodeProbeStatus.SUSPECT
+        if consecutive_failures >= self.stale_after:
+            return NodeProbeStatus.STALE
+        return NodeProbeStatus.HEALTHY
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeRetryPolicy:
+    """What the monitor does about failed probes: retry, then escalate.
+
+    ``max_retries`` is the number of *additional* in-sweep attempts after
+    the first failure; each retry waits :meth:`BackoffPolicy.delay`, which
+    the monitor charges to the sweep's overhead.
+    """
+
+    backoff: BackoffPolicy = BackoffPolicy()
+    escalation: EscalationPolicy = EscalationPolicy()
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ResilienceError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )

@@ -35,6 +35,7 @@ from repro.monitor.service import ResourceMonitor
 from repro.partition.base import Partitioner
 from repro.partition.capacity import CapacityCalculator
 from repro.partition.workmodel import WorkModel
+from repro.resilience.checkpoint import CheckpointManager, ResilienceConfig
 from repro.runtime.pipeline import RepartitionPipeline
 from repro.runtime.timemodel import TimeModel
 from repro.telemetry.spans import NullTracer, Tracer, get_active_tracer
@@ -76,6 +77,13 @@ class DistributedRunResult:
     loads_history: list[np.ndarray] = field(default_factory=list)
     capacities_history: list[np.ndarray] = field(default_factory=list)
     step_seconds: list[float] = field(default_factory=list)
+    #: resilience accounting (all zero on undisturbed runs)
+    num_recoveries: int = 0
+    num_restores: int = 0
+    num_checkpoints: int = 0
+    replayed_steps: int = 0
+    recovery_seconds: float = 0.0
+    checkpoint_seconds: float = 0.0
 
 
 class DistributedAmrRun:
@@ -104,6 +112,7 @@ class DistributedAmrRun:
         regrid_params: RegridParams | None = None,
         time_model: TimeModel | None = None,
         tracer: Tracer | NullTracer | None = None,
+        resilience: ResilienceConfig | None = None,
     ):
         self.hierarchy = hierarchy
         self.cluster = cluster
@@ -138,6 +147,15 @@ class DistributedAmrRun:
         )
         self._capacities: np.ndarray | None = None
         self._result: DistributedRunResult | None = None
+        # Checkpoint/restart + failure-aware repartitioning (opt-in; the
+        # default path is byte-identical to the resilience-free runtime).
+        self.resilience = resilience
+        self.ckpt_manager = (
+            CheckpointManager(resilience, tracer=self.tracer)
+            if resilience is not None
+            else None
+        )
+        self._partition_live: frozenset[int] | None = None
 
     # ------------------------------------------------------------------
     def _work_of(self, box: Box) -> float:
@@ -171,24 +189,34 @@ class DistributedAmrRun:
             result.num_sensings += 1
             result.capacities_history.append(out.capacities.copy())
 
+    def _repatch(self, part) -> None:
+        # Turn the partitioner's (possibly split) boxes into patch
+        # layout before migration is priced.
+        by_level: dict[int, list[Box]] = {}
+        for box, _rank in part.assignment:
+            by_level.setdefault(box.level, []).append(box)
+        for level in sorted(by_level):
+            self.hierarchy.repatch_level(level, BoxList(by_level[level]))
+
     def _on_regrid(self, hierarchy: GridHierarchy) -> None:
         """Partition the fresh hierarchy and make its output the patching."""
         if self._capacities is None:
             self._sense()
         boxes = hierarchy.box_list()
-
-        def repatch(part) -> None:
-            # Turn the partitioner's (possibly split) boxes into patch
-            # layout before migration is priced.
-            by_level: dict[int, list[Box]] = {}
-            for box, _rank in part.assignment:
-                by_level.setdefault(box.level, []).append(box)
-            for level in sorted(by_level):
-                hierarchy.repatch_level(level, BoxList(by_level[level]))
-
-        out = self.pipeline.repartition(
-            boxes, self._capacities, before_migrate=repatch
-        )
+        if self.resilience is not None and not self.monitor.trusted_mask().all():
+            # Regrid while part of the cluster is out: partition over the
+            # survivors only (the recovery stage handles remapping).
+            out = self.pipeline.recover(
+                boxes,
+                self._capacities,
+                before_migrate=self._repatch,
+                storage_bandwidth_mbps=self.resilience.storage_bandwidth_mbps,
+            )
+        else:
+            out = self.pipeline.repartition(
+                boxes, self._capacities, before_migrate=self._repatch
+            )
+        self._partition_live = self._trusted_live()
         result = self._result
         if result is not None:
             result.migration_seconds += out.migration_seconds
@@ -215,8 +243,18 @@ class DistributedAmrRun:
         ):
             self._sense()
             self.integrator.setup()
+            if self.ckpt_manager is not None:
+                # Baseline snapshot: a crash before the first cadence save
+                # restores to the initial state and replays everything.
+                self._checkpoint()
             cfg = self.config
-            for step in range(cfg.steps):
+            target = self.hierarchy.step_count + cfg.steps
+            while self.hierarchy.step_count < target:
+                step = self.hierarchy.step_count
+                if self.ckpt_manager is not None:
+                    recovered = self._maybe_recover()
+                    if recovered:
+                        step = self.hierarchy.step_count
                 if (
                     cfg.sensing_interval
                     and step > 0
@@ -224,18 +262,30 @@ class DistributedAmrRun:
                 ):
                     self._sense()
                 step_start = self.cluster.clock.now
-                with tracer.span("advance", step=step):
-                    self.integrator.advance()
-                loads = self.owned_loads()
-                current = self.pipeline.last
-                volumes = (
-                    self.pipeline.exchange_plan(
-                        current.part.boxes(), current.owners
+                try:
+                    with tracer.span("advance", step=step):
+                        self.integrator.advance()
+                    loads = self.owned_loads()
+                    current = self.pipeline.last
+                    volumes = (
+                        self.pipeline.exchange_plan(
+                            current.part.boxes(), current.owners
+                        )
+                        if current is not None
+                        else {}
                     )
-                    if current is not None
-                    else {}
-                )
-                cost = self.time_model.iteration_cost(loads, volumes)
+                    cost = self.time_model.iteration_cost(loads, volumes)
+                except SimulationError:
+                    # A fault landed mid-step (dead endpoint in a planned
+                    # transfer, dead rank still owning work): abort the
+                    # step; the recovery stage restores and replays it.
+                    if self.ckpt_manager is None or not (
+                        self.pipeline.needs_recovery()
+                        or self._trusted_live() != self._partition_live
+                    ):
+                        raise
+                    tracer.event("fault.step_aborted", step=step)
+                    continue
                 self.cluster.clock.advance(cost.total)
                 if tracer.enabled:
                     self._emit_step_spans(step, step_start, cost)
@@ -244,12 +294,98 @@ class DistributedAmrRun:
                     )
                 result.step_seconds.append(cost.total)
                 result.steps += 1
+                if (
+                    self.ckpt_manager is not None
+                    and self.ckpt_manager.due(self.hierarchy.step_count)
+                ):
+                    self._checkpoint()
         result.total_seconds = self.cluster.clock.now
+        result.replayed_steps = max(0, result.steps - self.config.steps)
         if tracer.enabled:
             tracer.metrics.counter("total_sim_seconds").inc(
                 result.total_seconds
             )
         return result
+
+    # ------------------------------------------------------------------
+    # Resilience: checkpointing and the recovery stage
+    # ------------------------------------------------------------------
+    def _trusted_live(self) -> frozenset[int]:
+        return frozenset(
+            int(k) for k in np.flatnonzero(self.monitor.trusted_mask())
+        )
+
+    def _checkpoint(self) -> None:
+        """Snapshot hierarchy + assignment, charging storage I/O time."""
+        manager = self.ckpt_manager
+        ckpt = manager.save(
+            self.hierarchy,
+            self.pipeline.prev_assignment,
+            self.cluster.clock.now,
+        )
+        io_s = manager.io_seconds(ckpt.nbytes)
+        if self.resilience.charge_io_time:
+            self.cluster.clock.advance(io_s)
+        result = self._result
+        if result is not None:
+            result.num_checkpoints += 1
+            result.checkpoint_seconds += io_s
+
+    def _maybe_recover(self) -> bool:
+        """Run the recovery stage when the trusted rank set changed.
+
+        Two triggers: a box-owning rank is down (data loss -- restore the
+        latest checkpoint and replay), or the trusted live set differs
+        from the one the current partition was computed over (a node was
+        evicted, or a recovered node should be grown onto again).
+        """
+        data_lost = self.pipeline.needs_recovery()
+        if not data_lost and self._trusted_live() == self._partition_live:
+            return False
+        tracer = self.tracer
+        manager = self.ckpt_manager
+        result = self._result
+        dead_owners = self.pipeline.dead_owner_ranks()
+        t0 = self.cluster.clock.now
+        with tracer.span(
+            "recovery",
+            dead_ranks=list(dead_owners),
+            data_lost=data_lost,
+        ):
+            if data_lost:
+                ckpt, saved_assignment = manager.restore_latest(
+                    self.hierarchy
+                )
+                if self.resilience.charge_io_time:
+                    self.cluster.clock.advance(
+                        manager.io_seconds(ckpt.nbytes)
+                    )
+                if saved_assignment is not None:
+                    # Price evacuation against the layout that was live at
+                    # save time, not the doomed post-crash layout.
+                    self.pipeline.prev_assignment = saved_assignment
+                if result is not None:
+                    result.num_restores += 1
+            self._sense()  # fresh capacities over the surviving rank set
+            out = self.pipeline.recover(
+                self.hierarchy.box_list(),
+                self._capacities,
+                before_migrate=self._repatch,
+                storage_bandwidth_mbps=self.resilience.storage_bandwidth_mbps,
+            )
+            self._partition_live = self._trusted_live()
+            if result is not None:
+                result.num_recoveries += 1
+                result.migration_seconds += out.migration_seconds
+                result.loads_history.append(out.loads)
+                result.recovery_seconds += self.cluster.clock.now - t0
+        tracer.event(
+            "recovery.complete",
+            resumed_step=self.hierarchy.step_count,
+            num_live=len(self._partition_live),
+            recovery_seconds=self.cluster.clock.now - t0,
+        )
+        return True
 
     def _health_attrs(self) -> dict:
         """Health signals for one step's iteration span (see the pipeline)."""

@@ -32,6 +32,7 @@ from repro.monitor.service import ResourceMonitor
 from repro.partition.base import Partitioner
 from repro.partition.capacity import CapacityCalculator
 from repro.partition.workmodel import WorkModel
+from repro.resilience.checkpoint import ResilienceConfig
 from repro.runtime.pipeline import RepartitionPipeline
 from repro.runtime.timemodel import TimeModel
 from repro.telemetry.spans import NullTracer, Tracer, get_active_tracer
@@ -176,6 +177,7 @@ class SamrRuntime:
         config: RuntimeConfig | None = None,
         time_model: TimeModel | None = None,
         tracer: Tracer | NullTracer | None = None,
+        resilience: ResilienceConfig | None = None,
     ):
         self.workload = workload
         self.cluster = cluster
@@ -220,6 +222,12 @@ class SamrRuntime:
         )
         self._level_loads = np.zeros((1, cluster.num_nodes))
         self._subcycles = np.ones(1)
+        # Failure-aware repartitioning (opt-in).  A trace run has no grid
+        # data to checkpoint -- recovery here means re-sensing and
+        # repartitioning the current epoch over the surviving rank set,
+        # with orphaned boxes priced as checkpoint-storage reads.
+        self.resilience = resilience
+        self._partition_live: frozenset[int] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -253,15 +261,35 @@ class SamrRuntime:
         """Partition the epoch's boxes, migrate data, record everything.
 
         Returns (per-rank loads, pair ghost-exchange volumes).
+
+        With resilience enabled and a degraded trusted set, the partition
+        runs through the pipeline's recovery stage instead: compacted over
+        the live ranks so no box can land on a dead one, with orphaned
+        cells priced as checkpoint-storage reads.
         """
         boxes = self.workload.epoch(min(epoch_idx, self.workload.num_regrids - 1))
-        out = self.pipeline.repartition(
-            boxes,
-            capacities,
-            migrate_attrs={"trigger": trigger},
-            on_apply=self.hdda.apply_assignment,
-            stats=True,
+        degraded = self.resilience is not None and (
+            not bool(self.monitor.trusted_mask().all())
+            or self.pipeline.needs_recovery()
         )
+        if degraded:
+            trigger = "recovery"
+            out = self.pipeline.recover(
+                boxes,
+                capacities,
+                storage_bandwidth_mbps=self.resilience.storage_bandwidth_mbps,
+                on_apply=self.hdda.apply_assignment,
+            )
+        else:
+            out = self.pipeline.repartition(
+                boxes,
+                capacities,
+                migrate_attrs={"trigger": trigger},
+                on_apply=self.hdda.apply_assignment,
+                stats=True,
+            )
+        if self.resilience is not None:
+            self._partition_live = self._trusted_live()
         result.migration_seconds += out.migration_seconds
         # Per-level load matrix for the per-level synchronization model.
         levels, self._level_loads = out.level_loads(self.cluster.num_nodes)
@@ -285,6 +313,32 @@ class SamrRuntime:
         return out.loads, volumes
 
     # ------------------------------------------------------------------
+    def _trusted_live(self) -> frozenset[int]:
+        """Ranks that are up and not evicted by the escalation policy."""
+        return frozenset(
+            int(i) for i in np.flatnonzero(self.monitor.trusted_mask())
+        )
+
+    def _recovery_due(self) -> bool:
+        """Whether the trusted rank set no longer matches the partition.
+
+        Covers both directions: a box owner died (evacuate + shrink) and a
+        previously dead/evicted node rejoined (grow back over it).
+        """
+        if self.resilience is None:
+            return False
+        return (
+            self.pipeline.needs_recovery()
+            or self._trusted_live() != self._partition_live
+        )
+
+    def _price(self, loads: np.ndarray, volumes: dict):
+        if self.config.sync_mode == "per_level":
+            return self.time_model.iteration_cost_per_level(
+                self._level_loads, self._subcycles, volumes
+            )
+        return self.time_model.iteration_cost(loads, volumes)
+
     def _health_attrs(self, result: RunResult) -> dict:
         """Health signals for the iteration span (see the pipeline)."""
         imbalance = result.regrids[-1].imbalance if result.regrids else None
@@ -323,6 +377,15 @@ class SamrRuntime:
         adaptive_pending = False
         last_sense_iter = 0
         for it in range(cfg.iterations):
+            if self._recovery_due():
+                # A fault (or recovery) landed between iterations: re-sense
+                # and repartition over the surviving trusted set before
+                # pricing anything against dead hardware.
+                capacities = self._sense(result)
+                loads, volumes = self._repartition(epoch, capacities, result)
+                baseline = None
+                adaptive_pending = False
+                last_sense_iter = it
             sensed = False
             due_fixed = (
                 cfg.adaptive_sensing_threshold is None
@@ -349,12 +412,22 @@ class SamrRuntime:
                 )
                 baseline = None
             iteration_start = self.cluster.clock.now
-            if cfg.sync_mode == "per_level":
-                cost = self.time_model.iteration_cost_per_level(
-                    self._level_loads, self._subcycles, volumes
-                )
-            else:
-                cost = self.time_model.iteration_cost(loads, volumes)
+            try:
+                cost = self._price(loads, volumes)
+            except SimulationError:
+                # A fault fired during this iteration's sense/migrate clock
+                # advance, after capacities were computed: a dead rank still
+                # owns work.  Abort the step, recover, re-price once.
+                if not self._recovery_due():
+                    raise
+                tracer.event("fault.step_aborted", iteration=it)
+                capacities = self._sense(result)
+                loads, volumes = self._repartition(epoch, capacities, result)
+                baseline = None
+                adaptive_pending = False
+                last_sense_iter = it
+                iteration_start = self.cluster.clock.now
+                cost = self._price(loads, volumes)
             self.cluster.clock.advance(cost.total)
             if tracer.enabled:
                 self.pipeline.emit_iteration_spans(

@@ -52,6 +52,7 @@ __all__ = [
     "dynamic_vs_static_sensing",
     "sensing_frequency_sweep",
     "sensing_frequency_traces",
+    "chaos_experiment",
 ]
 
 #: The fixed relative capacities of the paper's 4-node scenario (~16/19/31/34 %).
@@ -328,3 +329,139 @@ def sensing_frequency_traces(
             "total_seconds": result.total_seconds,
         }
     return {"frequencies": list(frequencies), "traces": traces}
+
+
+# ----------------------------------------------------------------------
+# Chaos: checkpoint/restart + failure-aware repartitioning, end to end
+# ----------------------------------------------------------------------
+def _chaos_hierarchy():
+    from repro.amr.hierarchy import GridHierarchy
+    from repro.kernels.advection import AdvectionKernel
+    from repro.util.geometry import Box
+
+    kernel = AdvectionKernel(
+        velocity=(1.0, 0.5), pulse_center=(8.0, 8.0), pulse_width=2.0
+    )
+    return GridHierarchy(Box((0, 0), (32, 32)), kernel, max_levels=3)
+
+
+def chaos_experiment(
+    num_nodes: int = 8,
+    steps: int = 12,
+    kill: int = 2,
+    seed: int = 7,
+    checkpoint_interval: int = 3,
+    regrid_interval: int = 3,
+    outage_window: tuple[float, float] = (0.3, 0.7),
+    tracer=None,
+) -> dict:
+    """Kill ``kill`` of ``num_nodes`` mid-run, recover them, and verify.
+
+    Three executions of the same advection problem:
+
+    1. a *sequential* integrator run -- the reference solution;
+    2. a fault-free distributed run -- calibrates total runtime so the
+       outage can be placed mid-flight (at ``outage_window`` fractions);
+    3. the *chaos* run: checkpoints every ``checkpoint_interval`` steps,
+       a seeded :class:`~repro.resilience.chaos.FaultPlan` crashes the
+       victim nodes and later brings them back, and the recovery stage
+       restores + repartitions over the survivors.
+
+    Solution integrity is the partition-invariance property under fire:
+    the chaos run's final solution must be **bitwise identical** to the
+    sequential one.  Returns a stats dict (the ``repro chaos`` report).
+    """
+    from repro.amr.ghost import GhostFiller
+    from repro.amr.integrator import BergerOligerIntegrator
+    from repro.resilience import FaultInjector, FaultPlan, ResilienceConfig
+    from repro.runtime.distributed import (
+        DistributedAmrRun,
+        DistributedRunConfig,
+    )
+    from repro.telemetry.analysis import fault_summary
+
+    if not 0 < kill < num_nodes:
+        raise ExperimentError(
+            f"kill must leave at least one survivor: kill={kill}, "
+            f"nodes={num_nodes}"
+        )
+    # 1. Sequential reference.
+    h_ref = _chaos_hierarchy()
+    integ = BergerOligerIntegrator(h_ref, regrid_interval=regrid_interval)
+    integ.setup()
+    for _ in range(steps):
+        integ.advance()
+    reference = GhostFiller(h_ref).fetch(h_ref.domain, 0)
+
+    cfg = DistributedRunConfig(steps=steps, regrid_interval=regrid_interval)
+    # 2. Fault-free calibration run (also the no-overhead baseline).  The
+    # initial sense + migration dominates short runs, so the outage is
+    # placed inside the *stepping* phase -- its start is read off the
+    # first "advance" span of an instrumented baseline.
+    from repro.telemetry.spans import Tracer as _Tracer
+
+    probe_tracer = _Tracer()
+    h_base = _chaos_hierarchy()
+    baseline = DistributedAmrRun(
+        h_base,
+        Cluster.homogeneous(num_nodes),
+        ACEHeterogeneous(),
+        config=cfg,
+        tracer=probe_tracer,
+    ).run()
+    step_starts = [
+        s.start_sim for s in probe_tracer.spans if s.name == "advance"
+    ]
+    t_begin = min(step_starts) if step_starts else 0.0
+    window = baseline.total_seconds - t_begin
+
+    # 3. The chaos run.
+    victims = list(range(kill))
+    at = t_begin + outage_window[0] * window
+    duration = (outage_window[1] - outage_window[0]) * window
+    plan = FaultPlan.node_outage(victims, at=at, duration=duration, seed=seed)
+    h_chaos = _chaos_hierarchy()
+    cluster = Cluster.homogeneous(num_nodes)
+    run = DistributedAmrRun(
+        h_chaos,
+        cluster,
+        ACEHeterogeneous(),
+        config=cfg,
+        tracer=tracer,
+        resilience=ResilienceConfig(checkpoint_interval=checkpoint_interval),
+    )
+    injector = FaultInjector(cluster, monitor=run.monitor, tracer=tracer)
+    injector.arm(plan)
+    result = run.run()
+    solution = GhostFiller(h_chaos).fetch(h_chaos.domain, 0)
+
+    identical = bool(np.array_equal(solution, reference))
+    faults = fault_summary(tracer.events if tracer is not None else ())
+    return {
+        "num_nodes": num_nodes,
+        "steps": steps,
+        "killed_nodes": victims,
+        "outage_at_s": at,
+        "outage_duration_s": duration,
+        "plan_events": len(plan.events),
+        "applied_events": [
+            {"time": t, "kind": kind, "node": node}
+            for t, kind, node in injector.applied
+        ],
+        "baseline_seconds": baseline.total_seconds,
+        "chaos_seconds": result.total_seconds,
+        "overhead_pct": (
+            (result.total_seconds / baseline.total_seconds - 1.0) * 100.0
+            if baseline.total_seconds > 0
+            else 0.0
+        ),
+        "num_checkpoints": result.num_checkpoints,
+        "num_restores": result.num_restores,
+        "num_recoveries": result.num_recoveries,
+        "replayed_steps": result.replayed_steps,
+        "recovery_seconds": result.recovery_seconds,
+        "checkpoint_seconds": result.checkpoint_seconds,
+        "time_to_recover_s": faults["time_to_recover_s"],
+        "mean_time_to_recover_s": faults["mean_time_to_recover_s"],
+        "bitwise_identical": identical,
+    }

@@ -51,6 +51,7 @@ from repro.partition.capacity import CapacityCalculator
 from repro.partition.metrics import imbalance_pct, redistribution_volume
 from repro.partition.workmodel import WorkFunction, WorkModel, as_work_model
 from repro.runtime.timemodel import IterationCost, TimeModel
+from repro.util.errors import ResilienceError
 from repro.util.geometry import Box, BoxList
 
 __all__ = ["SenseOutcome", "RepartitionOutcome", "RepartitionPipeline"]
@@ -178,8 +179,13 @@ class RepartitionPipeline:
             self.cluster.clock.advance(overhead)
             if use_forecast:
                 snapshot = self.monitor.forecast_all()
+            # Dead/evicted nodes get exactly zero capacity; with everyone
+            # trusted this is the original fixed-rank-set computation.
+            live = self.monitor.trusted_mask()
             with tracer.span("capacity"):
-                caps = self.capacity.relative_capacities(snapshot)
+                caps = self.capacity.relative_capacities(
+                    snapshot, None if bool(live.all()) else live
+                )
             sense_span.set(overhead_seconds=overhead, capacities=caps)
         if tracer.enabled:
             metrics = tracer.metrics
@@ -261,6 +267,139 @@ class RepartitionPipeline:
             owners=owners,
             loads=loads,
             targets=targets,
+            imbalance=imbalance,
+            migration_bytes=mig_bytes,
+            migration_seconds=mig_seconds,
+        )
+        self.last = outcome
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Stage: recovery (failure-aware repartitioning)
+    # ------------------------------------------------------------------
+    def dead_owner_ranks(self) -> tuple[int, ...]:
+        """Down ranks (cluster ground truth) that still own boxes.
+
+        In a real deployment this is the MPI layer reporting broken pipes
+        on the ranks' connections; in the simulation we consult the
+        cluster directly.  Sensor-only loss (blackouts) is *not* included
+        -- that is the escalation policy's call.
+        """
+        down = set(self.cluster.down_nodes)
+        if not down:
+            return ()
+        return tuple(
+            sorted(down & {rank for _, rank in self.prev_assignment})
+        )
+
+    def needs_recovery(self) -> bool:
+        """Whether any current box owner is a dead rank."""
+        return bool(self.dead_owner_ranks())
+
+    def recover(
+        self,
+        boxes: BoxList,
+        capacities: np.ndarray,
+        *,
+        storage_bandwidth_mbps: float = 400.0,
+        before_migrate: Callable[[PartitionResult], None] | None = None,
+        on_apply: Callable[[dict[Box, int]], None] | None = None,
+    ) -> RepartitionOutcome:
+        """Repartition over the surviving rank set, evacuating the dead.
+
+        The partitioner runs over the *compacted* live capacities -- so no
+        partitioning scheme can hand a box to a dead rank -- and the
+        result is remapped back to true node indices.  Evacuation traffic
+        (cells whose previous owner is down) cannot come off the dead NIC;
+        it is priced as a read from checkpoint storage at
+        ``storage_bandwidth_mbps``.  The same stage handles growth: when a
+        recovered node rejoins the trusted set, the partition simply
+        spreads over it again (no evacuation term).
+        """
+        tracer = self.tracer
+        live = self.monitor.trusted_mask()
+        if not live.any():
+            raise ResilienceError(
+                "recovery attempted with no surviving nodes"
+            )
+        dead_owners = self.dead_owner_ranks()
+        with tracer.span(
+            "recover",
+            dead_ranks=list(dead_owners),
+            num_live=int(live.sum()),
+        ):
+            live_idx = np.flatnonzero(live)
+            caps_live = np.asarray(capacities, dtype=float)[live]
+            total = caps_live.sum()
+            caps_live = (
+                caps_live / total
+                if total > 0
+                else np.full(len(caps_live), 1.0 / len(caps_live))
+            )
+            part_live = self.partitioner.partition(
+                boxes, caps_live, self.work_model
+            )
+            # Remap compact ranks back to true node indices; expand the
+            # target vector so every consumer stays num_nodes-sized.
+            n = self.cluster.num_nodes
+            targets_full = np.zeros(n)
+            targets_full[live_idx] = part_live.targets
+            part = PartitionResult(
+                assignment=[
+                    (b, int(live_idx[r])) for b, r in part_live.assignment
+                ],
+                targets=targets_full,
+                num_splits=part_live.num_splits,
+                work_model=part_live.work_model,
+            )
+            owners = part.owners()
+            if before_migrate is not None:
+                before_migrate(part)
+            with tracer.span("migrate", trigger="recovery") as mig_span:
+                moved = redistribution_volume(
+                    self.prev_assignment, part.assignment, self.bytes_per_cell
+                )
+                live_moved: dict[tuple[int, int], float] = {}
+                evac_bytes = 0.0
+                for (src, dst), nbytes in moved.items():
+                    if self.cluster.is_up(src):
+                        live_moved[(src, dst)] = nbytes
+                    else:
+                        evac_bytes += nbytes
+                if on_apply is not None:
+                    on_apply(owners)
+                self.prev_assignment = part.assignment
+                mig_seconds = self.time_model.migration_cost(live_moved)
+                mig_seconds += evac_bytes / (
+                    storage_bandwidth_mbps * 125_000.0
+                )
+                self.cluster.clock.advance(mig_seconds)
+                mig_bytes = int(sum(moved.values()))
+                mig_span.set(
+                    bytes=mig_bytes,
+                    sim_seconds=mig_seconds,
+                    evacuated_bytes=int(evac_bytes),
+                )
+        tracer.event(
+            "recovery.repartition",
+            dead_ranks=list(dead_owners),
+            num_live=int(live.sum()),
+            evacuated_bytes=int(evac_bytes),
+        )
+        loads = part.loads()
+        imbalance = imbalance_pct(loads, targets_full)
+        if tracer.enabled:
+            metrics = tracer.metrics
+            metrics.counter("num_repartitions").inc()
+            metrics.counter("num_recoveries").inc()
+            metrics.counter("migration_bytes").inc(mig_bytes)
+            metrics.counter("migration_seconds").inc(mig_seconds)
+            metrics.counter("evacuated_bytes").inc(int(evac_bytes))
+        outcome = RepartitionOutcome(
+            part=part,
+            owners=owners,
+            loads=loads,
+            targets=targets_full,
             imbalance=imbalance,
             migration_bytes=mig_bytes,
             migration_seconds=mig_seconds,

@@ -83,9 +83,17 @@ class TimeModel:
         if (loads < 0).any():
             raise SimulationError("negative per-rank load")
         speeds = self.cluster.effective_speeds(t)
-        if (speeds <= 0).any():
-            raise SimulationError("a node has zero effective speed")
-        compute = loads * self.spwu / speeds
+        if ((loads > 0) & (speeds <= 0)).any():
+            raise SimulationError(
+                "a rank with work has zero effective speed (down node "
+                "still owns boxes?)"
+            )
+        compute = np.divide(
+            loads * self.spwu,
+            speeds,
+            out=np.zeros_like(loads),
+            where=speeds > 0,
+        )
         comm = self.comm.exchange_time(pair_bytes, t)
         sync = self.comm.allreduce_time(SYNC_BYTES, t)
         total = float((compute + comm).max() + sync)
@@ -131,15 +139,23 @@ class TimeModel:
         if len(subcycles) != level_loads.shape[0] or (subcycles < 1).any():
             raise SimulationError("invalid subcycle counts")
         speeds = self.cluster.effective_speeds(t)
-        if (speeds <= 0).any():
-            raise SimulationError("a node has zero effective speed")
+        if ((level_loads.sum(axis=0) > 0) & (speeds <= 0)).any():
+            raise SimulationError(
+                "a rank with work has zero effective speed (down node "
+                "still owns boxes?)"
+            )
         # Each level contributes `subcycles` barrier phases; a phase lasts
         # as long as the busiest rank's share of that level's substep work.
         phase_time = np.zeros(n)
         total_phases = 0.0
         for lvl in range(level_loads.shape[0]):
             per_substep = level_loads[lvl] / subcycles[lvl]
-            phase = per_substep * self.spwu / speeds
+            phase = np.divide(
+                per_substep * self.spwu,
+                speeds,
+                out=np.zeros(n),
+                where=speeds > 0,
+            )
             phase_time += phase  # per-rank accumulated compute
             total_phases += float(phase.max()) * subcycles[lvl]
         comm = self.comm.exchange_time(pair_bytes, t)

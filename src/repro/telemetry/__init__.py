@@ -51,6 +51,7 @@ from repro.telemetry.analysis import (
     ThresholdRule,
     analyze_records,
     default_detectors,
+    fault_summary,
 )
 from repro.telemetry.benchdiff import (
     diff_bench,
@@ -126,6 +127,7 @@ __all__ = [
     "ThresholdRule",
     "analyze_records",
     "default_detectors",
+    "fault_summary",
     # report
     "load_trace_records",
     "render_dashboard",

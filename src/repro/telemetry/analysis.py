@@ -48,6 +48,7 @@ __all__ = [
     "default_detectors",
     "HealthMonitor",
     "analyze_records",
+    "fault_summary",
 ]
 
 #: The paper's residual-imbalance bound: the heterogeneous partitioner
@@ -359,6 +360,50 @@ def default_detectors() -> list[AnomalyDetector]:
 
 
 # ----------------------------------------------------------------------
+def fault_summary(events: Iterable[Any]) -> dict[str, Any]:
+    """Aggregate ``fault.*`` / ``recovery.*`` instant events.
+
+    Accepts live :class:`~repro.telemetry.spans.TraceEvent` objects or
+    parsed JSONL record dicts (anything with ``name``/``attributes``), so
+    the same counters back the attached monitor, the dashboard and the
+    ``repro chaos`` report.  ``time_to_recover_s`` collects the per-event
+    latency that ``recovery.complete`` carries: simulated seconds from
+    detecting the dead rank set to running repartitioned over survivors
+    (restore I/O and evacuation included, replayed steps excluded).
+    """
+    counts: dict[str, int] = {}
+    recover_times: list[float] = []
+    for ev in events:
+        if isinstance(ev, dict):
+            if ev.get("type", "event") != "event":
+                continue
+            name = str(ev.get("name", ""))
+            attrs = ev.get("attributes") or {}
+        else:
+            name = getattr(ev, "name", "")
+            attrs = getattr(ev, "attributes", None) or {}
+        if not name.startswith(("fault.", "recovery.")):
+            continue
+        counts[name] = counts.get(name, 0) + 1
+        if name == "recovery.complete":
+            latency = attrs.get("recovery_seconds")
+            if latency is not None:
+                recover_times.append(float(latency))
+    num_faults = sum(n for k, n in counts.items() if k.startswith("fault."))
+    num_recoveries = sum(
+        n for k, n in counts.items() if k.startswith("recovery.")
+    )
+    return {
+        "counts": counts,
+        "num_fault_events": num_faults,
+        "num_recovery_events": num_recoveries,
+        "time_to_recover_s": recover_times,
+        "mean_time_to_recover_s": (
+            sum(recover_times) / len(recover_times) if recover_times else None
+        ),
+    }
+
+
 def _attr_float(attrs: dict[str, Any], *names: str) -> float | None:
     for name in names:
         value = attrs.get(name)
@@ -600,12 +645,18 @@ class HealthMonitor:
         by_severity: dict[str, int] = {}
         for event in self.events:
             by_severity[event.severity] = by_severity.get(event.severity, 0) + 1
+        faults = fault_summary(
+            self._tracer.events if self._tracer is not None else ()
+        )
         return {
             "num_snapshots": len(self.snapshots),
             "num_events": len(self.events),
             "events_by_severity": by_severity,
             "worst_imbalance_pct": self.worst_imbalance(),
             "imbalance_bound_pct": self.imbalance_bound_pct,
+            "num_fault_events": faults["num_fault_events"],
+            "num_recovery_events": faults["num_recovery_events"],
+            "mean_time_to_recover_s": faults["mean_time_to_recover_s"],
         }
 
 

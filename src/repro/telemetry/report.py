@@ -35,6 +35,7 @@ from repro.telemetry.analysis import (
     HealthEvent,
     HealthSnapshot,
     analyze_records,
+    fault_summary,
 )
 from repro.telemetry.spans import NullTracer, Tracer
 
@@ -158,7 +159,12 @@ def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
 
 # ----------------------------------------------------------------------
 def _timeline_svg(run: dict[str, Any]) -> str:
-    """Per-rank phase timeline for one run, as an inline SVG."""
+    """Per-rank phase timeline for one run, as an inline SVG.
+
+    Fault-injection and recovery instants (``fault.*`` / ``recovery.*``
+    events) are drawn as full-height vertical markers so an outage lines
+    up visually with the migration/repartition activity it triggered.
+    """
     spans = [
         s
         for s in run["spans"]
@@ -211,6 +217,23 @@ def _timeline_svg(run: dict[str, Any]) -> str:
             f"<title>{_esc(tip)}</title></rect>"
         )
     axis_y = top + len(rows) * (row_h + gap) + 4
+    fault_marks = [
+        e
+        for e in run.get("fault_events", [])
+        if t0 <= e.get("sim", 0.0) <= t1
+    ]
+    for e in fault_marks:
+        is_fault = e["name"].startswith("fault.")
+        cls = "mark-fault" if is_fault else "mark-recovery"
+        node = (e.get("attributes") or {}).get("node")
+        tip = f"{e['name']} @ t={e['sim']:.2f}s"
+        if node is not None:
+            tip += f" (node {node})"
+        parts.append(
+            f"<line x1='{x(e['sim']):.2f}' y1='{top}' "
+            f"x2='{x(e['sim']):.2f}' y2='{axis_y}' class='{cls}'>"
+            f"<title>{_esc(tip)}</title></line>"
+        )
     for t in _ticks(t0, t1):
         parts.append(
             f"<text x='{x(t):.1f}' y='{axis_y + 10}' class='axis' "
@@ -221,6 +244,11 @@ def _timeline_svg(run: dict[str, Any]) -> str:
         f"<span class='chip'><i class='sw ph-{p}'></i>{p}</span>"
         for p in _TIMELINE_PHASES
     )
+    if fault_marks:
+        legend += (
+            "<span class='chip'><i class='sw sw-fault'></i>fault</span>"
+            "<span class='chip'><i class='sw sw-recovery'></i>recovery</span>"
+        )
     note = (
         f"<p class='muted'>timeline truncated: {truncated} spans not drawn"
         "</p>"
@@ -452,6 +480,33 @@ def _events_table(events: list[HealthEvent]) -> str:
     )
 
 
+def _fault_table(fault_events: list[dict[str, Any]]) -> str:
+    """Chronological fault / recovery event table (chaos runs only)."""
+    rows = []
+    for e in sorted(fault_events, key=lambda r: r.get("sim", 0.0)):
+        attrs = e.get("attributes") or {}
+        is_fault = e["name"].startswith("fault.")
+        badge = "critical" if is_fault else "info"
+        detail = ", ".join(
+            f"{k}={v}"
+            for k, v in sorted(attrs.items())
+            if isinstance(v, (int, float, str, bool))
+        )
+        rows.append(
+            "<tr>"
+            f"<td><span class='badge badge-{badge}'>"
+            f"{'fault' if is_fault else 'recovery'}</span></td>"
+            f"<td>{_esc(e['name'])}</td><td>{e.get('pid', 0)}</td>"
+            f"<td>{e.get('sim', 0.0):.2f}</td><td>{_esc(detail)}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>class</th><th>event</th><th>run</th>"
+        "<th>sim t (s)</th><th>detail</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
 def _run_summary_table(runs: list[dict[str, Any]]) -> str:
     rows = []
     for r in runs:
@@ -560,6 +615,12 @@ svg .dot-imb {{ fill: var(--s1); }}
   border-radius: 50%; }}
 .ring-critical {{ background: none; border: 2px solid var(--critical);
   border-radius: 50%; }}
+svg .mark-fault {{ stroke: var(--critical); stroke-width: 1.5;
+  stroke-dasharray: 3 3; }}
+svg .mark-recovery {{ stroke: #008300; stroke-width: 1.5;
+  stroke-dasharray: 3 3; }}
+.sw-fault {{ background: var(--critical); }}
+.sw-recovery {{ background: #008300; }}
 .muted {{ color: var(--muted); font-size: 12px; }}
 table {{ border-collapse: collapse; width: 100%; font-size: 13px; }}
 th, td {{ text-align: left; padding: 5px 10px;
@@ -574,6 +635,24 @@ th {{ color: var(--ink-2); font-weight: 600; font-size: 12px; }}
 """
 
 
+def _fault_section(fault_events: list[dict[str, Any]]) -> str:
+    """Fault/recovery section: omitted entirely on undisturbed runs."""
+    if not fault_events:
+        return ""
+    agg = fault_summary(fault_events)
+    ttr = agg["mean_time_to_recover_s"]
+    sub = (
+        f"{agg['num_fault_events']} fault events, "
+        f"{agg['num_recovery_events']} recovery events"
+        + (f", mean time-to-recover {_fmt_seconds(ttr)}" if ttr else "")
+    )
+    return (
+        "<h2>Faults and recoveries</h2>"
+        f"<p class='muted'>{_esc(sub)}</p>"
+        f"<div class='card'>{_fault_table(fault_events)}</div>"
+    )
+
+
 # ----------------------------------------------------------------------
 def render_dashboard(
     source: Tracer | NullTracer | str | os.PathLike | Iterable[dict[str, Any]],
@@ -586,6 +665,12 @@ def render_dashboard(
         run_labels = dict(source.run_labels)
     snapshots, events = analyze_records(records, run_labels=run_labels)
     spans = [r for r in records if r.get("type") == "span"]
+    fault_events = [
+        r
+        for r in records
+        if r.get("type") == "event"
+        and str(r.get("name", "")).startswith(("fault.", "recovery."))
+    ]
     pids = sorted({s["pid"] for s in spans})
     runs: list[dict[str, Any]] = []
     for pid in pids:
@@ -603,6 +688,9 @@ def render_dashboard(
                 "spans": run_spans,
                 "snapshots": [s for s in snapshots if s.pid == pid],
                 "events": [e for e in events if e.pid == pid],
+                "fault_events": [
+                    e for e in fault_events if e.get("pid") == pid
+                ],
                 "duration": (max(ends) - min(starts)) if ends else 0.0,
             }
         )
@@ -641,6 +729,7 @@ def render_dashboard(
 snapshots, {len(events)} anomalies — generated offline, no external
 resources.</p>
 {_stat_tiles(runs, snapshots, events)}
+{_fault_section(fault_events)}
 <h2>Anomalies</h2>
 <div class="card">{_events_table(events)}</div>
 <h2>Run summary</h2>

@@ -48,3 +48,13 @@ class ExperimentError(ReproError):
 class TelemetryError(ReproError):
     """Telemetry misuse: a metric re-registered under a different kind, or
     an exporter asked to write an unfinished trace to an invalid target."""
+
+
+class ResilienceError(ReproError):
+    """Resilience-subsystem errors: a fault plan targeting unknown nodes,
+    recovery attempted with no survivors, or an injector armed twice."""
+
+
+class CheckpointError(ResilienceError):
+    """Checkpoint/restart failures: checksum mismatch, unsupported format
+    version, or a restore requested from an empty store."""

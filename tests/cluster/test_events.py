@@ -87,3 +87,71 @@ class TestSimClock:
         c.schedule_in(3.0, lambda clk: fired.append(clk.now))
         c.advance(3.0)
         assert fired == [5.0]
+
+
+class TestReentrantScheduling:
+    """Callbacks may schedule() freely; they must never move the clock."""
+
+    def test_callback_schedules_at_current_timestamp(self):
+        """A same-timestamp schedule fires later in the same sweep."""
+        c = SimClock()
+        order = []
+
+        def first(clk: SimClock) -> None:
+            order.append("first")
+            clk.schedule(clk.now, lambda _: order.append("nested"))
+
+        c.schedule(1.0, first)
+        c.schedule(1.0, lambda clk: order.append("second"))
+        c.advance_to(1.0)
+        # FIFO within the timestamp: the nested event queues behind the
+        # already-scheduled "second", not in front of it.
+        assert order == ["first", "second", "nested"]
+        assert c.pending_events == 0
+
+    def test_nested_same_time_chain_terminates_sweep(self):
+        """Each nested schedule at t=now still fires within one advance."""
+        c = SimClock()
+        fired = []
+
+        def chain(clk: SimClock) -> None:
+            fired.append(len(fired))
+            if len(fired) < 5:
+                clk.schedule(clk.now, chain)
+
+        c.schedule(2.0, chain)
+        c.advance_to(2.0)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_advance_from_callback_raises(self):
+        c = SimClock()
+        errors = []
+
+        def bad(clk: SimClock) -> None:
+            try:
+                clk.advance(1.0)
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        c.schedule(1.0, bad)
+        c.advance_to(2.0)
+        assert len(errors) == 1
+        assert "re-entrant advance" in errors[0]
+
+    def test_advance_to_from_callback_raises(self):
+        c = SimClock()
+        with pytest.raises(SimulationError, match="re-entrant advance"):
+            c.schedule(1.0, lambda clk: clk.advance_to(5.0))
+            c.advance_to(2.0)
+
+    def test_clock_usable_after_reentrancy_error(self):
+        """The guard resets: a failed sweep does not wedge the clock."""
+        c = SimClock()
+        c.schedule(1.0, lambda clk: clk.advance(1.0))
+        with pytest.raises(SimulationError):
+            c.advance_to(2.0)
+        fired = []
+        c.schedule(3.0, lambda clk: fired.append(clk.now))
+        c.advance_to(4.0)
+        assert fired == [3.0]
+        assert c.now == 4.0

@@ -96,3 +96,77 @@ class TestSimCommunicator:
         comm = SimCommunicator(Cluster(nodes))
         fast = SimCommunicator(Cluster.homogeneous(2))
         assert comm.p2p_time(0, 1, 1e6) > fast.p2p_time(0, 1, 1e6)
+
+
+class TestDegenerateAndFaultedComm:
+    """Single-rank collectives, zero-byte messages, dead and derated NICs."""
+
+    def test_zero_byte_message_is_free_but_counted(self):
+        cluster = Cluster.homogeneous(2)
+        comm = SimCommunicator(cluster)
+        assert comm.p2p_time(0, 1, 0) == 0.0
+        assert comm.stats.messages == 1
+        assert comm.stats.bytes_sent == 0
+
+    def test_zero_byte_collectives_on_single_rank(self):
+        comm = SimCommunicator(Cluster.homogeneous(1))
+        assert comm.allreduce_time(0) == 0.0
+        assert comm.broadcast_time(0) == 0.0
+        assert comm.migration_time({}) == 0.0
+        assert comm.exchange_time({}).shape == (1,)
+
+    def test_self_message_on_down_node_stays_free(self):
+        """rank==rank short-circuits before the liveness check."""
+        cluster = Cluster.homogeneous(2)
+        cluster.mark_down(0)
+        assert SimCommunicator(cluster).p2p_time(0, 0, 1e6) == 0.0
+
+    def test_p2p_with_down_endpoint_raises(self):
+        cluster = Cluster.homogeneous(3)
+        comm = SimCommunicator(cluster)
+        cluster.mark_down(1)
+        with pytest.raises(SimulationError, match="down endpoint"):
+            comm.p2p_time(0, 1, 1e6)
+        with pytest.raises(SimulationError, match="down endpoint"):
+            comm.p2p_time(1, 2, 1e6)
+        # Live pairs keep working around the dead node.
+        assert comm.p2p_time(0, 2, 1e6) > 0.0
+
+    def test_allreduce_shrinks_around_down_nodes(self):
+        cluster = Cluster.homogeneous(8)
+        comm = SimCommunicator(cluster)
+        t8 = comm.allreduce_time(1e4)  # 3 rounds over 8 ranks
+        for k in (5, 6, 7, 4):
+            cluster.mark_down(k)
+        t4 = comm.allreduce_time(1e4)  # 2 rounds over 4 survivors
+        assert t4 == pytest.approx(t8 * 2 / 3)
+        for k in (0, 1, 2):
+            cluster.mark_down(k)
+        assert comm.allreduce_time(1e4) == 0.0  # one survivor: free
+
+    def test_degraded_link_slows_exchange_and_recovers(self):
+        cluster = Cluster.homogeneous(2)
+        comm = SimCommunicator(cluster)
+        healthy = comm.p2p_time(0, 1, 1e6)
+        cluster.degrade_link(1, 0.1)
+        degraded = comm.p2p_time(0, 1, 1e6)
+        # The slower (derated) endpoint throttles the transfer.
+        assert degraded == pytest.approx(
+            cluster.link.transfer_time(1e6, 100.0, 10.0)
+        )
+        assert degraded > 9 * healthy
+        cluster.restore_link(1)
+        assert comm.p2p_time(0, 1, 1e6) == pytest.approx(healthy)
+
+    def test_link_degrade_mid_run_changes_prices_at_probe_time(self):
+        """Derating applies from the simulated instant it lands."""
+        cluster = Cluster.homogeneous(2)
+        comm = SimCommunicator(cluster)
+        before = comm.p2p_time(0, 1, 1e6, t=0.0)
+        cluster.clock.schedule(5.0, lambda _: cluster.degrade_link(0, 0.5))
+        cluster.clock.advance_to(10.0)
+        after = comm.p2p_time(0, 1, 1e6)
+        assert after == pytest.approx(
+            cluster.link.transfer_time(1e6, 50.0, 100.0)
+        )
+        assert after > before
