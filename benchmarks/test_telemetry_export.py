@@ -8,7 +8,10 @@ machine-readable summary for comparing performance *across PRs*:
   subsystem's own partition spans;
 - phase totals and the metrics-registry summary of one instrumented
   :class:`SamrRuntime` run (migration bytes, probe cost, iteration-time
-  histogram, residual imbalance).
+  histogram, residual imbalance);
+- the run's critical-path decomposition and communication volumes, so
+  ``repro bench-diff`` can tell regressions on the critical path from
+  micro-benchmark noise off it.
 
 Run with the rest of the suite (``pytest benchmarks/``) or alone::
 
@@ -25,7 +28,13 @@ from repro import Cluster, RuntimeConfig, SamrRuntime, __version__
 from repro.kernels.workloads import paper_rm3d_trace
 from repro.partition import ACEComposite, ACEHeterogeneous, GreedyLPT, SFCHybrid
 from repro.partition.base import default_work
-from repro.telemetry import Tracer, aggregate_phases, metrics_summary
+from repro.telemetry import (
+    Tracer,
+    aggregate_phases,
+    analyze_critical_path,
+    comm_profile,
+    metrics_summary,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_telemetry.json"
@@ -77,12 +86,31 @@ def _runtime_phase_summary() -> dict:
         tracer=tracer,
     )
     result = runtime.run()
+    paths = analyze_critical_path(tracer)
+    comm = comm_profile(tracer)
+    cp = paths[0] if paths else None
+    cm = comm[0].total if comm else None
     return {
         "config": {"nodes": 8, "iterations": 40, "regrid_interval": 5,
                    "sensing_interval": 10},
         "total_sim_seconds": result.total_seconds,
         "phases": aggregate_phases(tracer),
         "metrics": metrics_summary(tracer)["metrics"],
+        "critical_path": {
+            "total_s": cp.total_s if cp else 0.0,
+            "compute_s": cp.compute_s if cp else 0.0,
+            "comm_s": cp.comm_s if cp else 0.0,
+            "sync_s": cp.sync_s if cp else 0.0,
+            "barrier_s": cp.barrier_s if cp else 0.0,
+            "balance_headroom_s": cp.balance_headroom_s if cp else 0.0,
+            "iterations": len(cp.iterations) if cp else 0,
+        },
+        "comm": {
+            "bytes_total": cm.bytes_total if cm else 0.0,
+            "seconds_total": cm.seconds_total if cm else 0.0,
+            "derated_bytes_total": cm.derated_bytes_total if cm else 0.0,
+            "events": comm[0].events if comm else 0,
+        },
     }
 
 
@@ -113,3 +141,8 @@ def test_emit_bench_telemetry():
     phases = data["runtime"]["phases"]
     assert {"run", "sense", "partition", "migrate"} <= set(phases)
     assert "migration_bytes" in data["runtime"]["metrics"]
+    cp = data["runtime"]["critical_path"]
+    assert cp["total_s"] > 0 and cp["iterations"] > 0
+    parts = cp["compute_s"] + cp["comm_s"] + cp["sync_s"] + cp["barrier_s"]
+    assert abs(parts - cp["total_s"]) < 1e-6 * max(cp["total_s"], 1.0)
+    assert data["runtime"]["comm"]["bytes_total"] > 0

@@ -21,10 +21,17 @@ timeline markers plus a chronological fault table.
 
 Run:  python examples/chaos_run.py
 Then: open chaos_run.dashboard.html
+      python -m repro profile chaos_run.events.jsonl
 """
 
 from repro.runtime.experiment import chaos_experiment
-from repro.telemetry import Tracer, activate, fault_summary, write_dashboard
+from repro.telemetry import (
+    Tracer,
+    activate,
+    fault_summary,
+    write_dashboard,
+    write_jsonl,
+)
 
 NODES = 8
 KILL = 2
@@ -65,7 +72,10 @@ def main() -> None:
         "chaos_run.dashboard.html",
         title="Chaos run — fault injection dashboard",
     )
+    write_jsonl(tracer, "chaos_run.events.jsonl")
     print("dashboard: chaos_run.dashboard.html")
+    print("trace:     chaos_run.events.jsonl  "
+          "(try: python -m repro profile chaos_run.events.jsonl)")
 
 
 if __name__ == "__main__":

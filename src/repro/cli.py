@@ -9,8 +9,18 @@ Usage::
     python -m repro trace fig7           # run instrumented, export traces
     python -m repro report fig7          # run + health-analyse + HTML dash
     python -m repro report traces/fig7.events.jsonl   # offline, from file
+    python -m repro profile fig10        # critical path + flamegraphs
+    python -m repro profile traces/fig10.events.jsonl # offline profiling
+    python -m repro top fig10            # live per-rank terminal view
     python -m repro bench-diff OLD.json NEW.json      # perf trajectory
     python -m repro chaos --nodes 8 --kill 2          # fault injection
+
+``profile`` reconstructs the per-iteration critical path from the span
+stream (which rank's compute/exchange gated each step, slack per rank,
+the headroom a perfect capacity-proportional partition could recover),
+folds ``comm.exchange`` events into rank-by-rank traffic matrices with
+derated-link attribution, and writes flamegraph (collapsed + speedscope
+JSON) and OpenMetrics artifacts.
 
 ``chaos`` runs a distributed AMR execution under a seeded fault plan
 (node crashes mid-run, recovery later), with checkpoint/restart and
@@ -37,6 +47,7 @@ the corresponding builder in :mod:`repro.runtime.experiment` /
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Callable
@@ -46,15 +57,24 @@ from repro.runtime import experiment as ex
 from repro.runtime import reporting as rep
 from repro.telemetry import (
     HealthMonitor,
+    LiveTop,
     Tracer,
     activate,
     aggregate_phases,
+    analyze_critical_path,
+    comm_profile,
     diff_bench_files,
+    format_critical_path_report,
     format_diff,
+    openmetrics_selfcheck,
+    registry_from_records,
     write_chrome_trace,
+    write_collapsed,
     write_dashboard,
     write_jsonl,
     write_metrics_json,
+    write_openmetrics,
+    write_speedscope,
 )
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -248,6 +268,39 @@ def _lookup_experiment(name: str) -> Callable[[bool], str] | None:
     return None
 
 
+def _load_records_or_fail(path: Path) -> list[dict] | None:
+    """Parse a JSONL trace, or print one clear line and return ``None``.
+
+    Every CLI path that reads a user-supplied trace file funnels through
+    here so a missing, unreadable or corrupt file is always a one-line
+    error and exit code 2, never a traceback.
+    """
+    if not path.is_file():
+        print(f"trace file not found: {path}", file=sys.stderr)
+        return None
+    records: list[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError(
+                        f"line {lineno}: expected a JSON object, "
+                        f"got {type(record).__name__}"
+                    )
+                records.append(record)
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError, OSError) as exc:
+        print(f"corrupt trace file {path}: {exc}", file=sys.stderr)
+        return None
+    if not records:
+        print(f"trace file {path} contains no records", file=sys.stderr)
+        return None
+    return records
+
+
 def _run_traced(experiment: str, quick: bool, out_dir: str) -> int:
     """Run one experiment instrumented; write trace + metrics artifacts."""
     fn = _lookup_experiment(experiment)
@@ -316,14 +369,14 @@ def _run_report(target: str, quick: bool, out_dir: str) -> int:
     out = Path(out_dir)
     path = Path(target)
     if path.suffix == ".jsonl" or path.is_file():
-        if not path.is_file():
-            print(f"trace file not found: {path}", file=sys.stderr)
+        records = _load_records_or_fail(path)
+        if records is None:
             return 2
         out.mkdir(parents=True, exist_ok=True)
         stem = path.name.removesuffix(".jsonl").removesuffix(".events")
         dashboard_path = out / f"{stem}.dashboard.html"
         write_dashboard(
-            str(path),
+            records,
             dashboard_path,
             title=f"Health dashboard — {path.name}",
         )
@@ -349,6 +402,123 @@ def _run_report(target: str, quick: bool, out_dir: str) -> int:
     )
     print(f"event log (JSONL):                 {events_path}")
     print(f"health dashboard (self-contained): {dashboard_path}")
+    return 0
+
+
+def _write_profile_artifacts(
+    source, out: Path, stem: str, run_labels: dict[int, str] | None = None
+) -> int:
+    """Analyze ``source`` and write the full profile artifact set."""
+    out.mkdir(parents=True, exist_ok=True)
+    results = analyze_critical_path(source, run_labels=run_labels)
+    print(format_critical_path_report(results))
+    comm = comm_profile(source, run_labels=run_labels)
+    for profile in comm:
+        total = profile.total
+        derated = total.derated_bytes_total
+        share = 100.0 * derated / total.bytes_total if total.bytes_total else 0.0
+        print(
+            f"comm [{profile.label}]: {total.bytes_total / 1e6:.2f} MB over "
+            f"{profile.events} exchange phases, {total.seconds_total:.4f} s "
+            f"on NICs, {share:.1f}% of bytes over derated links"
+        )
+        for pair in total.top_pairs(3):
+            print(
+                f"  {pair['src']}->{pair['dst']}: "
+                f"{pair['bytes'] / 1e6:.2f} MB, {pair['seconds']:.4f} s"
+                + ("  [derated link]" if pair["derated"] else "")
+            )
+    critical_path = out / f"{stem}.critical_path.json"
+    comm_path = out / f"{stem}.comm.json"
+    collapsed_path = out / f"{stem}.collapsed.txt"
+    speedscope_path = out / f"{stem}.speedscope.json"
+    openmetrics_path = out / f"{stem}.openmetrics.txt"
+    with open(critical_path, "w", encoding="utf-8") as fh:
+        json.dump([r.to_dict() for r in results], fh, indent=1)
+        fh.write("\n")
+    with open(comm_path, "w", encoding="utf-8") as fh:
+        json.dump([p.to_dict() for p in comm], fh, indent=1)
+        fh.write("\n")
+    write_collapsed(source, collapsed_path)
+    write_speedscope(source, speedscope_path, name=stem)
+    registry = registry_from_records(source)
+    write_openmetrics(registry, openmetrics_path)
+    problems = openmetrics_selfcheck(
+        openmetrics_path.read_text(encoding="utf-8")
+    )
+    if problems:
+        print(
+            "openmetrics self-check failed: " + "; ".join(problems),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"critical-path analysis (JSON):    {critical_path}")
+    print(f"communication matrices (JSON):    {comm_path}")
+    print(f"flamegraph (collapsed stacks):    {collapsed_path}")
+    print(f"flamegraph (speedscope.app JSON): {speedscope_path}")
+    print(f"metrics (OpenMetrics text):       {openmetrics_path}")
+    return 0
+
+
+def _run_profile(target: str, quick: bool, out_dir: str) -> int:
+    """Profile an experiment run or a previously exported trace.
+
+    ``target`` is an experiment id (runs instrumented, then profiles the
+    live tracer) or a path to an exported ``.events.jsonl`` trace
+    (offline profiling, nothing re-runs).
+    """
+    out = Path(out_dir)
+    path = Path(target)
+    if path.suffix == ".jsonl" or path.is_file():
+        records = _load_records_or_fail(path)
+        if records is None:
+            return 2
+        stem = path.name.removesuffix(".jsonl").removesuffix(".events")
+        return _write_profile_artifacts(records, out, stem)
+    fn = _lookup_experiment(target)
+    if fn is None:
+        return 2
+    tracer = Tracer()
+    with activate(tracer):
+        print(fn(quick))
+    print()
+    out.mkdir(parents=True, exist_ok=True)
+    events_path = out / f"{target}.events.jsonl"
+    write_jsonl(tracer, events_path)
+    status = _write_profile_artifacts(tracer, out, target)
+    print(f"event log (JSONL):                {events_path}")
+    return status
+
+
+def _run_top(experiment: str, quick: bool, interval: int) -> int:
+    """Run an experiment with the live span-observer terminal view."""
+    fn = _lookup_experiment(experiment)
+    if fn is None:
+        return 2
+    top = LiveTop()
+    tracer = Tracer()
+    live = sys.stdout.isatty()
+    state = {"iterations": 0}
+
+    def refresh(span) -> None:
+        top.on_span_close(span)
+        if span.name != "iteration":
+            return
+        state["iterations"] += 1
+        if live and state["iterations"] % max(1, interval) == 0:
+            # Home the cursor and clear below: stable in-place refresh.
+            sys.stdout.write("\x1b[H\x1b[J" + top.render() + "\n")
+            sys.stdout.flush()
+
+    tracer.add_observer(refresh)
+    with activate(tracer):
+        output = fn(quick)
+    tracer.remove_observer(refresh)
+    if live:
+        sys.stdout.write("\x1b[H\x1b[J")
+    print(top.render())
+    print()
+    print(output)
     return 0
 
 
@@ -484,6 +654,38 @@ def main(argv: list[str] | None = None) -> int:
         "--out-dir", default="traces",
         help="directory for the dashboard (default: traces/)",
     )
+    profile = sub.add_parser(
+        "profile",
+        help="critical-path analysis, comm matrices, flamegraphs and "
+        "OpenMetrics (accepts an experiment id or a .events.jsonl trace)",
+    )
+    profile.add_argument(
+        "target",
+        help="experiment id from 'list', or path to an exported "
+        ".events.jsonl trace",
+    )
+    profile.add_argument(
+        "--quick", action="store_true",
+        help="smaller configuration (fewer seeds/iterations)",
+    )
+    profile.add_argument(
+        "--out-dir", default="traces",
+        help="directory for profile artifacts (default: traces/)",
+    )
+    top = sub.add_parser(
+        "top",
+        help="run one experiment with a live per-phase/per-rank terminal "
+        "view fed by the span-observer hook",
+    )
+    top.add_argument("experiment", help="experiment id from 'list'")
+    top.add_argument(
+        "--quick", action="store_true",
+        help="smaller configuration (fewer seeds/iterations)",
+    )
+    top.add_argument(
+        "--interval", type=int, default=5,
+        help="refresh the view every N iterations (default: 5)",
+    )
     chaos = sub.add_parser(
         "chaos",
         help="run a distributed AMR execution under fault injection; "
@@ -560,6 +762,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_traced(args.experiment, args.quick, args.out_dir)
     if args.command == "report":
         return _run_report(args.target, args.quick, args.out_dir)
+    if args.command == "profile":
+        return _run_profile(args.target, args.quick, args.out_dir)
+    if args.command == "top":
+        return _run_top(args.experiment, args.quick, args.interval)
     if args.command == "chaos":
         return _run_chaos(
             args.nodes, args.kill, args.steps, args.seed,

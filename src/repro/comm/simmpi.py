@@ -23,9 +23,15 @@ from typing import Mapping
 import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.telemetry.spans import NULL_TRACER
 from repro.util.errors import SimulationError
 
 __all__ = ["CommStats", "SimCommunicator"]
+
+#: Exchange events carry at most this many per-pair rows; beyond it only
+#: the heaviest pairs (by bytes) are kept and ``pairs_dropped`` says how
+#: many fell off.  Keeps JSONL traces bounded on large clusters.
+EVENT_PAIR_CAP = 512
 
 
 @dataclass(slots=True)
@@ -37,22 +43,53 @@ class CommStats:
     point_to_point_time: float = 0.0
     collective_time: float = 0.0
     per_pair_bytes: dict[tuple[int, int], int] = field(default_factory=dict)
+    per_pair_seconds: dict[tuple[int, int], float] = field(default_factory=dict)
+    per_pair_messages: dict[tuple[int, int], int] = field(default_factory=dict)
 
     def record_message(self, src: int, dst: int, nbytes: int, seconds: float) -> None:
         self.messages += 1
         self.bytes_sent += nbytes
         self.point_to_point_time += seconds
-        self.per_pair_bytes[(src, dst)] = (
-            self.per_pair_bytes.get((src, dst), 0) + nbytes
-        )
+        pair = (src, dst)
+        self.per_pair_bytes[pair] = self.per_pair_bytes.get(pair, 0) + nbytes
+        self.per_pair_seconds[pair] = self.per_pair_seconds.get(pair, 0.0) + seconds
+        self.per_pair_messages[pair] = self.per_pair_messages.get(pair, 0) + 1
 
 
 class SimCommunicator:
-    """Prices communication patterns on a simulated cluster."""
+    """Prices communication patterns on a simulated cluster.
 
-    def __init__(self, cluster: Cluster):
+    With a tracer bound (:meth:`bind_tracer`), traffic is also promoted
+    into telemetry: ``comm.bytes_total``/``comm.messages_total`` counters,
+    per-collective timing histograms, and one ``comm.exchange`` event per
+    exchange phase carrying the per-pair volume/time/derating detail the
+    communication profiler turns into rank-by-rank matrices.
+    """
+
+    def __init__(self, cluster: Cluster, tracer=None):
         self.cluster = cluster
         self.stats = CommStats()
+        self._tracer = NULL_TRACER
+        self._bytes_total = None
+        self._messages_total = None
+        if tracer is not None:
+            self.bind_tracer(tracer)
+
+    def bind_tracer(self, tracer) -> None:
+        """Route traffic accounting into ``tracer``'s metrics and events.
+
+        Binding a disabled tracer (or :data:`NULL_TRACER`) turns the
+        instrumentation back off; the priced costs are bit-identical
+        either way.
+        """
+        self._tracer = tracer
+        if tracer is not None and tracer.enabled:
+            self._bytes_total = tracer.metrics.counter("comm.bytes_total")
+            self._messages_total = tracer.metrics.counter("comm.messages_total")
+        else:
+            self._tracer = NULL_TRACER
+            self._bytes_total = None
+            self._messages_total = None
 
     @property
     def size(self) -> int:
@@ -80,27 +117,84 @@ class SimCommunicator:
         d_bw = self.cluster.state_of(dst, t).bandwidth_mbps
         seconds = self.cluster.link.transfer_time(nbytes, s_bw, d_bw)
         self.stats.record_message(src, dst, int(nbytes), seconds)
+        if self._messages_total is not None:
+            self._messages_total.inc()
+            self._bytes_total.inc(int(nbytes))
         return seconds
 
     def exchange_time(
         self,
         pair_bytes: Mapping[tuple[int, int], float],
         t: float | None = None,
+        phase: str = "exchange",
     ) -> np.ndarray:
         """Per-rank time for a neighbourhood exchange phase.
 
         ``pair_bytes[(src, dst)]`` is the payload volume from src to dst.
         Every rank's sends and receives serialize on its NIC; the function
         returns the per-rank busy time (callers usually take the max).
+        ``phase`` labels the emitted ``comm.exchange`` telemetry event
+        (``"ghost-exchange"``, ``"migration"``) when a tracer is bound.
         """
         busy = np.zeros(self.size)
+        trace = self._tracer.enabled
+        pairs: list[tuple[int, int, int, float, bool]] = []
         for (src, dst), nbytes in pair_bytes.items():
             seconds = self.p2p_time(src, dst, nbytes, t)
             busy[src] += seconds
             busy[dst] += seconds
+            if trace and src != dst:
+                eff_bw = min(
+                    self.cluster.state_of(src, t).bandwidth_mbps,
+                    self.cluster.state_of(dst, t).bandwidth_mbps,
+                )
+                nom_bw = min(
+                    self.cluster.nodes[src].bandwidth_mbps,
+                    self.cluster.nodes[dst].bandwidth_mbps,
+                )
+                derated = eff_bw < nom_bw * (1.0 - 1e-12)
+                pairs.append((int(src), int(dst), int(nbytes), seconds, derated))
+        if trace:
+            self._emit_exchange_event(phase, pairs, busy, t)
         return busy
 
-    def allreduce_time(self, nbytes: float, t: float | None = None) -> float:
+    def _emit_exchange_event(
+        self,
+        phase: str,
+        pairs: list[tuple[int, int, int, float, bool]],
+        busy: np.ndarray,
+        t: float | None,
+    ) -> None:
+        total_bytes = int(sum(p[2] for p in pairs))
+        derated_bytes = int(sum(p[2] for p in pairs if p[4]))
+        messages = len(pairs)
+        dropped = 0
+        if len(pairs) > EVENT_PAIR_CAP:
+            pairs = sorted(pairs, key=lambda p: p[2], reverse=True)
+            dropped = len(pairs) - EVENT_PAIR_CAP
+            pairs = pairs[:EVENT_PAIR_CAP]
+        makespan = float(busy.max()) if busy.size else 0.0
+        attrs = {
+            "phase": phase,
+            "ranks": self.size,
+            "bytes": total_bytes,
+            "messages": messages,
+            "seconds": makespan,
+            "derated_bytes": derated_bytes,
+            "pairs": [list(p) for p in pairs],
+        }
+        if dropped:
+            attrs["pairs_dropped"] = dropped
+        if t is not None:
+            attrs["t"] = float(t)
+        self._tracer.event("comm.exchange", **attrs)
+        self._tracer.metrics.histogram("comm.phase_seconds", phase=phase).observe(
+            makespan
+        )
+
+    def allreduce_time(
+        self, nbytes: float, t: float | None = None, op: str = "allreduce"
+    ) -> float:
         """Binomial-tree allreduce over the *live* ranks.
 
         Down nodes are excluded from the tree -- an MPI implementation with
@@ -116,11 +210,15 @@ class SimCommunicator:
         per_round = self.cluster.link.transfer_time(nbytes, slowest_bw, slowest_bw)
         seconds = rounds * per_round
         self.stats.collective_time += seconds
+        if self._tracer.enabled:
+            self._tracer.metrics.histogram(
+                "comm.collective_seconds", op=op
+            ).observe(seconds)
         return seconds
 
     def broadcast_time(self, nbytes: float, t: float | None = None) -> float:
         """Binomial-tree broadcast; same round structure as allreduce."""
-        return self.allreduce_time(nbytes, t)
+        return self.allreduce_time(nbytes, t, op="broadcast")
 
     # ------------------------------------------------------------------
     def migration_time(
@@ -134,5 +232,5 @@ class SimCommunicator:
         """
         if not bytes_moved:
             return 0.0
-        busy = self.exchange_time(bytes_moved, t)
+        busy = self.exchange_time(bytes_moved, t, phase="migration")
         return float(busy.max())

@@ -151,6 +151,12 @@ class RepartitionPipeline:
         self.bytes_per_cell = float(bytes_per_cell)
         self.ghost_width = int(ghost_width)
         self.refine_factor = int(refine_factor)
+        # Promote the communicator's traffic into telemetry (counters,
+        # collective histograms, per-exchange comm.exchange events) so
+        # the communication profiler sees the same costs the time model
+        # charges.  A disabled tracer keeps the communicator silent.
+        if getattr(tracer, "enabled", False):
+            self.time_model.comm.bind_tracer(tracer)
         #: assignment of the previous epoch, diffed for migration volume
         self.prev_assignment: list[tuple[Box, int]] = []
         #: outcome of the most recent :meth:`repartition`
@@ -461,11 +467,22 @@ class RepartitionPipeline:
         the per-rank breakdown into simulated-time spans (compute first,
         then the rank's serialized ghost exchange, then the collective
         sync gating everyone).  ``attrs`` land on the enclosing
-        ``iteration`` span (loop counter plus :meth:`health_attrs`).
+        ``iteration`` span (loop counter plus :meth:`health_attrs`),
+        alongside the critical-path attribution the profiler keys on:
+        which rank's busy time gated the step, and the sync tax.
         """
         tracer = self.tracer
+        busy_per_rank = cost.compute + cost.comm
+        critical_rank = (
+            int(busy_per_rank.argmax()) if len(busy_per_rank) else None
+        )
         tracer.add_span(
-            "iteration", start_sim, start_sim + cost.total, **attrs
+            "iteration",
+            start_sim,
+            start_sim + cost.total,
+            critical_rank=critical_rank,
+            sync_s=float(cost.sync),
+            **attrs,
         )
         for rank in range(len(cost.compute)):
             compute = float(cost.compute[rank])
@@ -482,7 +499,7 @@ class RepartitionPipeline:
                     rank=rank,
                 )
         if cost.sync > 0.0:
-            busy = float((cost.compute + cost.comm).max())
+            busy = float(busy_per_rank.max())
             tracer.add_span(
                 "sync", start_sim + busy, start_sim + busy + cost.sync
             )

@@ -94,8 +94,8 @@ class TimeModel:
             out=np.zeros_like(loads),
             where=speeds > 0,
         )
-        comm = self.comm.exchange_time(pair_bytes, t)
-        sync = self.comm.allreduce_time(SYNC_BYTES, t)
+        comm = self.comm.exchange_time(pair_bytes, t, phase="ghost-exchange")
+        sync = self.comm.allreduce_time(SYNC_BYTES, t, op="sync")
         total = float((compute + comm).max() + sync)
         return IterationCost(compute=compute, comm=comm, sync=sync, total=total)
 
@@ -158,8 +158,8 @@ class TimeModel:
             )
             phase_time += phase  # per-rank accumulated compute
             total_phases += float(phase.max()) * subcycles[lvl]
-        comm = self.comm.exchange_time(pair_bytes, t)
-        sync = self.comm.allreduce_time(SYNC_BYTES, t) * float(
+        comm = self.comm.exchange_time(pair_bytes, t, phase="ghost-exchange")
+        sync = self.comm.allreduce_time(SYNC_BYTES, t, op="sync") * float(
             subcycles.sum()
         )
         total = float(total_phases + comm.max() + sync)

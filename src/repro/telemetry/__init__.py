@@ -27,6 +27,14 @@ On top of the recording layer sit the consumers added in PR 2:
 - :mod:`repro.telemetry.benchdiff` -- compares ``BENCH_*.json`` perf
   artifacts across runs and flags wall-clock regressions:
   ``repro bench-diff OLD NEW``.
+- :mod:`repro.telemetry.profile` -- performance introspection over the
+  span stream: per-iteration critical-path analysis with per-rank slack,
+  rank-by-rank communication matrices with derated-link attribution,
+  collapsed-stack/speedscope flamegraph export, offline metrics
+  reconstruction and OpenMetrics text exposition: ``repro profile``.
+- :mod:`repro.telemetry.names` -- the central registry of span/event
+  names the instrumentation may emit (linted by
+  ``tools/check_span_names.py``).
 
 Instrumented call sites accept an injectable tracer and default to the
 ambient one (:func:`get_active_tracer`), which is the no-op tracer unless
@@ -76,6 +84,25 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+    openmetrics_selfcheck,
+)
+from repro.telemetry.names import EVENT_NAMES, EVENT_PREFIXES, SPAN_NAMES
+from repro.telemetry.profile import (
+    CommMatrix,
+    CommProfile,
+    IterationPath,
+    LiveTop,
+    PathSegment,
+    RunCriticalPath,
+    analyze_critical_path,
+    comm_profile,
+    flamegraph_collapsed,
+    format_critical_path_report,
+    registry_from_records,
+    speedscope_document,
+    write_collapsed,
+    write_openmetrics,
+    write_speedscope,
 )
 from repro.telemetry.report import (
     load_trace_records,
@@ -137,4 +164,26 @@ __all__ = [
     "diff_bench_files",
     "flatten_bench",
     "format_diff",
+    # metrics exposition
+    "openmetrics_selfcheck",
+    # names registry
+    "SPAN_NAMES",
+    "EVENT_NAMES",
+    "EVENT_PREFIXES",
+    # profile
+    "PathSegment",
+    "IterationPath",
+    "RunCriticalPath",
+    "analyze_critical_path",
+    "format_critical_path_report",
+    "CommMatrix",
+    "CommProfile",
+    "comm_profile",
+    "flamegraph_collapsed",
+    "speedscope_document",
+    "registry_from_records",
+    "write_collapsed",
+    "write_speedscope",
+    "write_openmetrics",
+    "LiveTop",
 ]

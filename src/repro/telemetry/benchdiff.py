@@ -18,7 +18,20 @@ Three metric classes are compared differently:
   tolerance applies (no absolute floor: rates are already normalized).
 - **simulated keys** (everything else numeric): determinism signals.  The
   simulation is seeded, so any change means *behaviour* changed -- those
-  are reported as **drift**, never as perf regressions.
+  are reported as **drift**, never as perf regressions.  This class
+  includes the critical-path decomposition (``*.critical_path.*_s``) and
+  the communication volumes (``*.comm.*bytes*``) the bench artifact
+  carries since the profiling PR.
+
+When the artifact carries a critical-path section, wall-clock
+regressions are additionally gated on it: a wall key whose name mentions
+no phase contributing at least :data:`ONPATH_MIN_SHARE` of the
+critical-path length (nor one of the always-on-path tokens such as
+``run`` or ``total``) is **off the critical path** -- a micro-benchmark
+that cannot move end-to-end time.  Those are downgraded to the
+non-failing ``offpath`` status so they are reported but never fail the
+build spuriously.  Artifacts without a critical-path section keep the
+old strict behaviour.
 
 Used by ``repro bench-diff OLD NEW`` (exit code 1 with
 ``--fail-on-regression``, otherwise warnings only, which is how CI runs
@@ -29,6 +42,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -47,6 +61,24 @@ DEFAULT_ABS_FLOOR_S = 1e-4
 #: Relative tolerance for simulated (deterministic) quantities.
 SIM_DRIFT_TOLERANCE = 1e-9
 
+#: A phase must carry at least this share of the critical-path length for
+#: wall keys naming it to stay failing regressions.
+ONPATH_MIN_SHARE = 0.02
+
+#: Wall keys mentioning these are always on the critical path (end-to-end
+#: measurements rather than phase micro-benchmarks).  Matched against
+#: whole words of the dotted key, so ``runtime.foo`` does not count as
+#: ``run``.
+_ALWAYS_ONPATH_TOKENS = frozenset({"run", "total", "iteration"})
+
+#: critical_path component -> key tokens it vouches for.
+_PATH_COMPONENT_TOKENS = {
+    "compute_s": ("compute",),
+    "comm_s": ("comm", "exchange", "ghost"),
+    "sync_s": ("sync",),
+    "barrier_s": ("barrier",),
+}
+
 
 @dataclass(slots=True)
 class BenchDelta:
@@ -55,8 +87,8 @@ class BenchDelta:
     key: str
     old: float | None
     new: float | None
-    status: str  # "ok" | "regression" | "improvement" | "drift"
-    #           | "added" | "removed"
+    status: str  # "ok" | "regression" | "offpath" | "improvement"
+    #           | "drift" | "added" | "removed"
     ratio: float | None = None
 
     def describe(self) -> str:
@@ -83,6 +115,11 @@ class BenchComparison:
     @property
     def regressions(self) -> list[BenchDelta]:
         return self._with_status("regression")
+
+    @property
+    def offpath_regressions(self) -> list[BenchDelta]:
+        """Wall slowdowns in phases off the critical path (non-failing)."""
+        return self._with_status("offpath")
 
     @property
     def improvements(self) -> list[BenchDelta]:
@@ -152,6 +189,32 @@ def _is_rate_key(key: str) -> bool:
     return "per_wall_second" in key or "wall_speedup" in key
 
 
+def _onpath_tokens(flat: dict[str, float]) -> frozenset[str] | None:
+    """Key tokens vouched for by the artifact's critical-path section.
+
+    Returns ``None`` when the artifact predates critical-path export, in
+    which case every wall regression stays failing (strict mode).
+    """
+    total = sum(
+        v for k, v in flat.items() if k.endswith("critical_path.total_s")
+    )
+    if total <= 0:
+        return None
+    tokens = set(_ALWAYS_ONPATH_TOKENS)
+    for component, names in _PATH_COMPONENT_TOKENS.items():
+        share = (
+            sum(
+                v
+                for k, v in flat.items()
+                if k.endswith(f"critical_path.{component}")
+            )
+            / total
+        )
+        if share >= ONPATH_MIN_SHARE:
+            tokens.update(names)
+    return frozenset(tokens)
+
+
 def diff_bench(
     old: dict[str, Any],
     new: dict[str, Any],
@@ -195,6 +258,17 @@ def diff_bench(
         comparison.deltas.append(
             BenchDelta(key=key, old=a, new=b, status=status, ratio=ratio)
         )
+    # Critical-path gating: with a path decomposition in the artifact, a
+    # wall regression in a phase that cannot move end-to-end time is
+    # reported but does not fail the build.
+    onpath = _onpath_tokens(new_flat) or _onpath_tokens(old_flat)
+    if onpath is not None:
+        for delta in comparison.deltas:
+            if delta.status != "regression":
+                continue
+            words = set(re.split(r"[^a-z0-9]+", delta.key.lower()))
+            if not (words & onpath):
+                delta.status = "offpath"
     return comparison
 
 
@@ -216,6 +290,7 @@ def format_diff(comparison: BenchComparison, verbose: bool = False) -> str:
     """Human-readable report (what ``repro bench-diff`` prints)."""
     lines: list[str] = []
     reg = comparison.regressions
+    offpath = comparison.offpath_regressions
     imp = comparison.improvements
     drift = comparison.drifts
     added = comparison._with_status("added")
@@ -226,12 +301,13 @@ def format_diff(comparison: BenchComparison, verbose: bool = False) -> str:
     lines.append(
         f"compared {compared} metrics "
         f"(tolerance {comparison.tolerance:.0%} on wall-clock keys): "
-        f"{len(reg)} regressions, {len(imp)} improvements, "
-        f"{len(drift)} behaviour drifts, "
+        f"{len(reg)} regressions, {len(offpath)} off critical path, "
+        f"{len(imp)} improvements, {len(drift)} behaviour drifts, "
         f"{len(added)} added, {len(removed)} removed"
     )
     for title, rows in (
         ("REGRESSIONS", reg),
+        ("slower, but off the critical path (non-failing)", offpath),
         ("improvements", imp),
         ("behaviour drift (simulated quantities changed)", drift),
     ):

@@ -16,6 +16,7 @@ accessors hand back shared no-op instruments.
 from __future__ import annotations
 
 import math
+import re
 from typing import Any, Iterator
 
 from repro.util.errors import TelemetryError
@@ -27,6 +28,7 @@ __all__ = [
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NULL_REGISTRY",
+    "openmetrics_selfcheck",
 ]
 
 #: Histograms keep at most this many raw observations for percentile
@@ -229,6 +231,179 @@ class MetricsRegistry:
             rows.append(row)
         return rows
 
+    def to_openmetrics(self) -> str:
+        """Render the registry in OpenMetrics text exposition format.
+
+        Counters become counter families (the ``_total`` sample suffix is
+        enforced), gauges become gauges, and histograms are exposed as
+        summaries (``_count``/``_sum`` plus p50/p95/max quantile samples)
+        since we retain raw samples rather than fixed buckets.  Dots in
+        internal metric names (``comm.bytes_total``) are mapped to
+        underscores per the exposition-format name charset.  The output
+        terminates with ``# EOF`` and round-trips through
+        :func:`openmetrics_selfcheck`.
+        """
+        families: dict[str, list[Counter | Gauge | Histogram]] = {}
+        kinds: dict[str, str] = {}
+        for metric in self._metrics.values():
+            family = _openmetrics_name(metric.name)
+            if metric.kind == "counter" and family.endswith("_total"):
+                family = family[: -len("_total")]
+            families.setdefault(family, []).append(metric)
+            kinds[family] = metric.kind
+        lines: list[str] = []
+        for family in sorted(families):
+            kind = kinds[family]
+            om_type = {"counter": "counter", "gauge": "gauge", "histogram": "summary"}[
+                kind
+            ]
+            lines.append(f"# TYPE {family} {om_type}")
+            for metric in families[family]:
+                labels = _openmetrics_labels(metric.labels)
+                if kind == "counter":
+                    value = _format_value(metric.value)
+                    lines.append(f"{family}_total{labels} {value}")
+                elif kind == "gauge":
+                    lines.append(f"{family}{labels} {_format_value(metric.value)}")
+                else:
+                    lines.append(f"{family}_count{labels} {metric.count}")
+                    lines.append(f"{family}_sum{labels} {_format_value(metric.total)}")
+                    for q, qlabel in ((50, "0.5"), (95, "0.95"), (100, "1")):
+                        qlabels = _openmetrics_labels(
+                            {**metric.labels, "quantile": qlabel}
+                        )
+                        lines.append(
+                            f"{family}{qlabels} {_format_value(metric.percentile(q))}"
+                        )
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+
+# OpenMetrics exposition-format helpers ------------------------------------
+
+#: Legal OpenMetrics metric-family name.
+_OM_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+#: Legal OpenMetrics label name.
+_OM_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: One exposition sample line: name, optional {labels}, value.
+_OM_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>\S+)$"
+)
+
+
+def _openmetrics_name(name: str) -> str:
+    """Map an internal metric name onto the exposition-format charset."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not sanitized or not _OM_NAME_RE.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _openmetrics_labels(labels: dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        name = re.sub(r"[^a-zA-Z0-9_]", "_", str(key))
+        if not _OM_LABEL_RE.match(name):
+            name = "_" + name
+        value = (
+            str(labels[key])
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        parts.append(f'{name}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def openmetrics_selfcheck(text: str) -> list[str]:
+    """Validate OpenMetrics exposition text; returns a list of problems.
+
+    An empty list means the text passed.  This is a structural check of
+    the subset this module emits -- name/label charset, ``# TYPE``
+    declarations preceding their samples, counter samples ending in
+    ``_total``, parseable values, no duplicate samples, and a final
+    ``# EOF`` -- not a full spec validator.
+    """
+    problems: list[str] = []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        problems.append("missing '# EOF' terminator as the final line")
+    declared: dict[str, str] = {}
+    seen_samples: set[str] = set()
+    for lineno, line in enumerate(lines, start=1):
+        if line == "# EOF":
+            if lineno != len(lines):
+                problems.append(f"line {lineno}: '# EOF' before end of text")
+            continue
+        if line.startswith("# TYPE "):
+            fields = line.split(" ")
+            if len(fields) != 4:
+                problems.append(f"line {lineno}: malformed TYPE line {line!r}")
+                continue
+            family, om_type = fields[2], fields[3]
+            if not _OM_NAME_RE.match(family):
+                problems.append(f"line {lineno}: bad family name {family!r}")
+            if om_type not in ("counter", "gauge", "summary", "histogram", "unknown"):
+                problems.append(f"line {lineno}: unknown metric type {om_type!r}")
+            if family in declared:
+                problems.append(f"line {lineno}: duplicate TYPE for {family!r}")
+            declared[family] = om_type
+            continue
+        if line.startswith("#"):
+            continue  # HELP/UNIT lines: tolerated, not emitted
+        match = _OM_SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        family = _sample_family(name, declared)
+        if family is None:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no preceding TYPE declaration"
+            )
+        elif declared[family] == "counter" and not name.endswith("_total"):
+            problems.append(
+                f"line {lineno}: counter sample {name!r} must end with '_total'"
+            )
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                problems.append(f"line {lineno}: unparseable value {value!r}")
+        sample_id = name + (match.group("labels") or "")
+        if sample_id in seen_samples:
+            problems.append(f"line {lineno}: duplicate sample {sample_id!r}")
+        seen_samples.add(sample_id)
+    return problems
+
+
+def _sample_family(name: str, declared: dict[str, str]) -> str | None:
+    """Resolve a sample name back to its declared metric family."""
+    if name in declared:
+        return name
+    for suffix in ("_total", "_count", "_sum", "_bucket", "_created"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if base in declared:
+                return base
+    return None
+
 
 class _NullInstrument:
     """Shared do-nothing counter/gauge/histogram."""
@@ -294,6 +469,9 @@ class NullMetricsRegistry:
 
     def rows(self) -> list[dict[str, Any]]:
         return []
+
+    def to_openmetrics(self) -> str:
+        return "# EOF\n"
 
 
 #: Process-wide shared no-op registry.

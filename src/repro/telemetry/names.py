@@ -1,0 +1,88 @@
+"""Central registry of span and event names the runtime may emit.
+
+The trace schema is an API: the health monitor, the critical-path
+analyzer, the dashboard and every ``jq`` one-liner in the docs key on
+exact span/event names.  A name typo'd at one call site silently
+produces spans nobody aggregates, so *every* name the instrumentation
+emits must be declared here first.  ``tools/check_span_names.py`` lints
+``src/repro`` for literal names passed to ``Tracer.span`` /
+``Tracer.add_span`` / ``Tracer.event`` and fails CI on any literal that
+is not registered below.
+
+Dynamically composed names (``health.<kind>``, ``comm.<phase>``) cannot
+be checked literally; they must fall under one of the registered
+:data:`EVENT_PREFIXES` instead.
+
+This module stays pure data + two predicates so the lint tool can import
+it without pulling in the rest of the package.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SPAN_NAMES",
+    "EVENT_NAMES",
+    "EVENT_PREFIXES",
+    "is_known_span",
+    "is_known_event",
+]
+
+#: Every span name the runtime instrumentation emits.
+SPAN_NAMES = frozenset(
+    {
+        # runtime loop structure
+        "run",
+        "iteration",
+        "advance",
+        # sense -> capacity -> partition -> migrate pipeline
+        "sense",
+        "capacity",
+        "partition",
+        "split",
+        "migrate",
+        # per-rank simulated-time tracks
+        "compute",
+        "ghost-exchange",
+        "sync",
+        # monitor internals
+        "probe",
+        "forecast",
+        # resilience
+        "recover",
+        "recovery",
+        "checkpoint.save",
+        "checkpoint.restore",
+    }
+)
+
+#: Every exact instant-event name the runtime instrumentation emits.
+EVENT_NAMES = frozenset(
+    {
+        "cluster",
+        "load_generator",
+        "split",
+        "fault.step_aborted",
+        "recovery.repartition",
+        "recovery.complete",
+    }
+)
+
+#: Prefixes under which dynamically composed event names are sanctioned
+#: (``tracer.event(f"health.{kind}", ...)`` and friends).
+EVENT_PREFIXES = (
+    "health.",
+    "fault.",
+    "recovery.",
+    "comm.",
+    "checkpoint.",
+)
+
+
+def is_known_span(name: str) -> bool:
+    """Whether ``name`` is a registered span name."""
+    return name in SPAN_NAMES
+
+
+def is_known_event(name: str) -> bool:
+    """Whether ``name`` is a registered event name or prefixed family."""
+    return name in EVENT_NAMES or name.startswith(EVENT_PREFIXES)

@@ -9,7 +9,13 @@ cluster head node years later.
 Per traced run the dashboard shows:
 
 - a per-rank phase timeline (compute / ghost-exchange / sync per rank,
-  sense / migrate on the runtime track) over simulated time;
+  sense / migrate on the runtime track) over simulated time, with spans
+  on the iteration critical path (from
+  :func:`repro.telemetry.profile.analyze_critical_path`) outlined;
+- a critical-path panel: phase breakdown of the path, balance headroom
+  and the most frequent bottleneck ranks;
+- a rank-by-rank communication heatmap (bytes exchanged per directed
+  pair, derated links outlined) from the ``comm.exchange`` events;
 - the residual-imbalance trajectory with the paper's 40 % bound drawn,
   anomaly markers overlaid;
 - the evolution of sensed relative capacities per node;
@@ -36,6 +42,12 @@ from repro.telemetry.analysis import (
     HealthSnapshot,
     analyze_records,
     fault_summary,
+)
+from repro.telemetry.profile import (
+    CommProfile,
+    RunCriticalPath,
+    analyze_critical_path,
+    comm_profile,
 )
 from repro.telemetry.spans import NullTracer, Tracer
 
@@ -158,13 +170,41 @@ def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
 
 
 # ----------------------------------------------------------------------
-def _timeline_svg(run: dict[str, Any]) -> str:
+def _critical_keys(cp: RunCriticalPath | None) -> set[tuple]:
+    """Identity keys of spans on a run's critical path.
+
+    Keyed by (name, rank, start, end) rounded to nanoseconds -- segment
+    boundaries are copied verbatim from the span records, so the rounding
+    only guards against float formatting drift, not real ambiguity.
+    """
+    keys: set[tuple] = set()
+    if cp is None:
+        return keys
+    for it in cp.iterations:
+        for seg in it.segments:
+            keys.add(
+                (
+                    seg.phase,
+                    seg.rank,
+                    round(seg.start_sim, 9),
+                    round(seg.end_sim, 9),
+                )
+            )
+    return keys
+
+
+def _timeline_svg(
+    run: dict[str, Any], critical: set[tuple] | None = None
+) -> str:
     """Per-rank phase timeline for one run, as an inline SVG.
 
     Fault-injection and recovery instants (``fault.*`` / ``recovery.*``
     events) are drawn as full-height vertical markers so an outage lines
     up visually with the migration/repartition activity it triggered.
+    Spans whose (name, rank, start, end) identity appears in ``critical``
+    get the ``crit`` outline: they gate the iteration's wall time.
     """
+    critical = critical or set()
     spans = [
         s
         for s in run["spans"]
@@ -203,17 +243,28 @@ def _timeline_svg(run: dict[str, Any]) -> str:
     if len(spans) > MAX_TIMELINE_RECTS:
         truncated = len(spans) - MAX_TIMELINE_RECTS
         spans = spans[:MAX_TIMELINE_RECTS]
+    n_crit = 0
     for s in spans:
         y = top + row_of.get(s.get("rank"), 0) * (row_h + gap)
         x0 = x(s["start_sim"])
         w = max(x(s["end_sim"]) - x0, 0.6)
+        on_path = (
+            s["name"],
+            s.get("rank"),
+            round(s["start_sim"], 9),
+            round(s["end_sim"], 9),
+        ) in critical
         tip = (
             f"{s['name']}: {s['end_sim'] - s['start_sim']:.3f} sim s "
             f"@ t={s['start_sim']:.2f}"
         )
+        if on_path:
+            n_crit += 1
+            tip += " [critical path]"
+        cls = f"ph-{s['name']} crit" if on_path else f"ph-{s['name']}"
         parts.append(
             f"<rect x='{x0:.2f}' y='{y + 2}' width='{w:.2f}' "
-            f"height='{row_h - 4}' rx='1.5' class='ph-{s['name']}'>"
+            f"height='{row_h - 4}' rx='1.5' class='{cls}'>"
             f"<title>{_esc(tip)}</title></rect>"
         )
     axis_y = top + len(rows) * (row_h + gap) + 4
@@ -244,6 +295,11 @@ def _timeline_svg(run: dict[str, Any]) -> str:
         f"<span class='chip'><i class='sw ph-{p}'></i>{p}</span>"
         for p in _TIMELINE_PHASES
     )
+    if n_crit:
+        legend += (
+            "<span class='chip'><i class='sw sw-crit'></i>"
+            "critical path</span>"
+        )
     if fault_marks:
         legend += (
             "<span class='chip'><i class='sw sw-fault'></i>fault</span>"
@@ -410,6 +466,172 @@ def _capacity_svg(run: dict[str, Any]) -> str:
         else ""
     )
     return f"<div class='legend'>{legend}{note}</div>{''.join(parts)}"
+
+
+# ----------------------------------------------------------------------
+def _comm_heatmap_svg(profile: CommProfile | None) -> str:
+    """Rank-by-rank communication heatmap (directed: row=src, col=dst).
+
+    Cell shade scales with sqrt(bytes) so a dominant pair does not wash
+    out the rest of the matrix; cells on derated links (effective
+    bandwidth below nominal at send time) get the critical outline.
+    Every cell carries a text tooltip -- shade is never the only signal.
+    """
+    if profile is None or profile.total.size == 0:
+        return (
+            "<p class='muted'>no communication events in this run's trace "
+            "(older traces predate comm profiling)</p>"
+        )
+    matrix = profile.total
+    n = matrix.size
+    max_bytes = max(
+        (matrix.bytes[i][j] for i in range(n) for j in range(n)), default=0.0
+    )
+    if max_bytes <= 0:
+        return "<p class='muted'>communication events carried zero bytes</p>"
+    cell = max(12, min(34, int(380 / n)))
+    left, top, pad = 64, 22, 8
+    width = left + n * cell + pad
+    height = top + n * cell + pad + 14
+    parts = [
+        f"<svg viewBox='0 0 {width} {height}' "
+        f"width='{min(width, 560)}' role='img' "
+        f"aria-label='rank-by-rank communication volume' "
+        f"xmlns='http://www.w3.org/2000/svg'>"
+    ]
+    parts.append(
+        f"<text x='{left + n * cell / 2:.0f}' y='{top - 10}' class='axis' "
+        f"text-anchor='middle'>destination rank</text>"
+    )
+    label_step = max(1, n // 16)
+    for r in range(n):
+        if r % label_step == 0:
+            parts.append(
+                f"<text x='{left + r * cell + cell / 2:.1f}' y='{top - 1}' "
+                f"class='axis' text-anchor='middle'>{r}</text>"
+            )
+            parts.append(
+                f"<text x='{left - 5}' y='{top + r * cell + cell / 2 + 3:.1f}'"
+                f" class='axis' text-anchor='end'>src {r}</text>"
+            )
+    for src in range(n):
+        for dst in range(n):
+            b = matrix.bytes[src][dst]
+            xp = left + dst * cell
+            yp = top + src * cell
+            if b <= 0:
+                parts.append(
+                    f"<rect x='{xp}' y='{yp}' width='{cell - 1}' "
+                    f"height='{cell - 1}' class='hm-empty'/>"
+                )
+                continue
+            op = max(0.08, (b / max_bytes) ** 0.5)
+            derated = matrix.derated_bytes[src][dst] > 0
+            cls = "hm hm-derated" if derated else "hm"
+            tip = (
+                f"rank {src} -> rank {dst}: {_fmt_bytes(b)}, "
+                f"{matrix.seconds[src][dst]:.3f} s, "
+                f"{matrix.messages[src][dst]} msgs"
+            )
+            if derated:
+                tip += (
+                    f" ({_fmt_bytes(matrix.derated_bytes[src][dst])}"
+                    " over a derated link)"
+                )
+            parts.append(
+                f"<rect x='{xp}' y='{yp}' width='{cell - 1}' "
+                f"height='{cell - 1}' class='{cls}' "
+                f"fill-opacity='{op:.3f}'>"
+                f"<title>{_esc(tip)}</title></rect>"
+            )
+    parts.append("</svg>")
+    derated_total = matrix.derated_bytes_total
+    phase_note = ", ".join(
+        f"{name} {_fmt_bytes(m.bytes_total)}"
+        for name, m in sorted(profile.phases.items())
+    )
+    summary = (
+        f"{_fmt_bytes(matrix.bytes_total)} over {profile.events} exchange "
+        f"events ({phase_note})"
+    )
+    if derated_total > 0:
+        pct = 100.0 * derated_total / max(matrix.bytes_total, 1e-30)
+        summary += (
+            f"; {pct:.1f}% of bytes crossed a derated link"
+        )
+    if profile.pairs_dropped:
+        summary += (
+            f"; per-pair detail truncated for {profile.pairs_dropped} pairs"
+        )
+    legend = (
+        "<div class='legend'>"
+        "<span class='chip'><i class='sw' style='background:var(--s1)'></i>"
+        "bytes (sqrt shade)</span>"
+        "<span class='chip'><i class='sw sw-derated'></i>derated link</span>"
+        f"<span class='chip muted'>{_esc(summary)}</span></div>"
+    )
+    return legend + "".join(parts)
+
+
+def _critical_path_panel(cp: RunCriticalPath | None) -> str:
+    """Phase breakdown of the run's critical path, plus slack attribution.
+
+    Answers the two introspection questions directly: *which phase/rank
+    bounds this run* (the breakdown and bottleneck-rank counts) and
+    *would a better partition have helped* (the balance-headroom bound:
+    seconds a perfect capacity-proportional split could save, assuming
+    uniform per-rank speeds).
+    """
+    if cp is None or not cp.iterations:
+        return (
+            "<p class='muted'>no priced iterations in this run's trace"
+            "</p>"
+        )
+    total = cp.total_s or 1.0
+    rows = []
+    for phase, secs in (
+        ("compute", cp.compute_s),
+        ("ghost-exchange", cp.comm_s),
+        ("sync", cp.sync_s),
+        ("barrier (residual)", cp.barrier_s),
+    ):
+        pct = 100.0 * secs / total
+        bar_w = max(0.0, min(100.0, pct))
+        sw = phase.split(" ")[0] if phase != "barrier (residual)" else None
+        chip = (
+            f"<i class='sw ph-{sw}'></i>"
+            if sw in ("compute", "ghost-exchange", "sync")
+            else "<i class='sw sw-barrier'></i>"
+        )
+        rows.append(
+            "<tr>"
+            f"<td>{chip} {_esc(phase)}</td>"
+            f"<td>{_fmt_seconds(secs)}</td>"
+            f"<td>{pct:.1f}%</td>"
+            f"<td><div class='bar'><div class='bar-fill' "
+            f"style='width:{bar_w:.1f}%'></div></div></td>"
+            "</tr>"
+        )
+    table = (
+        "<table><thead><tr><th>path phase</th><th>time</th><th>share</th>"
+        "<th></th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+    headroom_pct = 100.0 * cp.balance_headroom_s / total
+    counts = cp.critical_rank_counts
+    top_ranks = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+    bottlenecks = ", ".join(
+        f"rank {r} x{c}" for r, c in top_ranks
+    ) or "none attributed"
+    note = (
+        f"<p class='muted'>critical path over {len(cp.iterations)} "
+        f"iterations: {_fmt_seconds(cp.total_s)} -- equals the summed "
+        "iteration wall time by construction. Bottleneck ranks: "
+        f"{_esc(bottlenecks)}. Perfect rebalancing headroom: "
+        f"{_fmt_seconds(cp.balance_headroom_s)} ({headroom_pct:.1f}% of "
+        "the path; upper bound assuming uniform per-rank speeds).</p>"
+    )
+    return table + note
 
 
 # ----------------------------------------------------------------------
@@ -621,6 +843,18 @@ svg .mark-recovery {{ stroke: #008300; stroke-width: 1.5;
   stroke-dasharray: 3 3; }}
 .sw-fault {{ background: var(--critical); }}
 .sw-recovery {{ background: #008300; }}
+svg rect.crit {{ stroke: var(--ink); stroke-width: 1.1; }}
+.sw-crit {{ background: none; border: 1.5px solid var(--ink);
+  border-radius: 2px; }}
+svg .hm {{ fill: var(--s1); }}
+svg .hm-empty {{ fill: none; stroke: var(--grid); stroke-width: 0.5; }}
+svg .hm-derated {{ stroke: var(--critical); stroke-width: 1.4; }}
+.sw-derated {{ background: none; border: 1.5px solid var(--critical);
+  border-radius: 2px; }}
+.sw-barrier {{ background: var(--axis); }}
+.bar {{ background: var(--grid); border-radius: 3px; height: 8px;
+  min-width: 120px; }}
+.bar-fill {{ background: var(--s1); border-radius: 3px; height: 8px; }}
 .muted {{ color: var(--muted); font-size: 12px; }}
 table {{ border-collapse: collapse; width: 100%; font-size: 13px; }}
 th, td {{ text-align: left; padding: 5px 10px;
@@ -664,6 +898,13 @@ def render_dashboard(
     if isinstance(source, (Tracer, NullTracer)):
         run_labels = dict(source.run_labels)
     snapshots, events = analyze_records(records, run_labels=run_labels)
+    cp_by_pid = {
+        cp.pid: cp
+        for cp in analyze_critical_path(records, run_labels=run_labels)
+    }
+    comm_by_pid = {
+        p.pid: p for p in comm_profile(records, run_labels=run_labels)
+    }
     spans = [r for r in records if r.get("type") == "span"]
     fault_events = [
         r
@@ -703,11 +944,17 @@ def render_dashboard(
         head = f"Run {run['pid']}"
         if run["label"]:
             head += f" — {_esc(run['label'])}"
+        cp = cp_by_pid.get(run["pid"])
         sections.append(
             f"<h2>{head}</h2>"
             "<div class='card'><h3>Per-rank phase timeline "
             "(simulated time)</h3>"
-            f"{_timeline_svg(run)}</div>"
+            f"{_timeline_svg(run, _critical_keys(cp))}</div>"
+            "<div class='card'><h3>Critical path</h3>"
+            f"{_critical_path_panel(cp)}</div>"
+            "<div class='card'><h3>Communication matrix "
+            "(rank &times; rank)</h3>"
+            f"{_comm_heatmap_svg(comm_by_pid.get(run['pid']))}</div>"
             "<div class='card'><h3>Residual load imbalance per iteration"
             "</h3>"
             f"{_imbalance_svg(run['snapshots'], run['events'])}</div>"

@@ -235,7 +235,10 @@ class Tracer:
             pass
 
     def _notify(self, span: Span) -> None:
-        for callback in self._observers:
+        # Iterate a snapshot: a callback may unsubscribe itself (or others)
+        # mid-notify, and mutating the live list would skip the observer
+        # registered after it for this span.
+        for callback in tuple(self._observers):
             callback(span)
 
     # ------------------------------------------------------------------

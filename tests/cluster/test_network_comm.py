@@ -170,3 +170,78 @@ class TestDegenerateAndFaultedComm:
             cluster.link.transfer_time(1e6, 50.0, 100.0)
         )
         assert after > before
+
+
+class TestCommTelemetry:
+    """Traffic accounting promoted into the tracer (S2 of the profiling PR)."""
+
+    def traced_comm(self, num_nodes=3):
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+        comm = SimCommunicator(Cluster.homogeneous(num_nodes))
+        comm.bind_tracer(tracer)
+        return comm, tracer
+
+    def test_p2p_increments_counters(self):
+        comm, tracer = self.traced_comm(2)
+        comm.p2p_time(0, 1, 1e6)
+        comm.p2p_time(1, 0, 5e5)
+        by_name = {m.name: m for m in tracer.metrics}
+        assert by_name["comm.bytes_total"].value == pytest.approx(1.5e6)
+        assert by_name["comm.messages_total"].value == 2
+
+    def test_exchange_emits_event_with_pair_detail(self):
+        comm, tracer = self.traced_comm(3)
+        comm.exchange_time({(0, 1): 1e6, (1, 2): 2e6, (2, 2): 7.0})
+        (event,) = [e for e in tracer.events if e.name == "comm.exchange"]
+        assert event.attributes["phase"] == "exchange"
+        assert event.attributes["bytes"] == pytest.approx(3e6)  # no self-pair
+        assert event.attributes["messages"] == 2
+        pairs = {(p[0], p[1]): p[2] for p in event.attributes["pairs"]}
+        assert pairs == {(0, 1): 1_000_000, (1, 2): 2_000_000}
+
+    def test_exchange_derated_attribution(self):
+        from repro.telemetry import Tracer
+
+        cluster = Cluster.homogeneous(2)
+        comm = SimCommunicator(cluster)
+        tracer = Tracer()
+        comm.bind_tracer(tracer)
+        cluster.degrade_link(1, 0.5)
+        comm.exchange_time({(0, 1): 1e6})
+        (event,) = [e for e in tracer.events if e.name == "comm.exchange"]
+        assert event.attributes["derated_bytes"] == pytest.approx(1e6)
+        src, dst, nbytes, seconds, derated = event.attributes["pairs"][0]
+        assert (src, dst, derated) == (0, 1, True)
+
+    def test_collective_timing_histograms(self):
+        comm, tracer = self.traced_comm(4)
+        comm.allreduce_time(64.0)
+        comm.broadcast_time(128.0)
+        names = {(m.name, m.labels.get("op")) for m in tracer.metrics}
+        assert ("comm.collective_seconds", "allreduce") in names
+        assert ("comm.collective_seconds", "broadcast") in names
+
+    def test_phase_seconds_histogram_per_phase(self):
+        comm, tracer = self.traced_comm(3)
+        comm.exchange_time({(0, 1): 1e6})
+        comm.migration_time({(1, 2): 1000})
+        labels = {
+            m.labels.get("phase")
+            for m in tracer.metrics
+            if m.name == "comm.phase_seconds"
+        }
+        assert {"exchange", "migration"} <= labels
+
+    def test_untraced_communicator_stays_silent(self):
+        comm = SimCommunicator(Cluster.homogeneous(2))
+        comm.p2p_time(0, 1, 1e6)
+        comm.exchange_time({(0, 1): 1e6})  # no tracer bound: no error
+
+    def test_per_pair_seconds_and_messages_in_stats(self):
+        comm = SimCommunicator(Cluster.homogeneous(2))
+        comm.p2p_time(0, 1, 1e6)
+        comm.p2p_time(0, 1, 1e6)
+        assert comm.stats.per_pair_messages[(0, 1)] == 2
+        assert comm.stats.per_pair_seconds[(0, 1)] > 0

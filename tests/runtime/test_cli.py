@@ -191,3 +191,87 @@ class TestBenchDiff:
         bad.write_text("{not json")
         assert main(["bench-diff", old, str(bad)]) == 2
         assert "could not parse" in capsys.readouterr().err
+
+
+class TestTraceFileErrors:
+    """Missing/corrupt trace files exit 2 with a one-line error (S1)."""
+
+    def test_report_missing_file(self, capsys, tmp_path):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["report", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "trace file not found" in err and str(missing) in err
+
+    def test_profile_missing_file(self, capsys, tmp_path):
+        assert main(["profile", str(tmp_path / "gone.jsonl")]) == 2
+        assert "trace file not found" in capsys.readouterr().err
+
+    def test_report_corrupt_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{ not json at all\n")
+        assert main(["report", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt trace file" in err and str(bad) in err
+
+    def test_profile_corrupt_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span"}\nBOOM\n')
+        assert main(["profile", str(bad)]) == 2
+        assert "corrupt trace file" in capsys.readouterr().err
+
+    def test_profile_non_object_line(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("[1, 2, 3]\n")
+        assert main(["profile", str(bad)]) == 2
+        assert "expected a JSON object" in capsys.readouterr().err
+
+    def test_profile_empty_file(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["profile", str(empty)]) == 2
+        assert "no records" in capsys.readouterr().err
+
+    def test_trace_unknown_experiment(self, capsys):
+        assert main(["trace", "not-an-experiment"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_profile_unknown_experiment(self, capsys):
+        assert main(["profile", "not-an-experiment"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_profile_experiment_writes_artifacts(self, capsys, tmp_path):
+        out = str(tmp_path)
+        assert main(["profile", "fig10", "--quick", "--out-dir", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "critical path" in stdout.lower()
+        for suffix in (
+            "critical_path.json",
+            "comm.json",
+            "collapsed.txt",
+            "speedscope.json",
+            "openmetrics.txt",
+        ):
+            artifact = tmp_path / f"fig10.{suffix}"
+            assert artifact.is_file() and artifact.stat().st_size > 0
+        # The speedscope export must be loadable JSON with profiles.
+        doc = json.loads((tmp_path / "fig10.speedscope.json").read_text())
+        assert doc["profiles"]
+        # And the exposition must end with the OpenMetrics terminator.
+        om = (tmp_path / "fig10.openmetrics.txt").read_text()
+        assert om.endswith("# EOF\n")
+
+    def test_profile_roundtrip_from_trace_file(self, capsys, tmp_path):
+        out = str(tmp_path)
+        assert main(["profile", "fig10", "--quick", "--out-dir", out]) == 0
+        capsys.readouterr()
+        events = tmp_path / "fig10.events.jsonl"
+        assert events.is_file()
+        assert main(["profile", str(events), "--out-dir", out]) == 0
+        assert "critical path" in capsys.readouterr().out.lower()
+
+    def test_top_quick_prints_summary(self, capsys):
+        assert main(["top", "fig10", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out and "iteration" in out

@@ -184,3 +184,73 @@ class TestFilesAndFormat:
         grown["metrics"]["num_splits"] = 3.0
         text = format_diff(diff_bench(BASE, grown), verbose=True)
         assert "added" in text and "num_splits" in text
+
+
+class TestCriticalPathGating:
+    """Wall regressions off the critical path must not fail builds."""
+
+    def with_path(self):
+        bench = clone()
+        bench["runtime"] = {
+            "critical_path": {
+                "total_s": 100.0,
+                "compute_s": 90.0,
+                "comm_s": 9.0,
+                "sync_s": 1.0,
+                "barrier_s": 0.0,
+            },
+            "comm": {"bytes_total": 1e6, "derated_bytes_total": 0.0},
+        }
+        return bench
+
+    def test_micro_bench_regression_downgraded_to_offpath(self):
+        old = self.with_path()
+        new = json.loads(json.dumps(old))
+        new["results"][0]["wall_seconds"] = 2.0  # partitioner micro-bench
+        cmp = diff_bench(old, new)
+        assert cmp.ok
+        assert [d.key for d in cmp.offpath_regressions] == [
+            "results.ACEHeterogeneous.wall_seconds"
+        ]
+        assert "off the critical path" in format_diff(cmp)
+
+    def test_onpath_phase_regression_still_fails(self):
+        old = self.with_path()
+        old["runtime"]["compute_wall_seconds"] = 1.0
+        new = json.loads(json.dumps(old))
+        new["runtime"]["compute_wall_seconds"] = 2.0
+        cmp = diff_bench(old, new)
+        assert not cmp.ok  # compute carries 90% of the path
+        assert cmp.regressions[0].key == "runtime.compute_wall_seconds"
+
+    def test_insignificant_phase_is_offpath(self):
+        old = self.with_path()
+        old["runtime"]["sync_wall_seconds"] = 1.0
+        new = json.loads(json.dumps(old))
+        new["runtime"]["sync_wall_seconds"] = 2.0
+        cmp = diff_bench(old, new)  # sync is 1% < ONPATH_MIN_SHARE
+        assert cmp.ok and len(cmp.offpath_regressions) == 1
+
+    def test_total_keys_always_onpath(self):
+        old = self.with_path()
+        old["runtime"]["total_wall_seconds"] = 10.0
+        new = json.loads(json.dumps(old))
+        new["runtime"]["total_wall_seconds"] = 20.0
+        assert not diff_bench(old, new).ok
+
+    def test_no_path_section_keeps_strict_behaviour(self):
+        old = clone()
+        new = clone()
+        new["results"][0]["wall_seconds"] = 2.0
+        cmp = diff_bench(old, new)
+        assert not cmp.ok and len(cmp.regressions) == 1
+
+    def test_comm_volume_drift_reported(self):
+        old = self.with_path()
+        new = json.loads(json.dumps(old))
+        new["runtime"]["comm"]["bytes_total"] = 2e6
+        cmp = diff_bench(old, new)
+        assert cmp.ok  # volume change is behaviour drift, not a perf fail
+        assert any(
+            d.key == "runtime.comm.bytes_total" for d in cmp.drifts
+        )

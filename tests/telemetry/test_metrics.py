@@ -4,7 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.telemetry import NULL_REGISTRY, MetricsRegistry
+from repro.telemetry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    openmetrics_selfcheck,
+)
 from repro.telemetry.metrics import HISTOGRAM_SAMPLE_CAP
 from repro.util.errors import TelemetryError
 
@@ -161,3 +165,68 @@ class TestHistogramPercentileEdgeCases:
     def test_null_registry_values_and_series(self):
         assert NULL_REGISTRY.histogram("h").values() == ()
         assert NULL_REGISTRY.series("h") == []
+
+
+class TestOpenMetrics:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("comm.bytes_total").inc(4096)
+        registry.counter("migration_bytes").inc(100)
+        registry.gauge("node_utilization", node=0).set(0.75)
+        registry.gauge("node_utilization", node=1).set(0.5)
+        h = registry.histogram("iteration_seconds")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        return registry
+
+    def test_exposition_passes_selfcheck(self):
+        problems = openmetrics_selfcheck(self.build().to_openmetrics())
+        assert problems == []
+
+    def test_counter_samples_end_in_total(self):
+        text = self.build().to_openmetrics()
+        assert "# TYPE comm_bytes counter" in text
+        assert "comm_bytes_total 4096" in text
+        # Dots sanitized, no double _total suffix.
+        assert "comm.bytes" not in text
+        assert "_total_total" not in text
+
+    def test_gauges_carry_labels(self):
+        text = self.build().to_openmetrics()
+        assert 'node_utilization{node="0"} 0.75' in text
+        assert 'node_utilization{node="1"} 0.5' in text
+
+    def test_histogram_as_summary_with_quantiles(self):
+        text = self.build().to_openmetrics()
+        assert "# TYPE iteration_seconds summary" in text
+        assert "iteration_seconds_count 3" in text
+        assert "iteration_seconds_sum 6" in text
+        assert 'quantile="0.5"' in text
+
+    def test_ends_with_eof(self):
+        assert self.build().to_openmetrics().endswith("# EOF\n")
+        assert NULL_REGISTRY.to_openmetrics() == "# EOF\n"
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", tag='quo"te\nnl').inc()
+        text = registry.to_openmetrics()
+        assert '\\"' in text and "\\n" in text
+        assert openmetrics_selfcheck(text) == []
+
+    def test_selfcheck_flags_missing_eof(self):
+        problems = openmetrics_selfcheck("# TYPE a counter\na_total 1\n")
+        assert any("EOF" in p for p in problems)
+
+    def test_selfcheck_flags_counter_without_total_suffix(self):
+        text = "# TYPE a counter\na 1\n# EOF\n"
+        assert openmetrics_selfcheck(text)
+
+    def test_selfcheck_flags_bad_sample_line(self):
+        text = "# TYPE a gauge\nnot a sample line at all ???\n# EOF\n"
+        assert openmetrics_selfcheck(text)
+
+    def test_selfcheck_flags_duplicate_type(self):
+        text = "# TYPE a gauge\n# TYPE a gauge\na 1\n# EOF\n"
+        problems = openmetrics_selfcheck(text)
+        assert any("duplicate" in p.lower() for p in problems)

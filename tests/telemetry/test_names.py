@@ -1,0 +1,50 @@
+"""Tests for the span/event name registry and its lint predicate."""
+
+from __future__ import annotations
+
+from repro.telemetry import EVENT_NAMES, EVENT_PREFIXES, SPAN_NAMES
+from repro.telemetry.names import is_known_event, is_known_span
+
+
+class TestRegistry:
+    def test_core_pipeline_spans_registered(self):
+        assert {
+            "run", "iteration", "sense", "partition", "migrate",
+            "compute", "ghost-exchange", "sync",
+        } <= SPAN_NAMES
+
+    def test_span_predicate(self):
+        assert is_known_span("compute")
+        assert not is_known_span("computee")
+
+    def test_event_predicate_exact_and_prefix(self):
+        assert is_known_event("cluster")
+        assert is_known_event("comm.exchange")  # via the comm. prefix
+        assert is_known_event("health.imbalance")
+        assert not is_known_event("made.up.event")
+
+    def test_prefixes_end_with_dot(self):
+        # A prefix without the dot would match unrelated names
+        # ("commission" under "comm").
+        assert all(p.endswith(".") for p in EVENT_PREFIXES)
+
+    def test_registries_disjoint_enough(self):
+        # "split" is deliberately both (span in the partitioner wrapper,
+        # event when boxes split); nothing else may overlap silently.
+        assert SPAN_NAMES & EVENT_NAMES <= {"split"}
+
+
+class TestLintTool:
+    def test_src_tree_is_clean(self):
+        """The committed tree must pass its own span-name lint."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        proc = subprocess.run(
+            [sys.executable, str(repo / "tools" / "check_span_names.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -135,3 +135,42 @@ class TestSources:
     def test_empty_trace_renders_placeholder(self):
         html = render_dashboard(Tracer())
         assert "<html" in html  # degrades gracefully, no crash
+
+
+class TestProfilingPanels:
+    """Comm heatmap + critical-path panel added by the profiling PR."""
+
+    def test_heatmap_and_critical_panel_render(self):
+        html = render_dashboard(traced_run())
+        assert "Communication matrix" in html
+        assert "Critical path" in html
+        # At least one shaded heatmap cell with a src->dst tooltip.
+        assert re.search(r"class='hm[ '][^>]*fill-opacity", html)
+        assert "rank 0 -&gt; rank" in html or "rank 0 -> rank" in html
+
+    def test_critical_path_spans_highlighted_on_timeline(self):
+        html = render_dashboard(traced_run())
+        crit_rects = re.findall(r"class='ph-[\w-]+ crit'", html)
+        assert crit_rects, "no timeline rects carry the critical outline"
+        assert "[critical path]" in html  # tooltip marks them textually
+        assert "critical path</span>" in html  # legend chip
+
+    def test_headroom_note_present(self):
+        html = render_dashboard(traced_run())
+        assert "Perfect rebalancing headroom" in html
+
+    def test_offline_render_matches_live_highlighting(self, tmp_path):
+        tracer = traced_run()
+        live = render_dashboard(tracer)
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer, path)
+        offline = render_dashboard(load_trace_records(path))
+        n = len(re.findall(r"class='ph-[\w-]+ crit'", live))
+        assert len(re.findall(r"class='ph-[\w-]+ crit'", offline)) == n
+
+    def test_trace_without_comm_events_degrades_gracefully(self):
+        html = render_dashboard(synthetic_tracer())
+        assert "no communication events" in html
+        # Synthetic add_span traces carry no critical_rank attrs either;
+        # the analyzer falls back to argmax-busy attribution.
+        assert "Critical path" in html

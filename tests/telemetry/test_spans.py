@@ -151,3 +151,93 @@ class TestActivation:
             with activate(tracer):
                 raise RuntimeError
         assert get_active_tracer() is NULL_TRACER
+
+
+class TestObservers:
+    def test_observer_sees_closed_span(self):
+        tracer = Tracer()
+        seen = []
+        tracer.add_observer(lambda s: seen.append((s.name, s.end_wall)))
+        with tracer.span("sense"):
+            pass
+        assert seen and seen[0][0] == "sense"
+        assert seen[0][1] is not None  # delivered after end stamped
+
+    def test_duplicate_registration_is_ignored(self):
+        tracer = Tracer()
+        seen = []
+
+        def cb(span):
+            seen.append(span.name)
+
+        tracer.add_observer(cb)
+        tracer.add_observer(cb)
+        tracer.add_span("compute", 0.0, 1.0)
+        assert seen == ["compute"]  # once per span, not per registration
+
+    def test_remove_unknown_observer_is_ignored(self):
+        Tracer().remove_observer(lambda s: None)
+
+    def test_observer_unsubscribing_itself_mid_notify(self):
+        # A one-shot observer must not make its *successor* miss the
+        # span it was registered for: _notify iterates a snapshot.
+        tracer = Tracer()
+        seen_first, seen_second = [], []
+
+        def one_shot(span):
+            seen_first.append(span.name)
+            tracer.remove_observer(one_shot)
+
+        def second(span):
+            seen_second.append(span.name)
+
+        tracer.add_observer(one_shot)
+        tracer.add_observer(second)
+        tracer.add_span("compute", 0.0, 1.0)
+        tracer.add_span("sync", 1.0, 2.0)
+        assert seen_first == ["compute"]  # fired once, then gone
+        assert seen_second == ["compute", "sync"]  # missed nothing
+
+    def test_observer_removing_a_peer_mid_notify(self):
+        tracer = Tracer()
+        calls = []
+
+        def assassin(span):
+            calls.append("assassin")
+            tracer.remove_observer(victim)
+
+        def victim(span):
+            calls.append("victim")
+
+        tracer.add_observer(assassin)
+        tracer.add_observer(victim)
+        tracer.add_span("compute", 0.0, 1.0)
+        # The victim still sees the span whose notify already started.
+        assert calls == ["assassin", "victim"]
+        tracer.add_span("sync", 1.0, 2.0)
+        assert calls == ["assassin", "victim", "assassin"]
+
+
+class TestNullSpan:
+    def test_attribute_surface_matches_real_span(self):
+        span = NULL_TRACER.span("anything")
+        assert span.name == "null"
+        assert span.span_id == 0
+        assert span.parent_id is None
+        assert span.pid == 0
+        assert span.rank is None
+        assert span.attributes == {}
+        assert span.wall_duration == 0.0
+        assert span.sim_duration == 0.0
+
+    def test_set_is_a_noop_and_leaks_nothing(self):
+        span = NULL_TRACER.span("a")
+        span.set(bytes=123, iteration=7)
+        assert span.attributes == {}  # shared dict must stay empty
+        # The singleton is shared: a second handle must be unaffected.
+        assert NULL_TRACER.add_span("b", 0.0, 1.0).attributes == {}
+
+    def test_context_manager_reraises(self):
+        with pytest.raises(KeyError):
+            with NULL_TRACER.span("x"):
+                raise KeyError("propagates through the null span")

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Fail if instrumentation emits span/event names outside the registry.
+
+Every span and event name the runtime emits must be declared in
+:mod:`repro.telemetry.names` -- the dashboard, the critical-path
+analyzer, the health monitor and the flamegraph exporter all dispatch on
+those strings, so a typo'd or ad-hoc name silently falls off every
+consumer.  This check walks the AST of ``src/`` for calls of the form::
+
+    tracer.span("name", ...)
+    tracer.add_span("name", ...)
+    tracer.event("name", ...)
+
+and fails when a literal first argument is not a registered span/event
+name (f-string names must start with a registered ``EVENT_PREFIXES``
+family such as ``health.`` or ``comm.``).  Non-literal names cannot be
+checked statically and are skipped.
+
+Run from the repo root (CI does)::
+
+    python tools/check_span_names.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.telemetry.names import (  # noqa: E402
+    EVENT_PREFIXES,
+    is_known_event,
+    is_known_span,
+)
+
+#: Method name -> which registry its first argument must satisfy.
+EMITTERS = {
+    "span": "span",
+    "add_span": "span",
+    "event": "event",
+}
+
+
+def _first_arg_literal(call: ast.Call) -> tuple[str | None, bool]:
+    """(literal text, is_prefix_only) of the call's name argument.
+
+    For f-strings only the leading constant chunk is static; it is
+    matched against the registered prefixes instead of the full names.
+    """
+    if not call.args:
+        return None, False
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value, False
+    if isinstance(arg, ast.JoinedStr) and arg.values:
+        head = arg.values[0]
+        if isinstance(head, ast.Constant) and isinstance(head.value, str):
+            return head.value, True
+    return None, False
+
+
+def check_file(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    rel = path.relative_to(REPO_ROOT)
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in EMITTERS:
+            continue
+        kind = EMITTERS[func.attr]
+        text, prefix_only = _first_arg_literal(node)
+        if text is None:
+            continue  # dynamic name: not statically checkable
+        if prefix_only:
+            ok = any(text.startswith(p) for p in EVENT_PREFIXES)
+        elif kind == "span":
+            ok = is_known_span(text)
+        else:
+            ok = is_known_event(text)
+        if not ok:
+            violations.append(
+                f"{rel}:{node.lineno}: .{func.attr}({text!r}) -- name not "
+                "in repro.telemetry.names; register it there so every "
+                "trace consumer sees it"
+            )
+    return violations
+
+
+def main() -> int:
+    violations: list[str] = []
+    for path in sorted((SRC / "repro").rglob("*.py")):
+        violations.extend(check_file(path))
+    if violations:
+        print("unregistered span/event names:")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("span/event names: all emissions registered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
