@@ -1,0 +1,117 @@
+"""Campaign-orchestrator throughput export: write ``BENCH_campaign.json``.
+
+Times the campaign subsystem end to end on a fixed 2 x 2 x 2 grid:
+
+- **run**: a fresh single-worker campaign -- cells/second through the
+  full per-cell durability sequence (fsynced store append, ledger
+  update, checksummed checkpoint publish).
+- **sharded run**: the same grid through a 2-process pool, for the
+  orchestration overhead of sharding.
+- **resume overhead**: re-opening the *completed* campaign and running
+  it again.  Every cell skips, so this isolates the fixed price of a
+  resume: checkpoint restore, ledger scan, store/compaction checks.
+
+The artifact feeds ``repro bench-diff`` alongside the other BENCH files;
+``cells_per_wall_second`` diffs as a rate (higher is better), the
+``*_wall_seconds`` keys as wall time (lower is better), and the
+simulated totals as drift (any change means cell records changed).
+
+Not pytest-collected -- CI runs it explicitly::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.campaign import CampaignRunner, CampaignSpec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_campaign.json"
+
+
+def bench_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="bench",
+        scenarios=("paper-four-node", "linux-static"),
+        partitioners=("greedy", "heterogeneous"),
+        seeds=(1, 2),
+        base_config={"iterations": 6},
+    )
+
+
+def timed_run(workers: int, max_cells: int | None = None):
+    scratch = Path(tempfile.mkdtemp(prefix="bench-campaign-"))
+    directory = scratch / "c"
+    try:
+        t0 = time.perf_counter()
+        result = CampaignRunner(
+            bench_spec(), directory, workers=workers
+        ).run(max_cells=max_cells)
+        wall = time.perf_counter() - t0
+        # Resume over the finished campaign: every cell skips.
+        t0 = time.perf_counter()
+        resumed = CampaignRunner(
+            bench_spec(), directory, workers=workers
+        ).run()
+        resume_wall = time.perf_counter() - t0
+        assert resumed["executed"] == 0, "resume re-executed cells"
+        store = (directory / "results.jsonl").read_text(encoding="utf-8")
+        sim_total = sum(
+            json.loads(line)["metrics"]["total_seconds"]
+            for line in store.splitlines()
+        )
+        return result, wall, resume_wall, sim_total
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def main() -> None:
+    spec = bench_spec()
+    rows = []
+    for label, workers in (("inline", 1), ("sharded", 2)):
+        best_wall = best_resume = float("inf")
+        sim_total = 0.0
+        for _ in range(3):
+            result, wall, resume_wall, sim = timed_run(workers)
+            best_wall = min(best_wall, wall)
+            best_resume = min(best_resume, resume_wall)
+            sim_total = sim
+        rows.append(
+            {
+                "mode": f"{label}@{workers}w",
+                "workers": workers,
+                "num_cells": spec.num_cells,
+                "run_wall_seconds": best_wall,
+                "cells_per_wall_second": spec.num_cells / best_wall,
+                "resume_overhead_wall_seconds": best_resume,
+                "sim_seconds_total": sim_total,
+            }
+        )
+        print(
+            f"{label}: {spec.num_cells} cells in {best_wall:.3f}s "
+            f"({spec.num_cells / best_wall:.1f} cells/s), "
+            f"resume overhead {best_resume * 1e3:.1f} ms, "
+            f"sim total {sim_total:.1f}s"
+        )
+    payload = {
+        "schema_version": 1,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "modes": rows,
+    }
+    OUTPUT.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Experiment campaigns: declarative grids, resumable runs, HTTP serving.
+
+The campaign subsystem turns one-off experiment scripts into a durable
+service workflow:
+
+- :mod:`repro.campaign.spec` -- the scenario × partitioner × seed ×
+  config grid and its stable cell keys.
+- :mod:`repro.campaign.state` -- the completed-cell ledger, checkpointed
+  through :mod:`repro.resilience.checkpoint` after every cell.
+- :mod:`repro.campaign.store` -- the append-then-compact JSONL result
+  store whose canonical form is byte-identical across worker counts and
+  interruptions.
+- :mod:`repro.campaign.orchestrator` -- the sharded (process-pool)
+  runner with exact resume.
+- :mod:`repro.campaign.serve` -- the ``repro serve`` HTTP layer with
+  ETag/signature response caching.
+"""
+
+from repro.campaign.orchestrator import (
+    CampaignRunner,
+    campaign_status,
+    execute_cell,
+)
+from repro.campaign.serve import CampaignServer, make_server
+from repro.campaign.spec import (
+    SPEC_SCHEMA_VERSION,
+    CampaignSpec,
+    CellSpec,
+    canonical_json,
+)
+from repro.campaign.state import CampaignCheckpointer, CampaignState
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "SPEC_SCHEMA_VERSION",
+    "CampaignSpec",
+    "CellSpec",
+    "canonical_json",
+    "CampaignState",
+    "CampaignCheckpointer",
+    "ResultStore",
+    "CampaignRunner",
+    "campaign_status",
+    "execute_cell",
+    "CampaignServer",
+    "make_server",
+]

@@ -1,0 +1,332 @@
+"""The campaign orchestrator: shard cells across workers, resume exactly.
+
+:class:`CampaignRunner` drives one campaign directory through its grid:
+
+- Cells already recorded in the restored :class:`CampaignState` are
+  skipped outright -- resuming an interrupted campaign re-executes
+  **zero** completed cells.
+- Pending cells are executed either inline (``workers <= 1``) or on a
+  fork-context :class:`~concurrent.futures.ProcessPoolExecutor`.  The
+  simulator is pure Python and cells are independent, so the pool is a
+  straight shard with no shared state.
+- Each completed cell is committed through one durability sequence:
+  fsynced append to the :class:`~repro.campaign.store.ResultStore` log,
+  then ``mark_completed`` in the state ledger, then an atomic
+  integrity-checksummed state checkpoint.  A kill between the append and
+  the checkpoint merely re-runs that one cell on resume; the store
+  dedupes by cell key, so the record count still comes out exact.
+- When the ledger covers the whole grid the store is compacted into its
+  canonical sorted form and the campaign is marked complete.
+
+The runner's tracer records one ``campaign.cell`` span per executed cell
+(simulated-time extent = the cell's simulated run length) plus
+``campaign.*`` events and counters; these are *orchestrator* telemetry
+and never enter the result store, which keeps the store deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.spec import CampaignSpec, CellSpec, canonical_json
+from repro.campaign.state import CampaignCheckpointer, CampaignState
+from repro.campaign.store import ResultStore
+from repro.runtime.experiment import (
+    CAMPAIGN_SCENARIOS,
+    campaign_cell,
+    make_partitioner,
+)
+from repro.telemetry.spans import NullTracer, Tracer
+from repro.util.errors import CampaignError, ExperimentError
+
+__all__ = ["CampaignRunner", "execute_cell", "campaign_status"]
+
+#: File names inside a campaign directory.
+META_NAME = "campaign.json"
+FAILURES_NAME = "failures.jsonl"
+CHECKPOINT_DIRNAME = "checkpoints"
+
+
+def execute_cell(cell_dict: dict[str, Any]) -> dict[str, Any]:
+    """Worker entrypoint: run one cell, return its canonical record.
+
+    Module-level so the process pool can pickle it by reference.  The
+    record is ``campaign_cell``'s deterministic output plus the cell key;
+    nothing worker- or wall-clock-specific is added.
+    """
+    cell = CellSpec.from_dict(cell_dict)
+    record = campaign_cell(
+        cell.scenario, cell.partitioner, cell.seed, dict(cell.config)
+    )
+    record["cell_key"] = cell.key
+    return record
+
+
+class CampaignRunner:
+    """Executes one :class:`CampaignSpec` inside one directory."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        directory: str | Path,
+        workers: int = 1,
+        tracer: Tracer | NullTracer | None = None,
+    ):
+        self._validate_axes(spec)
+        self.spec = spec
+        self.directory = Path(directory)
+        self.workers = max(1, int(workers))
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._claim_directory()
+        self.store = ResultStore(self.directory)
+        self.checkpointer = CampaignCheckpointer(
+            self.directory / CHECKPOINT_DIRNAME
+        )
+        self.state = self._restore_state()
+
+    # -- setup ---------------------------------------------------------
+    @staticmethod
+    def _validate_axes(spec: CampaignSpec) -> None:
+        """Reject unknown scenario/partitioner names before any cell runs.
+
+        A typo'd axis value should fail the campaign up front, not after
+        half the grid has burned CPU.
+        """
+        for scenario in spec.scenarios:
+            if scenario not in CAMPAIGN_SCENARIOS:
+                raise CampaignError(
+                    f"unknown scenario {scenario!r}; choose from "
+                    f"{sorted(CAMPAIGN_SCENARIOS)}"
+                )
+        for partitioner in spec.partitioners:
+            try:
+                make_partitioner(partitioner)
+            except ExperimentError as exc:
+                raise CampaignError(str(exc)) from exc
+
+    def _claim_directory(self) -> None:
+        """Write (or verify) the directory's campaign metadata."""
+        meta_path = self.directory / META_NAME
+        if meta_path.is_file():
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, OSError) as exc:
+                raise CampaignError(
+                    f"unreadable campaign metadata {meta_path}: {exc}"
+                ) from exc
+            recorded = meta.get("campaign_id")
+            if recorded != self.spec.campaign_id:
+                raise CampaignError(
+                    f"directory {self.directory} belongs to campaign "
+                    f"{recorded!r}, not {self.spec.campaign_id!r}; "
+                    f"use a fresh directory or the matching spec"
+                )
+            return
+        meta = {
+            "campaign_id": self.spec.campaign_id,
+            "spec": self.spec.to_dict(),
+        }
+        tmp = meta_path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(meta, sort_keys=True, indent=1) + "\n",
+            encoding="utf-8",
+        )
+        tmp.replace(meta_path)
+
+    def _restore_state(self) -> CampaignState:
+        state = self.checkpointer.load_latest()
+        if state is None:
+            return CampaignState(self.spec.campaign_id)
+        if state.campaign_id != self.spec.campaign_id:
+            raise CampaignError(
+                f"checkpointed state in {self.directory} belongs to "
+                f"campaign {state.campaign_id!r}, not "
+                f"{self.spec.campaign_id!r}"
+            )
+        return state
+
+    # -- execution -----------------------------------------------------
+    def pending_cells(self) -> list[CellSpec]:
+        return [
+            c for c in self.spec.cells() if not self.state.is_completed(c.key)
+        ]
+
+    def run(self, max_cells: int | None = None) -> dict[str, Any]:
+        """Execute up to ``max_cells`` pending cells; return a status dict.
+
+        ``max_cells`` is the deterministic interrupt used by the resume
+        tests and the CI kill+resume stage: the runner stops after that
+        many *newly executed* cells exactly as if the process had died
+        there, except cleanly.
+        """
+        all_cells = self.spec.cells()
+        pending = self.pending_cells()
+        skipped = len(all_cells) - len(pending)
+        if max_cells is not None:
+            pending = pending[: max(0, int(max_cells))]
+
+        self.tracer.event(
+            "campaign.started",
+            campaign_id=self.spec.campaign_id,
+            num_cells=len(all_cells),
+            pending=len(pending),
+            skipped=skipped,
+            workers=self.workers,
+        )
+        metrics = self.tracer.metrics
+        metrics.counter("campaign.cells_skipped").inc(skipped)
+
+        wall_start = time.perf_counter()
+        executed = failed = 0
+        if self.workers == 1:
+            executed, failed = self._run_inline(pending)
+        else:
+            executed, failed = self._run_pool(pending)
+        wall_elapsed = time.perf_counter() - wall_start
+
+        complete = self.state.num_completed == len(all_cells)
+        if complete:
+            self.store.compact()
+            self.tracer.event(
+                "campaign.completed",
+                campaign_id=self.spec.campaign_id,
+                num_cells=len(all_cells),
+            )
+        return {
+            "campaign_id": self.spec.campaign_id,
+            "num_cells": len(all_cells),
+            "completed": self.state.num_completed,
+            "executed": executed,
+            "skipped": skipped,
+            "failed": failed,
+            "complete": complete,
+            "wall_seconds": wall_elapsed,
+        }
+
+    def _run_inline(self, pending: list[CellSpec]) -> tuple[int, int]:
+        executed = failed = 0
+        for cell in pending:
+            t0 = time.perf_counter()
+            try:
+                record = execute_cell(cell.to_dict())
+            except Exception as exc:  # noqa: BLE001 - cell isolation
+                self._commit_failure(cell, exc)
+                failed += 1
+                continue
+            self._commit_success(cell, record, time.perf_counter() - t0)
+            executed += 1
+        return executed, failed
+
+    def _run_pool(self, pending: list[CellSpec]) -> tuple[int, int]:
+        executed = failed = 0
+        # Fork start method: workers inherit the imported simulator
+        # modules instead of re-importing them per process, and the
+        # worker function only ever receives plain dicts.
+        ctx = get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=ctx
+        ) as pool:
+            started = {
+                pool.submit(execute_cell, cell.to_dict()): (
+                    cell,
+                    time.perf_counter(),
+                )
+                for cell in pending
+            }
+            outstanding = set(started)
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    cell, t0 = started[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        self._commit_failure(cell, exc)
+                        failed += 1
+                        continue
+                    self._commit_success(
+                        cell, future.result(), time.perf_counter() - t0
+                    )
+                    executed += 1
+        return executed, failed
+
+    # -- per-cell commit ----------------------------------------------
+    def _commit_success(
+        self, cell: CellSpec, record: dict[str, Any], wall_seconds: float
+    ) -> None:
+        """The durability sequence: store append -> ledger -> checkpoint."""
+        self.store.append(record)
+        ordinal = self.state.mark_completed(cell.key)
+        self.checkpointer.save(self.state)
+        sim_seconds = float(
+            record.get("metrics", {}).get("total_seconds", 0.0)
+        )
+        self.tracer.add_span(
+            "campaign.cell",
+            start_sim=0.0,
+            end_sim=sim_seconds,
+            cell_key=cell.key,
+            scenario=cell.scenario,
+            partitioner=cell.partitioner,
+            seed=cell.seed,
+            ordinal=ordinal,
+        )
+        metrics = self.tracer.metrics
+        metrics.counter("campaign.cells_completed").inc()
+        metrics.histogram("campaign.cell_wall_seconds").observe(wall_seconds)
+        metrics.histogram("campaign.cell_sim_seconds").observe(sim_seconds)
+
+    def _commit_failure(self, cell: CellSpec, exc: BaseException) -> None:
+        """Failed cells go to the ledger + side log, never the store."""
+        message = f"{type(exc).__name__}: {exc}"
+        self.state.mark_failed(cell.key, message)
+        self.checkpointer.save(self.state)
+        entry = {"cell_key": cell.key, "error": message}
+        with open(
+            self.directory / FAILURES_NAME, "a", encoding="utf-8"
+        ) as fh:
+            fh.write(canonical_json(entry) + "\n")
+        self.tracer.event(
+            "campaign.cell_failed", cell_key=cell.key, error=message
+        )
+        self.tracer.metrics.counter("campaign.cells_failed").inc()
+
+
+# ----------------------------------------------------------------------
+def campaign_status(directory: str | Path) -> dict[str, Any]:
+    """Inspect a campaign directory without executing anything."""
+    directory = Path(directory)
+    meta_path = directory / META_NAME
+    if not meta_path.is_file():
+        raise CampaignError(
+            f"{directory} is not a campaign directory (no {META_NAME})"
+        )
+    try:
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        spec = CampaignSpec.from_dict(meta["spec"])
+    except (json.JSONDecodeError, OSError, KeyError) as exc:
+        raise CampaignError(
+            f"unreadable campaign metadata {meta_path}: {exc}"
+        ) from exc
+    checkpointer = CampaignCheckpointer(directory / CHECKPOINT_DIRNAME)
+    state = checkpointer.load_latest()
+    completed = state.num_completed if state is not None else 0
+    failed = dict(state.failed) if state is not None else {}
+    store = ResultStore(directory)
+    return {
+        "campaign_id": spec.campaign_id,
+        "name": spec.name,
+        "num_cells": spec.num_cells,
+        "completed": completed,
+        "failed": failed,
+        "complete": completed == spec.num_cells,
+        "store_records": len(store),
+        "compacted": store.results_path.is_file(),
+    }

@@ -1,0 +1,348 @@
+"""``repro serve``: a stdlib HTTP front over campaign directories.
+
+Serves every campaign directory found under one root (a *campaign
+directory* is any child directory containing ``campaign.json``; its
+directory name is its URL id).  Routes:
+
+- ``GET /healthz`` -- liveness probe.
+- ``GET /campaigns`` -- list campaigns with progress.
+- ``GET /campaigns/<id>`` -- one campaign's status.
+- ``GET /campaigns/<id>/cells`` -- cell keys + index summaries.
+- ``GET /campaigns/<id>/cells/<key>`` -- one cell's full record.
+- ``GET /campaigns/<id>/report`` -- self-contained HTML report.
+- ``GET /campaigns/<id>/dashboard`` -- the telemetry HTML dashboard,
+  rendered from the campaign's ``events.jsonl`` trace when present.
+
+Rendered responses are cached per (campaign, route) keyed on the result
+store's file-stat signature: a repeat request for an unchanged store is
+answered from memory (well under the 50 ms budget) and carries an ETag,
+so a client sending ``If-None-Match`` gets a body-less ``304``.  Any
+append or compaction changes the signature and invalidates the entry.
+
+Everything here is the standard library -- ``http.server`` threading
+server, no framework -- matching the repo's no-new-dependencies rule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import html
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+from urllib.parse import unquote, urlparse
+
+from repro.campaign.orchestrator import META_NAME, campaign_status
+from repro.campaign.store import ResultStore
+from repro.util.errors import CampaignError
+
+__all__ = ["CampaignServer", "make_server"]
+
+#: URL ids are directory names; reject anything that could escape root.
+_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _etag_of(signature: tuple) -> str:
+    digest = hashlib.sha256(repr(signature).encode("utf-8")).hexdigest()
+    return f'"{digest[:24]}"'
+
+
+class _RenderCache:
+    """Per-(campaign, route) cache of rendered bodies, signature-keyed."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, str], tuple[tuple, str, bytes, str]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self, campaign: str, route: str, signature: tuple
+    ) -> tuple[str, bytes, str] | None:
+        entry = self._entries.get((campaign, route))
+        if entry is not None and entry[0] == signature:
+            self.hits += 1
+            return entry[1], entry[2], entry[3]
+        self.misses += 1
+        return None
+
+    def put(
+        self,
+        campaign: str,
+        route: str,
+        signature: tuple,
+        body: bytes,
+        content_type: str,
+    ) -> tuple[str, bytes, str]:
+        etag = _etag_of(signature)
+        self._entries[(campaign, route)] = (
+            signature,
+            etag,
+            body,
+            content_type,
+        )
+        return etag, body, content_type
+
+
+class CampaignServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one campaign root directory."""
+
+    daemon_threads = True
+
+    def __init__(self, root: str | Path, host: str = "127.0.0.1", port: int = 0):
+        self.root = Path(root)
+        if not self.root.is_dir():
+            raise CampaignError(f"campaign root is not a directory: {self.root}")
+        self.cache = _RenderCache()
+        super().__init__((host, port), _Handler)
+
+    # -- campaign discovery -------------------------------------------
+    def campaign_ids(self) -> list[str]:
+        return sorted(
+            p.name
+            for p in self.root.iterdir()
+            if p.is_dir() and (p / META_NAME).is_file()
+        )
+
+    def campaign_dir(self, campaign_id: str) -> Path:
+        if not _ID_RE.match(campaign_id):
+            raise CampaignError(f"invalid campaign id {campaign_id!r}")
+        directory = self.root / campaign_id
+        if not (directory / META_NAME).is_file():
+            raise CampaignError(f"no campaign {campaign_id!r} under {self.root}")
+        return directory
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: CampaignServer
+
+    # Quiet by default: access logs go nowhere unless subclassed.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    # -- response plumbing --------------------------------------------
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        etag: str | None = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if etag is not None:
+            self.send_header("ETag", etag)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = (json.dumps(payload, sort_keys=True, indent=1) + "\n").encode(
+            "utf-8"
+        )
+        self._send(status, body, "application/json; charset=utf-8")
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _send_cached(
+        self,
+        campaign: str,
+        route: str,
+        signature: tuple,
+        render: Any,
+        content_type: str,
+    ) -> None:
+        """Serve from the render cache; honour ``If-None-Match``."""
+        cache = self.server.cache
+        hit = cache.get(campaign, route, signature)
+        if hit is None:
+            body = render()
+            if isinstance(body, str):
+                body = body.encode("utf-8")
+            etag, body, content_type = cache.put(
+                campaign, route, signature, body, content_type
+            )
+        else:
+            etag, body, content_type = hit
+        if self.headers.get("If-None-Match") == etag:
+            self.send_response(304)
+            self.send_header("ETag", etag)
+            self.end_headers()
+            return
+        self._send(200, body, content_type, etag=etag)
+
+    # -- routing -------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = unquote(urlparse(self.path).path)
+        try:
+            self._route(path)
+        except CampaignError as exc:
+            self._send_error_json(404, str(exc))
+        except BrokenPipeError:
+            pass
+        except Exception as exc:  # noqa: BLE001 - one request, one error
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+
+    def _route(self, path: str) -> None:
+        if path in ("/healthz", "/healthz/"):
+            self._send_json({"status": "ok"})
+            return
+        parts = [p for p in path.split("/") if p]
+        if not parts or parts[0] != "campaigns":
+            self._send_error_json(404, f"no route {path!r}")
+            return
+        if len(parts) == 1:
+            self._list_campaigns()
+            return
+        campaign_id = parts[1]
+        directory = self.server.campaign_dir(campaign_id)
+        if len(parts) == 2:
+            self._send_json(campaign_status(directory))
+        elif parts[2] == "cells" and len(parts) == 3:
+            self._list_cells(campaign_id, directory)
+        elif parts[2] == "cells" and len(parts) == 4:
+            self._send_json(ResultStore(directory).get(parts[3]))
+        elif parts[2] == "report" and len(parts) == 3:
+            self._report(campaign_id, directory)
+        elif parts[2] == "dashboard" and len(parts) == 3:
+            self._dashboard(campaign_id, directory)
+        else:
+            self._send_error_json(404, f"no route {path!r}")
+
+    # -- route bodies --------------------------------------------------
+    def _list_campaigns(self) -> None:
+        rows = []
+        for campaign_id in self.server.campaign_ids():
+            try:
+                status = campaign_status(self.server.root / campaign_id)
+            except CampaignError:
+                continue
+            rows.append({"id": campaign_id, **status})
+        self._send_json({"campaigns": rows})
+
+    def _list_cells(self, campaign_id: str, directory: Path) -> None:
+        store = ResultStore(directory)
+
+        def render() -> bytes:
+            index = store._load_index()
+            if index is not None:
+                cells = index.get("cells", {})
+            else:
+                cells = {
+                    r["cell_key"]: {
+                        k: r.get(k)
+                        for k in ("scenario", "partitioner", "seed")
+                    }
+                    for r in store.records()
+                }
+            payload = {
+                "campaign": campaign_id,
+                "num_cells": len(cells),
+                "cells": cells,
+            }
+            return (
+                json.dumps(payload, sort_keys=True, indent=1) + "\n"
+            ).encode("utf-8")
+
+        self._send_cached(
+            campaign_id,
+            "cells",
+            store.signature(),
+            render,
+            "application/json; charset=utf-8",
+        )
+
+    def _report(self, campaign_id: str, directory: Path) -> None:
+        store = ResultStore(directory)
+
+        def render() -> str:
+            return _render_report(
+                campaign_id, campaign_status(directory), store.summary()
+            )
+
+        self._send_cached(
+            campaign_id,
+            "report",
+            store.signature(),
+            render,
+            "text/html; charset=utf-8",
+        )
+
+    def _dashboard(self, campaign_id: str, directory: Path) -> None:
+        trace_path = directory / "events.jsonl"
+        if not trace_path.is_file():
+            raise CampaignError(
+                f"campaign {campaign_id!r} has no events.jsonl trace; "
+                f"run it with tracing enabled first"
+            )
+        st = trace_path.stat()
+        signature = (("events.jsonl", st.st_mtime_ns, st.st_size),)
+
+        def render() -> str:
+            from repro.telemetry.report import render_dashboard
+
+            return render_dashboard(
+                trace_path, title=f"Campaign {campaign_id}"
+            )
+
+        self._send_cached(
+            campaign_id,
+            "dashboard",
+            signature,
+            render,
+            "text/html; charset=utf-8",
+        )
+
+
+# ----------------------------------------------------------------------
+def _render_report(
+    campaign_id: str, status: dict[str, Any], summary: dict[str, Any]
+) -> str:
+    """A small self-contained HTML report: progress + grid aggregates."""
+    esc = html.escape
+    rows = "".join(
+        f"<tr><td>{esc(str(g['scenario']))}</td>"
+        f"<td>{esc(str(g['partitioner']))}</td>"
+        f"<td>{g['cells']}</td>"
+        f"<td>{g['mean_total_seconds']:.3f}</td></tr>"
+        for g in summary["grid"]
+    )
+    failed = status.get("failed", {})
+    failed_html = ""
+    if failed:
+        items = "".join(
+            f"<li><code>{esc(k)}</code>: {esc(v)}</li>"
+            for k, v in sorted(failed.items())
+        )
+        failed_html = f"<h2>Failed cells</h2><ul>{items}</ul>"
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>Campaign {esc(campaign_id)}</title>
+<style>
+ body {{ font-family: system-ui, sans-serif; margin: 2rem; }}
+ table {{ border-collapse: collapse; }}
+ td, th {{ border: 1px solid #ccc; padding: .3rem .6rem; text-align: left; }}
+ .muted {{ color: #666; }}
+</style></head><body>
+<h1>Campaign {esc(campaign_id)}</h1>
+<p class="muted">{esc(str(status.get('name', '')))} &mdash;
+{status.get('completed', 0)}/{status.get('num_cells', 0)} cells completed
+{'(complete)' if status.get('complete') else '(in progress)'}</p>
+<h2>Grid aggregates (simulated seconds)</h2>
+<table>
+<tr><th>scenario</th><th>partitioner</th><th>cells</th>
+<th>mean total</th></tr>
+{rows}
+</table>
+{failed_html}
+</body></html>
+"""
+
+
+def make_server(
+    root: str | Path, host: str = "127.0.0.1", port: int = 8765
+) -> CampaignServer:
+    """Build a ready-to-serve :class:`CampaignServer` (call serve_forever)."""
+    return CampaignServer(root, host=host, port=port)

@@ -1,0 +1,202 @@
+"""The campaign result store: append-only JSONL log + compacted index.
+
+Two-file design, mirroring how log-structured stores separate ingest
+from serving:
+
+- ``results.log.jsonl`` -- the *ingest log*.  Workers complete cells in
+  nondeterministic order, so records are appended (and fsynced) here the
+  moment they arrive; a crash loses at most the line being written, and
+  a torn final line is skipped on read rather than poisoning the store.
+- ``results.jsonl`` + ``index.json`` -- the *canonical store*.
+  :meth:`ResultStore.compact` merges the log, dedupes by cell key, sorts
+  by key and rewrites both atomically.  Because every record is a
+  deterministic function of its cell spec (see
+  :func:`repro.runtime.experiment.campaign_cell`) and the canonical
+  encoding is fixed, the compacted store is **byte-identical** no matter
+  how many workers ran the campaign or how often it was interrupted --
+  the property the determinism acceptance test pins.
+
+The index maps cell key -> byte offset/length into ``results.jsonl``
+plus a summary row, so the HTTP layer answers cell queries with one
+``seek`` instead of a scan.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.campaign.spec import canonical_json
+from repro.util.errors import CampaignError
+
+__all__ = ["ResultStore", "RESULTS_NAME", "LOG_NAME", "INDEX_NAME"]
+
+RESULTS_NAME = "results.jsonl"
+LOG_NAME = "results.log.jsonl"
+INDEX_NAME = "index.json"
+
+#: Fields copied from each record into its index summary row.
+_SUMMARY_FIELDS = ("scenario", "partitioner", "seed")
+
+
+def _encode(record: dict[str, Any]) -> str:
+    return canonical_json(record) + "\n"
+
+
+class ResultStore:
+    """Per-cell result records for one campaign directory."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.results_path = self.directory / RESULTS_NAME
+        self.log_path = self.directory / LOG_NAME
+        self.index_path = self.directory / INDEX_NAME
+
+    # -- ingest --------------------------------------------------------
+    def append(self, record: dict[str, Any]) -> None:
+        """Durably append one completed-cell record to the ingest log."""
+        if "cell_key" not in record:
+            raise CampaignError("result record is missing 'cell_key'")
+        with open(self.log_path, "a", encoding="utf-8") as fh:
+            fh.write(_encode(record))
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # -- reads ---------------------------------------------------------
+    def _read_jsonl(self, path: Path) -> Iterator[dict[str, Any]]:
+        if not path.is_file():
+            return
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn tail line from a crash mid-append: the cell
+                    # was never marked completed (the state checkpoint
+                    # happens after the fsync), so dropping it is safe.
+                    continue
+                if isinstance(record, dict) and "cell_key" in record:
+                    yield record
+
+    def records(self) -> list[dict[str, Any]]:
+        """All records, canonical first, deduped by cell key (first wins)."""
+        seen: set[str] = set()
+        out: list[dict[str, Any]] = []
+        for path in (self.results_path, self.log_path):
+            for record in self._read_jsonl(path):
+                key = record["cell_key"]
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(record)
+        return out
+
+    def keys(self) -> list[str]:
+        return [r["cell_key"] for r in self.records()]
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    def get(self, key: str) -> dict[str, Any]:
+        """One record by cell key; indexed lookup when compacted."""
+        index = self._load_index()
+        if index is not None and key in index.get("cells", {}):
+            entry = index["cells"][key]
+            with open(self.results_path, "rb") as fh:
+                fh.seek(entry["offset"])
+                blob = fh.read(entry["length"])
+            return json.loads(blob.decode("utf-8"))
+        for record in self.records():
+            if record["cell_key"] == key:
+                return record
+        raise CampaignError(f"no result record for cell {key!r}")
+
+    def _load_index(self) -> dict[str, Any] | None:
+        if not self.index_path.is_file():
+            return None
+        try:
+            return json.loads(self.index_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            return None  # stale/torn index: fall back to scanning
+
+    # -- compaction ----------------------------------------------------
+    def compact(self) -> dict[str, Any]:
+        """Merge log into the canonical store; rewrite the index.
+
+        Records are sorted by cell key and re-encoded canonically, then
+        both files are published atomically (tmp + rename).  Returns the
+        fresh index payload.
+        """
+        records = sorted(self.records(), key=lambda r: r["cell_key"])
+        index: dict[str, Any] = {"num_cells": len(records), "cells": {}}
+        offset = 0
+        lines: list[str] = []
+        for record in records:
+            line = _encode(record)
+            nbytes = len(line.encode("utf-8"))
+            summary = {
+                k: record.get(k) for k in _SUMMARY_FIELDS if k in record
+            }
+            index["cells"][record["cell_key"]] = {
+                "offset": offset,
+                "length": nbytes,
+                **summary,
+            }
+            offset += nbytes
+            lines.append(line)
+
+        tmp_results = self.results_path.with_suffix(".tmp")
+        tmp_results.write_text("".join(lines), encoding="utf-8")
+        tmp_results.replace(self.results_path)
+        tmp_index = self.index_path.with_suffix(".tmp")
+        tmp_index.write_text(
+            json.dumps(index, sort_keys=True, indent=1) + "\n",
+            encoding="utf-8",
+        )
+        tmp_index.replace(self.index_path)
+        self.log_path.unlink(missing_ok=True)
+        return index
+
+    # -- serving helpers ----------------------------------------------
+    def signature(self) -> tuple:
+        """Cheap change token over the store's files (for ETag caching).
+
+        Any append, compaction or rewrite bumps an mtime or size, so a
+        cached render keyed on this tuple is invalidated exactly when
+        the underlying data can have changed.
+        """
+        sig = []
+        for path in (self.results_path, self.log_path, self.index_path):
+            try:
+                st = path.stat()
+                sig.append((path.name, st.st_mtime_ns, st.st_size))
+            except FileNotFoundError:
+                sig.append((path.name, 0, 0))
+        return tuple(sig)
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregates for status lines and the served report."""
+        records = self.records()
+        by_pair: dict[tuple[str, str], list[float]] = {}
+        for record in records:
+            metrics = record.get("metrics", {})
+            pair = (record.get("scenario"), record.get("partitioner"))
+            by_pair.setdefault(pair, []).append(
+                float(metrics.get("total_seconds", 0.0))
+            )
+        grid = [
+            {
+                "scenario": scenario,
+                "partitioner": partitioner,
+                "cells": len(times),
+                "mean_total_seconds": sum(times) / len(times),
+            }
+            for (scenario, partitioner), times in sorted(by_pair.items())
+        ]
+        return {"num_cells": len(records), "grid": grid}

@@ -14,6 +14,19 @@ Usage::
     python -m repro top fig10            # live per-rank terminal view
     python -m repro bench-diff OLD.json NEW.json      # perf trajectory
     python -m repro chaos --nodes 8 --kill 2          # fault injection
+    python -m repro campaign run SPEC.json --dir campaigns/a --workers 4
+    python -m repro campaign status campaigns/a       # progress ledger
+    python -m repro campaign resume campaigns/a --workers 4
+    python -m repro serve --root campaigns --port 8765  # HTTP front
+
+``campaign`` executes a scenario × partitioner × seed × config grid
+(one JSON spec file) sharded across worker processes, checkpointing the
+completed-cell ledger after every cell: a run killed at any point --
+SIGKILL included -- resumes with ``campaign resume`` re-executing zero
+completed cells, and the compacted result store is byte-identical to an
+uninterrupted single-worker run.  ``serve`` fronts a directory of
+campaigns with a stdlib HTTP API (status, per-cell records, HTML report
+and dashboard) with ETag-validated response caching.
 
 ``profile`` reconstructs the per-iteration critical path from the span
 stream (which rank's compute/exchange gated each step, slack per rank,
@@ -591,6 +604,136 @@ def _run_chaos(
     return 0 if ok else 1
 
 
+def _load_campaign_spec_for_dir(directory: Path):
+    """Recover the spec a campaign directory was created from."""
+    from repro.campaign.orchestrator import META_NAME
+    from repro.campaign.spec import CampaignSpec
+    from repro.util.errors import CampaignError
+
+    meta_path = directory / META_NAME
+    if not meta_path.is_file():
+        raise CampaignError(
+            f"{directory} is not a campaign directory (no {META_NAME}); "
+            f"start one with 'repro campaign run SPEC --dir {directory}'"
+        )
+    try:
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        return CampaignSpec.from_dict(meta["spec"])
+    except (json.JSONDecodeError, OSError, KeyError) as exc:
+        raise CampaignError(
+            f"unreadable campaign metadata {meta_path}: {exc}"
+        ) from exc
+
+
+def _print_campaign_result(result: dict) -> None:
+    state = "complete" if result["complete"] else "interrupted"
+    print(
+        f"campaign {result['campaign_id']}: "
+        f"{result['completed']}/{result['num_cells']} cells ({state})"
+    )
+    print(
+        f"  executed {result['executed']}, skipped {result['skipped']} "
+        f"already-done, failed {result['failed']}, "
+        f"{result['wall_seconds']:.2f}s wall"
+    )
+
+
+def _execute_campaign(
+    spec, directory: Path, workers: int, max_cells: int | None
+) -> int:
+    """Shared body of ``campaign run`` and ``campaign resume``."""
+    from repro.campaign import CampaignRunner
+
+    tracer = Tracer()
+    runner = CampaignRunner(spec, directory, workers=workers, tracer=tracer)
+    result = runner.run(max_cells=max_cells)
+    write_jsonl(tracer, directory / "events.jsonl")
+    _print_campaign_result(result)
+    if result["complete"]:
+        print(f"  result store: {runner.store.results_path}")
+    else:
+        print(
+            f"  resume with: repro campaign resume {directory} "
+            f"--workers {workers}"
+        )
+    return 1 if result["failed"] else 0
+
+
+def _run_campaign(args) -> int:
+    """Dispatch ``repro campaign run|status|resume``; errors exit 2."""
+    from repro.campaign import CampaignSpec, campaign_status
+    from repro.util.errors import CampaignError
+
+    try:
+        if args.campaign_command == "run":
+            spec = CampaignSpec.from_file(args.spec)
+            return _execute_campaign(
+                spec, Path(args.dir), args.workers, args.max_cells
+            )
+        if args.campaign_command == "resume":
+            directory = Path(args.dir)
+            spec = _load_campaign_spec_for_dir(directory)
+            return _execute_campaign(
+                spec, directory, args.workers, args.max_cells
+            )
+        if args.campaign_command == "status":
+            status = campaign_status(Path(args.dir))
+            state = "complete" if status["complete"] else "in progress"
+            print(
+                f"campaign {status['campaign_id']} ({status['name']}): "
+                f"{status['completed']}/{status['num_cells']} cells, {state}"
+            )
+            print(
+                f"  store records: {status['store_records']}"
+                + (" (compacted)" if status["compacted"] else "")
+            )
+            for key, error in sorted(status["failed"].items()):
+                print(f"  failed {key}: {error}")
+            return 1 if status["failed"] else 0
+    except CampaignError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        "usage: repro campaign {run,status,resume} ...", file=sys.stderr
+    )
+    return 2
+
+
+def _run_serve(root: str, host: str, port: int) -> int:
+    """Serve campaign directories over HTTP until interrupted."""
+    import signal
+
+    from repro.campaign import make_server
+    from repro.util.errors import CampaignError
+
+    try:
+        server = make_server(root, host=host, port=port)
+    except CampaignError as exc:
+        print(f"serve error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:  # port in use, permission denied ...
+        print(f"could not bind {host}:{port}: {exc}", file=sys.stderr)
+        return 2
+
+    def _terminate(signum, frame):
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)
+    bound_port = server.server_address[1]
+    ids = server.campaign_ids()
+    print(f"serving {len(ids)} campaign(s) from {root} "
+          f"on http://{host}:{bound_port}")
+    for campaign_id in ids:
+        print(f"  http://{host}:{bound_port}/campaigns/{campaign_id}/report")
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except (KeyboardInterrupt, SystemExit):
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def _run_bench_diff(
     old: str, new: str, tolerance: float, fail_on_regression: bool,
     verbose: bool,
@@ -713,6 +856,59 @@ def main(argv: list[str] | None = None) -> int:
         "--out-dir", default="traces",
         help="directory for trace + dashboard artifacts (default: traces/)",
     )
+    campaign = sub.add_parser(
+        "campaign",
+        help="run/resume/inspect a resumable experiment-campaign grid",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command")
+    crun = campaign_sub.add_parser(
+        "run", help="execute a campaign spec (JSON grid) in a directory"
+    )
+    crun.add_argument("spec", help="path to a campaign spec JSON file")
+    crun.add_argument(
+        "--dir", required=True,
+        help="campaign directory (result store + checkpoints)",
+    )
+    crun.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes to shard cells across (default: 1)",
+    )
+    crun.add_argument(
+        "--max-cells", type=int, default=None,
+        help="stop after N newly executed cells (deterministic interrupt)",
+    )
+    cresume = campaign_sub.add_parser(
+        "resume",
+        help="continue an interrupted campaign (zero cells re-executed)",
+    )
+    cresume.add_argument("dir", help="existing campaign directory")
+    cresume.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes to shard cells across (default: 1)",
+    )
+    cresume.add_argument(
+        "--max-cells", type=int, default=None,
+        help="stop after N newly executed cells (deterministic interrupt)",
+    )
+    cstatus = campaign_sub.add_parser(
+        "status", help="print a campaign directory's progress ledger"
+    )
+    cstatus.add_argument("dir", help="existing campaign directory")
+    serve = sub.add_parser(
+        "serve",
+        help="serve campaign directories over HTTP (status, cells, "
+        "reports, dashboards) with ETag response caching",
+    )
+    serve.add_argument(
+        "--root", default="campaigns",
+        help="directory containing campaign directories (default: campaigns/)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765, help="bind port (default: 8765)"
+    )
     bench = sub.add_parser(
         "bench-diff",
         help="compare two BENCH_*.json artifacts; flag perf regressions",
@@ -771,6 +967,10 @@ def main(argv: list[str] | None = None) -> int:
             args.nodes, args.kill, args.steps, args.seed,
             args.checkpoint_interval, args.out_dir,
         )
+    if args.command == "campaign":
+        return _run_campaign(args)
+    if args.command == "serve":
+        return _run_serve(args.root, args.host, args.port)
     if args.command == "bench-diff":
         return _run_bench_diff(
             args.old, args.new, args.tolerance, args.fail_on_regression,

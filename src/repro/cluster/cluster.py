@@ -65,6 +65,11 @@ class Cluster:
         self.clock = SimClock()
         self.tracer = NULL_TRACER
         self._generators: list[SyntheticLoadGenerator] = []
+        #: node -> its generators; every per-node query walks only this
+        #: bucket instead of scanning the full generator list (O(G) per
+        #: node state read becomes O(G_node), which matters once sensing
+        #: probes every node of a large, heavily loaded cluster).
+        self._generators_by_node: dict[int, list[SyntheticLoadGenerator]] = {}
         #: node -> sim time it went down (absent = up)
         self._down_since: dict[int, float] = {}
         #: node -> multiplicative NIC derating in (0, 1] (absent = 1.0)
@@ -109,6 +114,7 @@ class Cluster:
                 f"{self.num_nodes} nodes"
             )
         self._generators.append(gen)
+        self._generators_by_node.setdefault(gen.node, []).append(gen)
         if self.tracer.enabled:
             self._trace_generator(gen)
 
@@ -189,7 +195,9 @@ class Cluster:
     def load_level(self, node: int, t: float | None = None) -> float:
         """Total synthetic load on ``node`` at time ``t`` (default: now)."""
         t = self.clock.now if t is None else t
-        return sum(g.level_at(t) for g in self._generators if g.node == node)
+        return sum(
+            g.level_at(t) for g in self._generators_by_node.get(node, ())
+        )
 
     def state_of(self, node: int, t: float | None = None) -> NodeState:
         """Ground-truth resource state of one node.
@@ -210,14 +218,9 @@ class Cluster:
                 bandwidth_mbps=0.0,
                 load_level=level,
             )
-        mem_used = OS_BASE_MEMORY_MB + sum(
-            g.memory_at(t) for g in self._generators if g.node == node
-        )
-        bw_consumed = sum(
-            g.bandwidth_fraction_at(t)
-            for g in self._generators
-            if g.node == node
-        )
+        node_gens = self._generators_by_node.get(node, ())
+        mem_used = OS_BASE_MEMORY_MB + sum(g.memory_at(t) for g in node_gens)
+        bw_consumed = sum(g.bandwidth_fraction_at(t) for g in node_gens)
         bw_share = max(0.05, 1.0 - bw_consumed)  # >= 5% stays deliverable
         bw_share *= self._link_derate.get(node, 1.0)
         return NodeState(

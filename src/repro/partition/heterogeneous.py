@@ -23,7 +23,7 @@ The residual imbalance this leaves (from unsplittable boxes) is the
 
 from __future__ import annotations
 
-import bisect
+import heapq
 from typing import Sequence
 
 import numpy as np
@@ -79,8 +79,14 @@ class ACEHeterogeneous(Partitioner):
         if len(boxes) == 0:
             return result
 
-        # Work-ascending queue of (work, seq, box); seq is a tie-breaker
-        # keeping the order deterministic for equal-work boxes.
+        # Work-ascending priority queue of (work, seq, box); seq is a
+        # tie-breaker keeping the order deterministic for equal-work boxes
+        # (initial boxes tie-break by corner key, split remainders enter
+        # after existing equal-work entries, exactly as the old sorted
+        # list did).  A heap makes every pop/push O(log n) where the old
+        # ``list.pop(0)`` + ``bisect.insort`` pair was O(n) each -- the
+        # difference between quadratic and linearithmic assignment on the
+        # extreme-scale box counts the roadmap targets.
         queue: list[tuple[float, int, Box]] = []
         for seq, i in enumerate(
             sorted(
@@ -89,6 +95,7 @@ class ACEHeterogeneous(Partitioner):
             )
         ):
             queue.append((works[i], seq, boxes[i]))
+        heapq.heapify(queue)  # already sorted; heapify is O(n) anyway
         seq = len(queue)
 
         rank_order = np.argsort(caps, kind="stable")
@@ -99,12 +106,12 @@ class ACEHeterogeneous(Partitioner):
             while queue:
                 if last_rank:
                     # Everything left belongs to the biggest-capacity rank.
-                    w, _, box = queue.pop(0)
+                    _, _, box = heapq.heappop(queue)
                     result.assignment.append((box, rank))
                     continue
                 w, _, box = queue[0]
                 if w <= remaining + self.fill_tolerance * w:
-                    queue.pop(0)
+                    heapq.heappop(queue)
                     result.assignment.append((box, rank))
                     remaining -= w
                     continue
@@ -115,15 +122,13 @@ class ACEHeterogeneous(Partitioner):
                     # Unsplittable: accept the imbalance on this rank only
                     # if nothing smaller is available, else move on.
                     break
-                queue.pop(0)
+                heapq.heappop(queue)
                 piece, rest = split
                 result.num_splits += len(rest)  # one cut per remainder box
                 result.assignment.append((piece, rank))
                 remaining -= model.work(piece)
                 for r in rest:
-                    bisect.insort(
-                        queue, (model.work(r), seq, r), key=lambda t: t[0]
-                    )
+                    heapq.heappush(queue, (model.work(r), seq, r))
                     seq += 1
                 if remaining <= 0:
                     break

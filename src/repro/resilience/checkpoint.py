@@ -22,6 +22,7 @@ produced.
 from __future__ import annotations
 
 import io
+import os
 import pickle
 import struct
 from dataclasses import dataclass, field
@@ -227,6 +228,18 @@ class CheckpointStore:
     def steps(self) -> tuple[int, ...]:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def latest_valid(self) -> Checkpoint | None:
+        """Newest snapshot that passes integrity verification.
+
+        :meth:`latest` fails closed -- a corrupt newest snapshot raises so
+        nobody resumes from garbage.  Consumers that would rather *fall
+        back* (lose the last interval, keep the run alive) call this
+        instead: corrupt snapshots are skipped newest-to-oldest and the
+        first one that verifies is returned.  ``None`` means no snapshot
+        at all survived.
+        """
+        return self.latest()
+
 
 class MemoryCheckpointStore(CheckpointStore):
     """In-process snapshot ring (the default for simulated runs)."""
@@ -267,16 +280,41 @@ class DirectoryCheckpointStore(CheckpointStore):
         tmp = path.with_suffix(".tmp")
         with io.open(tmp, "wb") as f:
             f.write(ckpt.to_bytes())
+            f.flush()
+            os.fsync(f.fileno())
         tmp.replace(path)  # atomic publish: no torn snapshots
         files = self._files()
         for old in files[: -self.keep_last]:
             old.unlink()
+        # A crash between write and rename leaves a stale .tmp behind;
+        # it never shadows a published snapshot, so sweep it here.
+        for stale in self.directory.glob("ckpt_*.tmp"):
+            if stale != tmp:
+                stale.unlink(missing_ok=True)
 
     def latest(self) -> Checkpoint | None:
         files = self._files()
         if not files:
             return None
         return Checkpoint.from_bytes(files[-1].read_bytes())
+
+    def latest_valid(self) -> Checkpoint | None:
+        """Newest snapshot that verifies; corrupt ones are skipped.
+
+        A truncated header, short payload or checksum mismatch on the
+        newest file (a crash mid-publish, bit rot) must not strand the
+        older, intact snapshot -- recovery walks backwards and restores
+        the first file that passes :meth:`Checkpoint.verify`.  Partial
+        writes never qualify in the first place: saves go through a
+        ``.tmp`` name that :meth:`_files` does not match until the atomic
+        rename publishes them.
+        """
+        for path in reversed(self._files()):
+            try:
+                return Checkpoint.from_bytes(path.read_bytes())
+            except CheckpointError:
+                continue
+        return None
 
     def steps(self) -> tuple[int, ...]:
         return tuple(

@@ -43,8 +43,10 @@ from repro.util.errors import ExperimentError
 
 __all__ = [
     "PAPER_CAPACITIES",
+    "CAMPAIGN_SCENARIOS",
     "make_partitioner",
     "run_once",
+    "campaign_cell",
     "execution_time_comparison",
     "load_assignment_tracking",
     "imbalance_comparison",
@@ -98,6 +100,127 @@ def run_once(
         config=config,
     )
     return runtime.run()
+
+
+# ---------------------------------------------------------------------------
+# Campaign cells: the per-cell execution entrypoint
+# ---------------------------------------------------------------------------
+def _scenario_paper_four_node(seed: int, config: dict) -> Cluster:
+    return Cluster.paper_four_node()
+
+
+def _scenario_linux_static(seed: int, config: dict) -> Cluster:
+    return Cluster.paper_linux_cluster(
+        int(config.get("procs", 4)),
+        loaded_fraction=float(config.get("loaded_fraction", 0.5)),
+        seed=seed,
+    )
+
+
+def _scenario_linux_dynamic(seed: int, config: dict) -> Cluster:
+    return Cluster.paper_linux_cluster(
+        int(config.get("procs", 4)),
+        loaded_fraction=float(config.get("loaded_fraction", 0.5)),
+        seed=seed,
+        dynamic=True,
+        horizon_s=float(config.get("horizon_s", 600.0)),
+    )
+
+
+def _scenario_homogeneous(seed: int, config: dict) -> Cluster:
+    return Cluster.homogeneous(int(config.get("procs", 4)))
+
+
+def _scenario_heterogeneous_hw(seed: int, config: dict) -> Cluster:
+    return Cluster.heterogeneous(int(config.get("procs", 4)), seed=seed)
+
+
+#: Scenario registry for campaign grids: name -> cluster builder.  Every
+#: builder is a pure function of (seed, config), so a cell re-executed on
+#: any worker -- or any resume -- reproduces the identical simulation.
+CAMPAIGN_SCENARIOS = {
+    "paper-four-node": _scenario_paper_four_node,
+    "linux-static": _scenario_linux_static,
+    "linux-dynamic": _scenario_linux_dynamic,
+    "homogeneous": _scenario_homogeneous,
+    "heterogeneous-hw": _scenario_heterogeneous_hw,
+}
+
+
+def campaign_cell(
+    scenario: str,
+    partitioner: str,
+    seed: int,
+    config: dict | None = None,
+) -> dict:
+    """Execute one campaign grid cell; return its deterministic record.
+
+    This is the unit of work :class:`repro.campaign.CampaignRunner` ships
+    to worker processes.  The returned dict contains **simulated-clock
+    quantities only** (run metrics, health summary, per-phase sim-second
+    breakdown) -- never wall-clock readings, worker ids or timestamps --
+    so the same cell produces byte-identical records whether it ran
+    inline, on any of N pool workers, or in a resumed campaign.  Wall
+    timings belong to the orchestrator's own telemetry, not the record.
+    """
+    from repro.telemetry.analysis import HealthMonitor
+    from repro.telemetry.spans import Tracer, activate
+
+    config = dict(config or {})
+    try:
+        build_cluster = CAMPAIGN_SCENARIOS[scenario]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown campaign scenario {scenario!r}; choose from "
+            f"{sorted(CAMPAIGN_SCENARIOS)}"
+        ) from None
+    iterations = int(config.get("iterations", 20))
+    num_regrids = int(config.get("num_regrids", iterations // 5 + 2))
+    workload = paper_rm3d_trace(num_regrids=num_regrids)
+    cluster = build_cluster(seed, config)
+    cfg = RuntimeConfig(
+        iterations=iterations,
+        regrid_interval=int(config.get("regrid_interval", 5)),
+        sensing_interval=int(config.get("sensing_interval", 10)),
+    )
+    tracer = Tracer()
+    health = HealthMonitor().attach(tracer)
+    with activate(tracer):
+        result = run_once(workload, cluster, make_partitioner(partitioner), cfg)
+    health.finish()
+
+    phases: dict[str, dict] = {}
+    for span in tracer.spans:
+        agg = phases.setdefault(span.name, {"count": 0, "sim_seconds": 0.0})
+        agg["count"] += 1
+        agg["sim_seconds"] += span.sim_duration
+    summary = health.summary()
+    return {
+        "scenario": scenario,
+        "partitioner": partitioner,
+        "seed": int(seed),
+        "config": config,
+        "metrics": {
+            "total_seconds": result.total_seconds,
+            "compute_seconds": result.compute_seconds,
+            "comm_seconds": result.comm_seconds,
+            "migration_seconds": result.migration_seconds,
+            "sensing_seconds": result.sensing_seconds,
+            "iterations": result.iterations,
+            "num_sensings": result.num_sensings,
+            "num_regrids": len(result.regrids),
+            "mean_imbalance_pct": result.mean_imbalance,
+            "max_imbalance_pct": result.max_imbalance,
+        },
+        "health": {
+            "num_snapshots": summary["num_snapshots"],
+            "num_events": summary["num_events"],
+            "events_by_severity": summary["events_by_severity"],
+            "worst_imbalance_pct": summary["worst_imbalance_pct"],
+            "imbalance_bound_pct": summary["imbalance_bound_pct"],
+        },
+        "phases": phases,
+    }
 
 
 # ---------------------------------------------------------------------------

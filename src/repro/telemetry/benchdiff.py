@@ -283,6 +283,15 @@ def diff_bench_files(
         old = json.load(fh)
     with open(new_path, "r", encoding="utf-8") as fh:
         new = json.load(fh)
+    for path, payload in ((old_path, old), (new_path, new)):
+        if not isinstance(payload, dict):
+            # json.load happily returns lists/strings/numbers; those are
+            # still "malformed bench files" to the caller and must raise
+            # the same ValueError a JSON syntax error does.
+            raise ValueError(
+                f"{path}: bench file must contain a JSON object, "
+                f"got {type(payload).__name__}"
+            )
     return diff_bench(old, new, tolerance=tolerance, abs_floor_s=abs_floor_s)
 
 

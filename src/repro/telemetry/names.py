@@ -52,6 +52,8 @@ SPAN_NAMES = frozenset(
         "recovery",
         "checkpoint.save",
         "checkpoint.restore",
+        # campaign orchestration (one span per completed grid cell)
+        "campaign.cell",
     }
 )
 
@@ -75,6 +77,7 @@ EVENT_PREFIXES = (
     "recovery.",
     "comm.",
     "checkpoint.",
+    "campaign.",
 )
 
 

@@ -58,3 +58,9 @@ class ResilienceError(ReproError):
 class CheckpointError(ResilienceError):
     """Checkpoint/restart failures: checksum mismatch, unsupported format
     version, or a restore requested from an empty store."""
+
+
+class CampaignError(ReproError):
+    """Experiment-campaign errors: an empty or inconsistent grid spec, a
+    directory already owned by a different campaign, or a result store
+    queried for an unknown cell."""

@@ -1,0 +1,132 @@
+"""CLI tests: ``repro campaign``, ``repro serve`` errors, bench-diff audit."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": "cli",
+                "scenarios": ["paper-four-node"],
+                "partitioners": ["greedy"],
+                "seeds": [1, 2],
+                "base_config": {"iterations": 3},
+            }
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestCampaignCommand:
+    def test_run_status_resume_cycle(self, tmp_path, spec_file, capsys):
+        d = str(tmp_path / "c")
+        assert main(
+            ["campaign", "run", str(spec_file), "--dir", d, "--max-cells", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1/2 cells (interrupted)" in out
+        assert "campaign resume" in out
+
+        assert main(["campaign", "status", d]) == 0
+        assert "1/2 cells, in progress" in capsys.readouterr().out
+
+        assert main(["campaign", "resume", d]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 cells (complete)" in out
+        assert "skipped 1 already-done" in out
+
+        assert main(["campaign", "status", d]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_run_missing_spec_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["campaign", "run", str(tmp_path / "no.json"), "--dir", "x"]
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_run_corrupt_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops", encoding="utf-8")
+        assert main(["campaign", "run", str(bad), "--dir", "x"]) == 2
+        assert "could not parse" in capsys.readouterr().err
+
+    def test_run_empty_grid_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text(
+            json.dumps(
+                {
+                    "name": "e",
+                    "scenarios": [],
+                    "partitioners": ["greedy"],
+                    "seeds": [1],
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert main(["campaign", "run", str(empty), "--dir", "x"]) == 2
+        assert "is empty" in capsys.readouterr().err
+
+    def test_status_non_campaign_dir_exits_2(self, tmp_path, capsys):
+        assert main(["campaign", "status", str(tmp_path)]) == 2
+        assert "not a campaign directory" in capsys.readouterr().err
+
+    def test_resume_non_campaign_dir_exits_2(self, tmp_path, capsys):
+        assert main(["campaign", "resume", str(tmp_path)]) == 2
+        assert "not a campaign directory" in capsys.readouterr().err
+
+    def test_no_subcommand_exits_2(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_missing_root_exits_2(self, tmp_path, capsys):
+        code = main(["serve", "--root", str(tmp_path / "nope")])
+        assert code == 2
+        assert "serve error" in capsys.readouterr().err
+
+
+class TestBenchDiffErrorAudit:
+    """Missing, empty and malformed inputs: one-line error, exit 2."""
+
+    def test_missing_file(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text("{}", encoding="utf-8")
+        code = main(["bench-diff", str(tmp_path / "no.json"), str(good)])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text("", encoding="utf-8")
+        good = tmp_path / "good.json"
+        good.write_text("{}", encoding="utf-8")
+        assert main(["bench-diff", str(empty), str(good)]) == 2
+        assert "could not parse" in capsys.readouterr().err
+
+    def test_non_object_json(self, tmp_path, capsys):
+        arr = tmp_path / "arr.json"
+        arr.write_text("[1, 2, 3]", encoding="utf-8")
+        good = tmp_path / "good.json"
+        good.write_text("{}", encoding="utf-8")
+        assert main(["bench-diff", str(arr), str(good)]) == 2
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_malformed_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{torn", encoding="utf-8")
+        good = tmp_path / "good.json"
+        good.write_text("{}", encoding="utf-8")
+        assert main(["bench-diff", str(bad), str(good)]) == 2
+        assert "could not parse" in capsys.readouterr().err

@@ -1,0 +1,151 @@
+"""Tests for the ``repro serve`` HTTP layer."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, make_server
+from repro.util.errors import CampaignError
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """One completed campaign behind a live server on an ephemeral port."""
+    root = tmp_path_factory.mktemp("serve-root")
+    spec = CampaignSpec(
+        name="web",
+        scenarios=("paper-four-node",),
+        partitioners=("greedy", "heterogeneous"),
+        seeds=(1,),
+        base_config={"iterations": 3},
+    )
+    CampaignRunner(spec, root / "web", workers=1).run()
+    server = make_server(root, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+
+
+def get(url: str, headers: dict | None = None):
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+class TestRoutes:
+    def test_healthz(self, served):
+        _, base = served
+        status, _, body = get(f"{base}/healthz")
+        assert status == 200
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_campaign_listing(self, served):
+        _, base = served
+        status, _, body = get(f"{base}/campaigns")
+        assert status == 200
+        rows = json.loads(body)["campaigns"]
+        assert [r["id"] for r in rows] == ["web"]
+        assert rows[0]["complete"]
+
+    def test_campaign_detail(self, served):
+        _, base = served
+        status, _, body = get(f"{base}/campaigns/web")
+        assert status == 200
+        detail = json.loads(body)
+        assert detail["num_cells"] == 2
+        assert detail["completed"] == 2
+
+    def test_cells_and_single_cell(self, served):
+        _, base = served
+        status, _, body = get(f"{base}/campaigns/web/cells")
+        assert status == 200
+        cells = json.loads(body)["cells"]
+        assert len(cells) == 2
+        key = sorted(cells)[0]
+        status, _, body = get(f"{base}/campaigns/web/cells/{key}")
+        assert status == 200
+        record = json.loads(body)
+        assert record["cell_key"] == key
+        assert "metrics" in record
+
+    def test_report_html(self, served):
+        _, base = served
+        status, headers, body = get(f"{base}/campaigns/web/report")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        assert b"Campaign web" in body
+        assert b"greedy" in body and b"heterogeneous" in body
+
+    def test_unknown_campaign_404(self, served):
+        _, base = served
+        status, _, body = get(f"{base}/campaigns/nope")
+        assert status == 404
+        assert "error" in json.loads(body)
+
+    def test_unknown_route_404(self, served):
+        _, base = served
+        assert get(f"{base}/attic")[0] == 404
+
+    def test_traversal_rejected(self, served):
+        _, base = served
+        assert get(f"{base}/campaigns/..%2F..%2Fetc")[0] == 404
+
+
+class TestCaching:
+    def test_etag_present_and_304_on_match(self, served):
+        _, base = served
+        _, headers, _ = get(f"{base}/campaigns/web/report")
+        etag = headers["ETag"]
+        status, headers2, body = get(
+            f"{base}/campaigns/web/report", {"If-None-Match": etag}
+        )
+        assert status == 304
+        assert body == b""
+        assert headers2["ETag"] == etag
+
+    def test_cached_report_is_fast_and_identical(self, served):
+        server, base = served
+        _, _, first = get(f"{base}/campaigns/web/report")  # warm
+        start = time.perf_counter()
+        _, _, second = get(f"{base}/campaigns/web/report")
+        elapsed = time.perf_counter() - start
+        assert second == first
+        assert elapsed < 0.05  # the <50 ms cached-answer budget
+        assert server.cache.hits >= 1
+
+    def test_cache_invalidated_by_store_change(self, served):
+        server, base = served
+        _, headers, _ = get(f"{base}/campaigns/web/cells")
+        etag = headers["ETag"]
+        # Touch the store: append + remove a no-op log entry.
+        log = server.root / "web" / "results.log.jsonl"
+        log.write_text("", encoding="utf-8")
+        status, headers2, _ = get(f"{base}/campaigns/web/cells")
+        assert status == 200
+        assert headers2["ETag"] != etag
+        log.unlink()
+
+
+class TestServerConstruction:
+    def test_missing_root_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="not a directory"):
+            make_server(tmp_path / "nope")
+
+    def test_campaign_ids_ignores_plain_dirs(self, tmp_path):
+        (tmp_path / "junk").mkdir()
+        server = make_server(tmp_path, port=0)
+        try:
+            assert server.campaign_ids() == []
+        finally:
+            server.server_close()

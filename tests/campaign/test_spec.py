@@ -1,0 +1,116 @@
+"""Tests for campaign specs: grid expansion, cell keys, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, CellSpec, canonical_json
+from repro.util.errors import CampaignError
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    kwargs = dict(
+        name="t",
+        scenarios=("paper-four-node",),
+        partitioners=("greedy", "heterogeneous"),
+        seeds=(1, 2),
+        base_config={"iterations": 3},
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class TestCellKey:
+    def test_key_is_stable_across_instances(self):
+        a = CellSpec("s", "p", 3, {"x": 1, "y": 2})
+        b = CellSpec("s", "p", 3, {"y": 2, "x": 1})
+        assert a.key == b.key
+
+    def test_key_distinguishes_config(self):
+        a = CellSpec("s", "p", 3, {"x": 1})
+        b = CellSpec("s", "p", 3, {"x": 2})
+        assert a.key != b.key
+
+    def test_key_is_greppable(self):
+        cell = CellSpec("linux-static", "greedy", 7, {})
+        assert cell.key.startswith("linux-static--greedy--s7--")
+
+    def test_roundtrip(self):
+        cell = CellSpec("s", "p", 3, {"x": 1})
+        assert CellSpec.from_dict(cell.to_dict()) == cell
+
+
+class TestExpansion:
+    def test_cell_count(self):
+        spec = small_spec(configs=({}, {"iterations": 5}))
+        assert spec.num_cells == 1 * 2 * 2 * 2
+        assert len(spec.cells()) == spec.num_cells
+
+    def test_expansion_order_is_deterministic(self):
+        a = small_spec().cells()
+        b = small_spec().cells()
+        assert a == b
+
+    def test_base_config_merged_under_overrides(self):
+        spec = small_spec(
+            base_config={"iterations": 3, "procs": 4},
+            configs=({"iterations": 9},),
+        )
+        cell = spec.cells()[0]
+        assert cell.config == {"iterations": 9, "procs": 4}
+
+    def test_campaign_id_stable_and_spec_sensitive(self):
+        assert small_spec().campaign_id == small_spec().campaign_id
+        assert small_spec().campaign_id != small_spec(seeds=(1, 3)).campaign_id
+
+
+class TestValidation:
+    def test_empty_axis_rejected(self):
+        with pytest.raises(CampaignError, match="axis 'seeds' is empty"):
+            small_spec(seeds=())
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(CampaignError, match="slug"):
+            small_spec(name="bad name!")
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(CampaignError, match="duplicate"):
+            small_spec(configs=({}, {}))
+
+    def test_from_dict_missing_fields(self):
+        with pytest.raises(CampaignError, match="missing fields"):
+            CampaignSpec.from_dict({"name": "x"})
+
+    def test_from_dict_bad_schema_version(self):
+        data = small_spec().to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(CampaignError, match="schema version"):
+            CampaignSpec.from_dict(data)
+
+    def test_roundtrip_preserves_id(self):
+        spec = small_spec()
+        again = CampaignSpec.from_dict(
+            json.loads(canonical_json(spec.to_dict()))
+        )
+        assert again.campaign_id == spec.campaign_id
+
+
+class TestFromFile:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CampaignError, match="not found"):
+            CampaignSpec.from_file(tmp_path / "nope.json")
+
+    def test_unparseable_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(CampaignError, match="could not parse"):
+            CampaignSpec.from_file(path)
+
+    def test_valid_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(small_spec().to_dict()), encoding="utf-8"
+        )
+        assert CampaignSpec.from_file(path) == small_spec()

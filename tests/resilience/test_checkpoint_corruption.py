@@ -1,0 +1,119 @@
+"""Directory-store corruption drills: every failure mode fails closed.
+
+A corrupted newest snapshot must never be silently restored, and must
+never strand the previous intact snapshot: ``latest()`` raises,
+``latest_valid()`` falls back.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    Checkpoint,
+    DirectoryCheckpointStore,
+)
+from repro.util.errors import CheckpointError
+from repro.util.hashing import checksum_bytes
+
+
+def make_ckpt(step: int, tag: str = "x") -> Checkpoint:
+    payload = pickle.dumps({"step": step, "tag": tag}, protocol=4)
+    return Checkpoint(
+        version=CHECKPOINT_FORMAT_VERSION,
+        step=step,
+        sim_time=float(step),
+        clock_time=float(step),
+        payload=payload,
+        checksum=checksum_bytes(payload),
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = DirectoryCheckpointStore(tmp_path, keep_last=3)
+    store.save(make_ckpt(1))
+    store.save(make_ckpt(2))
+    return store
+
+
+def newest_file(store):
+    return sorted(store.directory.glob("ckpt_*.rpck"))[-1]
+
+
+class TestTruncatedPayload:
+    def test_latest_fails_closed(self, store):
+        path = newest_file(store)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-7])  # drop the payload tail
+        with pytest.raises(CheckpointError, match="truncated"):
+            store.latest()
+
+    def test_header_only_fails_closed(self, store):
+        newest_file(store).write_bytes(b"RPCK")
+        with pytest.raises(CheckpointError, match="truncated"):
+            store.latest()
+
+    def test_previous_checkpoint_restorable(self, store):
+        path = newest_file(store)
+        path.write_bytes(path.read_bytes()[:-7])
+        ckpt = store.latest_valid()
+        assert ckpt is not None
+        assert ckpt.step == 1
+        assert ckpt.state()["step"] == 1
+
+
+class TestChecksumMismatch:
+    def flip_payload_byte(self, store):
+        path = newest_file(store)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # corrupt payload, header stays plausible
+        path.write_bytes(bytes(blob))
+
+    def test_latest_fails_closed(self, store):
+        self.flip_payload_byte(store)
+        with pytest.raises(CheckpointError, match="integrity"):
+            store.latest()
+
+    def test_previous_checkpoint_restorable(self, store):
+        self.flip_payload_byte(store)
+        ckpt = store.latest_valid()
+        assert ckpt is not None and ckpt.step == 1
+
+    def test_bad_magic_fails_closed(self, store):
+        path = newest_file(store)
+        blob = bytearray(path.read_bytes())
+        blob[:4] = b"JUNK"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="magic"):
+            store.latest()
+
+
+class TestPartialWriteTmpFile:
+    def test_stale_tmp_never_restored(self, store):
+        # A crash between write and rename leaves ckpt_*.tmp behind; it
+        # must be invisible to every restore path.
+        tmp = store.directory / "ckpt_00000099.tmp"
+        tmp.write_bytes(b"RPCK garbage from a torn write")
+        assert store.latest().step == 2
+        assert store.latest_valid().step == 2
+        assert store.steps() == (1, 2)
+
+    def test_stale_tmp_swept_on_next_save(self, store):
+        tmp = store.directory / "ckpt_00000099.tmp"
+        tmp.write_bytes(b"torn")
+        store.save(make_ckpt(3))
+        assert not tmp.exists()
+        assert store.latest().step == 3
+
+
+class TestAllCorrupt:
+    def test_latest_valid_returns_none(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path, keep_last=3)
+        store.save(make_ckpt(1))
+        for path in tmp_path.glob("ckpt_*.rpck"):
+            path.write_bytes(b"RPCK")
+        assert store.latest_valid() is None
