@@ -11,7 +11,9 @@ pool -- and proves the payoff properties on the spot:
    trace in the data);
 3. the ``repro serve`` HTTP layer answers cell queries and the HTML
    report, with ETag revalidation returning ``304`` from the response
-   cache.
+   cache;
+4. live observability rides along: per-cell trace-artifact bundles,
+   the OpenMetrics ``/metrics`` endpoint and the ``/live`` SSE stream.
 
 Run:  python examples/campaign_demo.py
 """
@@ -105,6 +107,20 @@ def main() -> None:
     )
     print(f"revalidation with If-None-Match -> {status} (cached)")
     assert status == 304
+
+    # -- live observability --------------------------------------------
+    _, _, body = get(f"/campaigns/straight/cells/{key}/artifacts/flamegraph")
+    stacks = body.decode("utf-8").count("\n")
+    print(f"GET .../cells/{key[:24]}.../artifacts/flamegraph "
+          f"-> {stacks} collapsed stacks")
+    _, headers, body = get("/metrics")
+    print(f"GET /metrics -> {headers['Content-Type'].split(';')[0]}, "
+          f"{len(body.splitlines())} lines")
+    _, _, body = get("/campaigns/straight/live")
+    finishes = body.decode("utf-8").count("event: live.cell_finished")
+    print(f"GET /campaigns/straight/live -> SSE replay, "
+          f"{finishes} cell-finished frames")
+    assert finishes == SPEC.num_cells
 
     server.shutdown()
     server.server_close()

@@ -11,12 +11,15 @@ service workflow:
   store whose canonical form is byte-identical across worker counts and
   interruptions.
 - :mod:`repro.campaign.orchestrator` -- the sharded (process-pool)
-  runner with exact resume.
+  runner with exact resume, per-cell artifact bundles and the
+  cross-process ``events.jsonl`` progress log.
 - :mod:`repro.campaign.serve` -- the ``repro serve`` HTTP layer with
-  ETag/signature response caching.
+  ETag/signature response caching, an OpenMetrics endpoint, per-cell
+  artifact routes and a live SSE progress stream.
 """
 
 from repro.campaign.orchestrator import (
+    ORCHESTRATOR_TRACE_NAME,
     CampaignRunner,
     campaign_status,
     execute_cell,
@@ -29,10 +32,12 @@ from repro.campaign.spec import (
     canonical_json,
 )
 from repro.campaign.state import CampaignCheckpointer, CampaignState
-from repro.campaign.store import ResultStore
+from repro.campaign.store import ARTIFACTS_DIRNAME, ResultStore
 
 __all__ = [
     "SPEC_SCHEMA_VERSION",
+    "ARTIFACTS_DIRNAME",
+    "ORCHESTRATOR_TRACE_NAME",
     "CampaignSpec",
     "CellSpec",
     "canonical_json",

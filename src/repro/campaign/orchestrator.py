@@ -35,11 +35,19 @@ from typing import Any
 
 from repro.campaign.spec import CampaignSpec, CellSpec, canonical_json
 from repro.campaign.state import CampaignCheckpointer, CampaignState
-from repro.campaign.store import ResultStore
+from repro.campaign.store import ARTIFACTS_DIRNAME, ResultStore
 from repro.runtime.experiment import (
     CAMPAIGN_SCENARIOS,
     campaign_cell,
     make_partitioner,
+)
+from repro.telemetry.live import (
+    EVENTS_NAME,
+    ProgressLog,
+    TelemetryDigest,
+    deterministic_tracer,
+    digest_from_record,
+    write_cell_bundle,
 )
 from repro.telemetry.spans import NullTracer, Tracer
 from repro.util.errors import CampaignError, ExperimentError
@@ -50,21 +58,56 @@ __all__ = ["CampaignRunner", "execute_cell", "campaign_status"]
 META_NAME = "campaign.json"
 FAILURES_NAME = "failures.jsonl"
 CHECKPOINT_DIRNAME = "checkpoints"
+#: The orchestrator's own trace, written by the CLI after a session
+#: (``events.jsonl`` is the cross-process progress log, owned here).
+ORCHESTRATOR_TRACE_NAME = "orchestrator.events.jsonl"
 
 
-def execute_cell(cell_dict: dict[str, Any]) -> dict[str, Any]:
-    """Worker entrypoint: run one cell, return its canonical record.
+def execute_cell(
+    cell_dict: dict[str, Any],
+    artifacts_dir: str | None = None,
+    events_path: str | None = None,
+) -> dict[str, Any]:
+    """Worker entrypoint: run one cell; return record + telemetry digest.
 
     Module-level so the process pool can pickle it by reference.  The
-    record is ``campaign_cell``'s deterministic output plus the cell key;
-    nothing worker- or wall-clock-specific is added.
+    cell runs under a :func:`deterministic_tracer` (wall readings pinned
+    to zero), so both the result record and the artifact bundle written
+    to ``<artifacts_dir>/<cell-key>/`` are pure functions of the cell
+    spec -- byte-identical on any worker, any resume.  The bundle is
+    published *before* the parent commits the cell, so a committed cell
+    always has its artifacts; a crash in between merely re-runs the cell
+    and rewrites identical bytes.
+
+    Returns ``{"record": <store record>, "digest": <digest dict>}``.
     """
     cell = CellSpec.from_dict(cell_dict)
+    if events_path is not None:
+        ProgressLog(events_path).append(
+            "live.cell_started",
+            cell_key=cell.key,
+            scenario=cell.scenario,
+            partitioner=cell.partitioner,
+            seed=cell.seed,
+        )
+    tracer = deterministic_tracer()
     record = campaign_cell(
-        cell.scenario, cell.partitioner, cell.seed, dict(cell.config)
+        cell.scenario,
+        cell.partitioner,
+        cell.seed,
+        dict(cell.config),
+        tracer=tracer,
     )
     record["cell_key"] = cell.key
-    return record
+    artifacts = None
+    if artifacts_dir is not None:
+        artifacts = write_cell_bundle(
+            tracer, Path(artifacts_dir) / cell.key, cell_key=cell.key
+        )
+    return {
+        "record": record,
+        "digest": digest_from_record(record, artifacts).to_dict(),
+    }
 
 
 class CampaignRunner:
@@ -76,12 +119,14 @@ class CampaignRunner:
         directory: str | Path,
         workers: int = 1,
         tracer: Tracer | NullTracer | None = None,
+        artifacts: bool = True,
     ):
         self._validate_axes(spec)
         self.spec = spec
         self.directory = Path(directory)
         self.workers = max(1, int(workers))
         self.tracer = tracer if tracer is not None else Tracer()
+        self.artifacts = bool(artifacts)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._claim_directory()
         self.store = ResultStore(self.directory)
@@ -89,6 +134,18 @@ class CampaignRunner:
             self.directory / CHECKPOINT_DIRNAME
         )
         self.state = self._restore_state()
+        self.progress = ProgressLog(self.directory / EVENTS_NAME)
+
+    @property
+    def artifacts_dir(self) -> Path:
+        return self.directory / ARTIFACTS_DIRNAME
+
+    def _worker_args(self) -> tuple[str | None, str | None]:
+        """(artifacts_dir, events_path) handed to every ``execute_cell``."""
+        return (
+            str(self.artifacts_dir) if self.artifacts else None,
+            str(self.progress.path),
+        )
 
     # -- setup ---------------------------------------------------------
     @staticmethod
@@ -179,6 +236,15 @@ class CampaignRunner:
             skipped=skipped,
             workers=self.workers,
         )
+        self.progress.append(
+            "campaign.started",
+            campaign_id=self.spec.campaign_id,
+            num_cells=len(all_cells),
+            pending=len(pending),
+            completed=self.state.num_completed,
+            failed=len(self.state.failed),
+            workers=self.workers,
+        )
         metrics = self.tracer.metrics
         metrics.counter("campaign.cells_skipped").inc(skipped)
 
@@ -198,6 +264,13 @@ class CampaignRunner:
                 campaign_id=self.spec.campaign_id,
                 num_cells=len(all_cells),
             )
+            self.progress.append(
+                "campaign.completed",
+                campaign_id=self.spec.campaign_id,
+                num_cells=len(all_cells),
+                completed=self.state.num_completed,
+                failed=len(self.state.failed),
+            )
         return {
             "campaign_id": self.spec.campaign_id,
             "num_cells": len(all_cells),
@@ -211,29 +284,35 @@ class CampaignRunner:
 
     def _run_inline(self, pending: list[CellSpec]) -> tuple[int, int]:
         executed = failed = 0
+        artifacts_dir, events_path = self._worker_args()
         for cell in pending:
             t0 = time.perf_counter()
             try:
-                record = execute_cell(cell.to_dict())
+                payload = execute_cell(
+                    cell.to_dict(), artifacts_dir, events_path
+                )
             except Exception as exc:  # noqa: BLE001 - cell isolation
                 self._commit_failure(cell, exc)
                 failed += 1
                 continue
-            self._commit_success(cell, record, time.perf_counter() - t0)
+            self._commit_success(cell, payload, time.perf_counter() - t0)
             executed += 1
         return executed, failed
 
     def _run_pool(self, pending: list[CellSpec]) -> tuple[int, int]:
         executed = failed = 0
+        artifacts_dir, events_path = self._worker_args()
         # Fork start method: workers inherit the imported simulator
         # modules instead of re-importing them per process, and the
-        # worker function only ever receives plain dicts.
+        # worker function only ever receives plain dicts and path strings.
         ctx = get_context("fork")
         with ProcessPoolExecutor(
             max_workers=self.workers, mp_context=ctx
         ) as pool:
             started = {
-                pool.submit(execute_cell, cell.to_dict()): (
+                pool.submit(
+                    execute_cell, cell.to_dict(), artifacts_dir, events_path
+                ): (
                     cell,
                     time.perf_counter(),
                 )
@@ -258,10 +337,26 @@ class CampaignRunner:
         return executed, failed
 
     # -- per-cell commit ----------------------------------------------
+    @staticmethod
+    def _unpack_payload(
+        payload: dict[str, Any],
+    ) -> tuple[dict[str, Any], TelemetryDigest | None]:
+        """Accept both worker payloads and bare records (test doubles)."""
+        if "record" in payload and isinstance(payload["record"], dict):
+            digest_data = payload.get("digest")
+            digest = (
+                TelemetryDigest.from_dict(digest_data)
+                if isinstance(digest_data, dict)
+                else None
+            )
+            return payload["record"], digest
+        return payload, None
+
     def _commit_success(
-        self, cell: CellSpec, record: dict[str, Any], wall_seconds: float
+        self, cell: CellSpec, payload: dict[str, Any], wall_seconds: float
     ) -> None:
         """The durability sequence: store append -> ledger -> checkpoint."""
+        record, digest = self._unpack_payload(payload)
         self.store.append(record)
         ordinal = self.state.mark_completed(cell.key)
         self.checkpointer.save(self.state)
@@ -282,6 +377,60 @@ class CampaignRunner:
         metrics.counter("campaign.cells_completed").inc()
         metrics.histogram("campaign.cell_wall_seconds").observe(wall_seconds)
         metrics.histogram("campaign.cell_sim_seconds").observe(sim_seconds)
+        if digest is not None:
+            self._fold_digest(cell, digest)
+        self.progress.append(
+            "live.cell_finished",
+            cell_key=cell.key,
+            scenario=cell.scenario,
+            partitioner=cell.partitioner,
+            seed=cell.seed,
+            ordinal=ordinal,
+            completed=self.state.num_completed,
+            failed=len(self.state.failed),
+            num_cells=self.spec.num_cells,
+            wall_seconds=wall_seconds,
+            sim_seconds=sim_seconds,
+            artifacts=(digest.artifacts if digest is not None else None),
+        )
+
+    def _fold_digest(self, cell: CellSpec, digest: TelemetryDigest) -> None:
+        """Fold a worker's telemetry digest into campaign-level metrics.
+
+        This is the cross-process shipping step: worker tracers die with
+        their process, but their phase breakdown, health flags and
+        artifact sizes survive in the orchestrator's registry (and from
+        there in ``GET /metrics``).
+        """
+        metrics = self.tracer.metrics
+        for phase, sim_seconds in digest.phases.items():
+            metrics.histogram(
+                "campaign.phase_sim_seconds", phase=phase
+            ).observe(float(sim_seconds))
+        health = digest.health
+        metrics.counter("campaign.health_events").inc(
+            float(health.get("num_events", 0))
+        )
+        worst = metrics.gauge("campaign.worst_imbalance_pct")
+        worst.set(
+            max(worst.value, float(health.get("worst_imbalance_pct", 0.0)))
+        )
+        if digest.artifacts:
+            total = int(digest.artifacts.get("total_bytes", 0))
+            metrics.counter("campaign.artifact_bytes").inc(total)
+            self.tracer.event(
+                "campaign.artifact.written",
+                cell_key=cell.key,
+                total_bytes=total,
+                files=sorted(digest.artifacts.get("files", {})),
+            )
+            self.tracer.add_span(
+                "campaign.artifact.bundle",
+                start_sim=0.0,
+                end_sim=0.0,
+                cell_key=cell.key,
+                total_bytes=total,
+            )
 
     def _commit_failure(self, cell: CellSpec, exc: BaseException) -> None:
         """Failed cells go to the ledger + side log, never the store."""
@@ -297,6 +446,17 @@ class CampaignRunner:
             "campaign.cell_failed", cell_key=cell.key, error=message
         )
         self.tracer.metrics.counter("campaign.cells_failed").inc()
+        self.progress.append(
+            "live.cell_failed",
+            cell_key=cell.key,
+            scenario=cell.scenario,
+            partitioner=cell.partitioner,
+            seed=cell.seed,
+            error=message,
+            completed=self.state.num_completed,
+            failed=len(self.state.failed),
+            num_cells=self.spec.num_cells,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -320,6 +480,12 @@ def campaign_status(directory: str | Path) -> dict[str, Any]:
     completed = state.num_completed if state is not None else 0
     failed = dict(state.failed) if state is not None else {}
     store = ResultStore(directory)
+    artifacts_dir = directory / ARTIFACTS_DIRNAME
+    artifact_cells = (
+        sum(1 for p in artifacts_dir.iterdir() if p.is_dir())
+        if artifacts_dir.is_dir()
+        else 0
+    )
     return {
         "campaign_id": spec.campaign_id,
         "name": spec.name,
@@ -329,4 +495,5 @@ def campaign_status(directory: str | Path) -> dict[str, Any]:
         "complete": completed == spec.num_cells,
         "store_records": len(store),
         "compacted": store.results_path.is_file(),
+        "artifact_cells": artifact_cells,
     }

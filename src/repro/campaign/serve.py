@@ -5,19 +5,38 @@ directory* is any child directory containing ``campaign.json``; its
 directory name is its URL id).  Routes:
 
 - ``GET /healthz`` -- liveness probe.
+- ``GET /metrics`` -- OpenMetrics exposition over every campaign's
+  progress log plus the server's own request/cache counters.  Rebuilt
+  per scrape and self-checked before it leaves the process.
 - ``GET /campaigns`` -- list campaigns with progress.
 - ``GET /campaigns/<id>`` -- one campaign's status.
-- ``GET /campaigns/<id>/cells`` -- cell keys + index summaries.
+- ``GET /campaigns/<id>/cells`` -- every grid cell with its status and
+  artifact availability; supports ``?limit=``/``?offset=`` pagination
+  and a ``?status=completed|failed|pending`` filter, key-sorted so
+  pages are deterministic.
 - ``GET /campaigns/<id>/cells/<key>`` -- one cell's full record.
+- ``GET /campaigns/<id>/cells/<key>/artifacts/<kind>`` -- one file of
+  the cell's trace-artifact bundle (``trace``/``flamegraph``/
+  ``profile``).
+- ``GET /campaigns/<id>/live`` -- a server-sent-events stream of the
+  campaign's progress log: one frame per cell start/finish/failure,
+  with running throughput and ETA.  Replays history, then tail-follows.
 - ``GET /campaigns/<id>/report`` -- self-contained HTML report.
 - ``GET /campaigns/<id>/dashboard`` -- the telemetry HTML dashboard,
-  rendered from the campaign's ``events.jsonl`` trace when present.
+  rendered from the orchestrator trace when present.
 
-Rendered responses are cached per (campaign, route) keyed on the result
-store's file-stat signature: a repeat request for an unchanged store is
-answered from memory (well under the 50 ms budget) and carries an ETag,
-so a client sending ``If-None-Match`` gets a body-less ``304``.  Any
-append or compaction changes the signature and invalidates the entry.
+Rendered responses are cached per (campaign, route) keyed on a
+file-stat signature: a repeat request for unchanged files is answered
+from memory (well under the 50 ms budget) and carries an ETag, so a
+client sending ``If-None-Match`` gets a body-less ``304``.  Any append,
+compaction or checkpoint changes the signature and invalidates the
+entry.  ``/metrics`` and ``/live`` are deliberately uncached: both
+exist to show the present, not a snapshot.
+
+Error discipline: a bad identifier or missing resource is a one-line
+404 JSON body, an invalid value for a *known* query parameter is a
+one-line 400, and unknown query parameters are ignored -- a dashboard
+probe or an over-eager client never sees a traceback.
 
 Everything here is the standard library -- ``http.server`` threading
 server, no framework -- matching the repo's no-new-dependencies rule.
@@ -29,24 +48,80 @@ import hashlib
 import html
 import json
 import re
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any
-from urllib.parse import unquote, urlparse
+from typing import Any, Mapping
+from urllib.parse import parse_qs, unquote, urlparse
 
-from repro.campaign.orchestrator import META_NAME, campaign_status
+from repro.campaign.orchestrator import (
+    CHECKPOINT_DIRNAME,
+    META_NAME,
+    ORCHESTRATOR_TRACE_NAME,
+    campaign_status,
+)
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.state import CampaignCheckpointer
 from repro.campaign.store import ResultStore
+from repro.telemetry.live import (
+    ARTIFACT_CONTENT_TYPES,
+    ARTIFACT_FILES,
+    EVENTS_NAME,
+    LiveProgress,
+    ProgressLog,
+    format_sse,
+    registry_from_progress,
+)
+from repro.telemetry.metrics import MetricsRegistry, openmetrics_selfcheck
 from repro.util.errors import CampaignError
 
 __all__ = ["CampaignServer", "make_server"]
 
 #: URL ids are directory names; reject anything that could escape root.
+#: Cell keys obey the same grammar (coordinates + hex digest), so the
+#: one pattern guards both path positions.
 _ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
+#: Vocabulary of the ``?status=`` filter on the cells route.
+_CELL_STATUSES = ("completed", "failed", "pending")
 
-def _etag_of(signature: tuple) -> str:
-    digest = hashlib.sha256(repr(signature).encode("utf-8")).hexdigest()
+#: SSE tail-follow poll interval and idle-heartbeat period (seconds).
+_LIVE_POLL_S = 0.2
+_LIVE_HEARTBEAT_S = 2.0
+
+_OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+class _BadRequestError(Exception):
+    """An invalid value for a recognised query parameter -> 400."""
+
+
+def _etag_of(key: tuple) -> str:
+    digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
     return f'"{digest[:24]}"'
+
+
+def _int_param(
+    query: Mapping[str, list[str]], name: str, default: int | None
+) -> int | None:
+    values = query.get(name)
+    if not values:
+        return default
+    raw = values[-1]
+    try:
+        value = int(raw)
+    except ValueError:
+        raise _BadRequestError(
+            f"query parameter {name!r} must be a non-negative integer, "
+            f"got {raw!r}"
+        ) from None
+    if value < 0:
+        raise _BadRequestError(
+            f"query parameter {name!r} must be >= 0, got {value}"
+        )
+    return value
 
 
 class _RenderCache:
@@ -75,7 +150,9 @@ class _RenderCache:
         body: bytes,
         content_type: str,
     ) -> tuple[str, bytes, str]:
-        etag = _etag_of(signature)
+        # The route participates in the ETag so two routes over the same
+        # files (e.g. two pages of /cells) never share a validator.
+        etag = _etag_of((campaign, route, signature))
         self._entries[(campaign, route)] = (
             signature,
             etag,
@@ -95,7 +172,19 @@ class CampaignServer(ThreadingHTTPServer):
         if not self.root.is_dir():
             raise CampaignError(f"campaign root is not a directory: {self.root}")
         self.cache = _RenderCache()
+        #: Set on shutdown/close; long-lived SSE handlers watch it so a
+        #: graceful SIGTERM ends every stream instead of hanging them.
+        self.closing = threading.Event()
+        self.num_requests = 0
         super().__init__((host, port), _Handler)
+
+    def shutdown(self) -> None:
+        self.closing.set()
+        super().shutdown()
+
+    def server_close(self) -> None:
+        self.closing.set()
+        super().server_close()
 
     # -- campaign discovery -------------------------------------------
     def campaign_ids(self) -> list[str]:
@@ -112,6 +201,27 @@ class CampaignServer(ThreadingHTTPServer):
         if not (directory / META_NAME).is_file():
             raise CampaignError(f"no campaign {campaign_id!r} under {self.root}")
         return directory
+
+
+def _stat_entry(path: Path) -> tuple:
+    try:
+        st = path.stat()
+        return (path.name, st.st_mtime_ns, st.st_size)
+    except FileNotFoundError:
+        return (path.name, 0, 0)
+
+
+def _campaign_signature(directory: Path, store: ResultStore) -> tuple:
+    """Change token covering store, progress log and state checkpoints.
+
+    The cells route folds in ledger status, so its cache must also turn
+    over when a checkpoint lands or a progress event is appended -- not
+    just when the store files move.
+    """
+    return store.signature() + (
+        _stat_entry(directory / EVENTS_NAME),
+        _stat_entry(directory / CHECKPOINT_DIRNAME),
+    )
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -175,19 +285,27 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routing -------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        path = unquote(urlparse(self.path).path)
+        parsed = urlparse(self.path)
+        path = unquote(parsed.path)
+        query = parse_qs(parsed.query)
+        self.server.num_requests += 1
         try:
-            self._route(path)
+            self._route(path, query)
+        except _BadRequestError as exc:
+            self._send_error_json(400, str(exc))
         except CampaignError as exc:
             self._send_error_json(404, str(exc))
-        except BrokenPipeError:
+        except (BrokenPipeError, ConnectionResetError):
             pass
         except Exception as exc:  # noqa: BLE001 - one request, one error
             self._send_error_json(500, f"{type(exc).__name__}: {exc}")
 
-    def _route(self, path: str) -> None:
+    def _route(self, path: str, query: dict[str, list[str]]) -> None:
         if path in ("/healthz", "/healthz/"):
             self._send_json({"status": "ok"})
+            return
+        if path in ("/metrics", "/metrics/"):
+            self._metrics()
             return
         parts = [p for p in path.split("/") if p]
         if not parts or parts[0] != "campaigns":
@@ -201,9 +319,17 @@ class _Handler(BaseHTTPRequestHandler):
         if len(parts) == 2:
             self._send_json(campaign_status(directory))
         elif parts[2] == "cells" and len(parts) == 3:
-            self._list_cells(campaign_id, directory)
+            self._list_cells(campaign_id, directory, query)
         elif parts[2] == "cells" and len(parts) == 4:
             self._send_json(ResultStore(directory).get(parts[3]))
+        elif (
+            parts[2] == "cells"
+            and len(parts) == 6
+            and parts[4] == "artifacts"
+        ):
+            self._artifact(campaign_id, directory, parts[3], parts[5])
+        elif parts[2] == "live" and len(parts) == 3:
+            self._stream_live(directory)
         elif parts[2] == "report" and len(parts) == 3:
             self._report(campaign_id, directory)
         elif parts[2] == "dashboard" and len(parts) == 3:
@@ -222,37 +348,202 @@ class _Handler(BaseHTTPRequestHandler):
             rows.append({"id": campaign_id, **status})
         self._send_json({"campaigns": rows})
 
-    def _list_cells(self, campaign_id: str, directory: Path) -> None:
+    def _list_cells(
+        self,
+        campaign_id: str,
+        directory: Path,
+        query: dict[str, list[str]],
+    ) -> None:
+        limit = _int_param(query, "limit", default=None)
+        offset = _int_param(query, "offset", default=0)
+        status_values = query.get("status")
+        status_filter = status_values[-1] if status_values else None
+        if status_filter is not None and status_filter not in _CELL_STATUSES:
+            raise _BadRequestError(
+                f"query parameter 'status' must be one of "
+                f"{list(_CELL_STATUSES)}, got {status_filter!r}"
+            )
         store = ResultStore(directory)
 
         def render() -> bytes:
-            index = store._load_index()
-            if index is not None:
-                cells = index.get("cells", {})
-            else:
-                cells = {
-                    r["cell_key"]: {
-                        k: r.get(k)
-                        for k in ("scenario", "partitioner", "seed")
-                    }
-                    for r in store.records()
+            try:
+                meta = json.loads(
+                    (directory / META_NAME).read_text(encoding="utf-8")
+                )
+                spec = CampaignSpec.from_dict(meta["spec"])
+            except (json.JSONDecodeError, OSError, KeyError) as exc:
+                raise CampaignError(
+                    f"unreadable campaign metadata for {campaign_id!r}: "
+                    f"{exc}"
+                ) from exc
+            state = CampaignCheckpointer(
+                directory / CHECKPOINT_DIRNAME
+            ).load_latest()
+            store_keys = None
+            cells: dict[str, dict[str, Any]] = {}
+            for key, cell in sorted(spec.cell_map().items()):
+                if state is not None:
+                    cell_status = state.status_of(key)
+                else:
+                    if store_keys is None:
+                        store_keys = set(store.keys())
+                    cell_status = (
+                        "completed" if key in store_keys else "pending"
+                    )
+                if status_filter and cell_status != status_filter:
+                    continue
+                cells[key] = {
+                    "scenario": cell.scenario,
+                    "partitioner": cell.partitioner,
+                    "seed": cell.seed,
+                    "status": cell_status,
+                    "artifacts": store.has_artifacts(key),
                 }
+            keys = sorted(cells)
+            page = keys[offset:]
+            if limit is not None:
+                page = page[:limit]
             payload = {
                 "campaign": campaign_id,
                 "num_cells": len(cells),
-                "cells": cells,
+                "total_cells": spec.num_cells,
+                "offset": offset,
+                "limit": limit,
+                "status": status_filter,
+                "cells": {k: cells[k] for k in page},
             }
             return (
                 json.dumps(payload, sort_keys=True, indent=1) + "\n"
             ).encode("utf-8")
 
+        route = f"cells?limit={limit}&offset={offset}&status={status_filter}"
         self._send_cached(
             campaign_id,
-            "cells",
-            store.signature(),
+            route,
+            _campaign_signature(directory, store),
             render,
             "application/json; charset=utf-8",
         )
+
+    def _artifact(
+        self, campaign_id: str, directory: Path, key: str, kind: str
+    ) -> None:
+        if not _ID_RE.match(key):
+            raise CampaignError(f"invalid cell key {key!r}")
+        if kind not in ARTIFACT_FILES:
+            raise CampaignError(
+                f"unknown artifact kind {kind!r}; choose from "
+                f"{sorted(ARTIFACT_FILES)}"
+            )
+        store = ResultStore(directory)
+        path = store.artifact_path(key, ARTIFACT_FILES[kind])
+        try:
+            st = path.stat()
+        except FileNotFoundError:
+            raise CampaignError(
+                f"cell {key!r} has no {kind} artifact"
+            ) from None
+        signature = ((path.name, st.st_mtime_ns, st.st_size),)
+        self._send_cached(
+            campaign_id,
+            f"artifact:{key}:{kind}",
+            signature,
+            path.read_bytes,
+            ARTIFACT_CONTENT_TYPES[kind],
+        )
+
+    def _metrics(self) -> None:
+        """OpenMetrics over every campaign's progress log, self-checked.
+
+        Rebuilt per scrape -- the append-only logs are the state, so a
+        server restart loses nothing -- and validated by the exposition
+        self-check before a byte goes out: a malformed exposition is a
+        500 here, not a silent scrape failure in the collector.
+        """
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(self.server.num_requests)
+        registry.counter("serve.cache_hits").inc(self.server.cache.hits)
+        registry.counter("serve.cache_misses").inc(self.server.cache.misses)
+        for campaign_id in self.server.campaign_ids():
+            log = ProgressLog(self.server.root / campaign_id / EVENTS_NAME)
+            registry_from_progress(
+                log.read(), registry, campaign=campaign_id
+            )
+        text = registry.to_openmetrics()
+        problems = openmetrics_selfcheck(text)
+        if problems:
+            self._send_error_json(
+                500, f"openmetrics self-check failed: {'; '.join(problems)}"
+            )
+            return
+        self._send(200, text.encode("utf-8"), _OPENMETRICS_CONTENT_TYPE)
+
+    def _stream_live(self, directory: Path) -> None:
+        """SSE stream over the campaign's progress log.
+
+        Replays the log from the top (one frame per lifecycle event, so
+        a late subscriber still sees every completed cell), then
+        tail-follows with heartbeat comments until the campaign
+        completes, the client hangs up, or the server starts closing.
+        """
+        status = campaign_status(directory)
+        progress = LiveProgress(num_cells=status["num_cells"])
+        log = ProgressLog(directory / EVENTS_NAME)
+        closing = self.server.closing
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        try:
+            self.wfile.write(format_sse("snapshot", progress.snapshot()))
+            self.wfile.flush()
+            offset = 0
+            replayed_any = False
+            idle = 0.0
+            while True:
+                records, offset = log.read_from(offset)
+                emitted = False
+                for record in records:
+                    if not progress.observe(record):
+                        continue
+                    self.wfile.write(
+                        format_sse(
+                            record["name"],
+                            {
+                                "event": record,
+                                "progress": progress.snapshot(),
+                            },
+                        )
+                    )
+                    emitted = True
+                    replayed_any = True
+                if emitted:
+                    self.wfile.flush()
+                    idle = 0.0
+                if progress.complete:
+                    return
+                if not replayed_any and status["complete"]:
+                    # Legacy directory: complete per the ledger but no
+                    # progress log to replay.  Close with a final frame
+                    # instead of heartbeating forever.
+                    progress.completed = int(status["completed"])
+                    progress.complete = True
+                    self.wfile.write(
+                        format_sse("snapshot", progress.snapshot())
+                    )
+                    self.wfile.flush()
+                    return
+                if closing.is_set():
+                    return
+                if not emitted:
+                    idle += _LIVE_POLL_S
+                    if idle >= _LIVE_HEARTBEAT_S:
+                        self.wfile.write(b": keep-alive\n\n")
+                        self.wfile.flush()
+                        idle = 0.0
+                closing.wait(_LIVE_POLL_S)
+        except (BrokenPipeError, ConnectionResetError):
+            return
 
     def _report(self, campaign_id: str, directory: Path) -> None:
         store = ResultStore(directory)
@@ -271,14 +562,17 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _dashboard(self, campaign_id: str, directory: Path) -> None:
-        trace_path = directory / "events.jsonl"
+        # Prefer the orchestrator's own trace; fall back to the progress
+        # log name for directories written before the two were split.
+        trace_path = directory / ORCHESTRATOR_TRACE_NAME
+        if not trace_path.is_file():
+            trace_path = directory / EVENTS_NAME
         if not trace_path.is_file():
             raise CampaignError(
-                f"campaign {campaign_id!r} has no events.jsonl trace; "
+                f"campaign {campaign_id!r} has no trace to render; "
                 f"run it with tracing enabled first"
             )
-        st = trace_path.stat()
-        signature = (("events.jsonl", st.st_mtime_ns, st.st_size),)
+        signature = (_stat_entry(trace_path),)
 
         def render() -> str:
             from repro.telemetry.report import render_dashboard

@@ -159,6 +159,15 @@ class CampaignSpec:
                         )
         return tuple(out)
 
+    def cell_map(self) -> dict[str, CellSpec]:
+        """Cell key -> :class:`CellSpec` over the whole grid.
+
+        The serving layer uses this to list *every* cell -- pending ones
+        included -- without touching the result store: coordinates are
+        derivable from the spec alone.
+        """
+        return {c.key: c for c in self.cells()}
+
     @property
     def num_cells(self) -> int:
         return (

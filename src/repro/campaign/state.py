@@ -69,6 +69,19 @@ class CampaignState:
             )
         self.failed[key] = str(error)
 
+    def status_of(self, key: str) -> str:
+        """``completed`` / ``failed`` / ``pending`` for one cell key.
+
+        The vocabulary of the ``?status=`` filter on the HTTP cells
+        route; a key outside the grid still reports ``pending`` -- grid
+        membership is the spec's business, not the ledger's.
+        """
+        if key in self.completed:
+            return "completed"
+        if key in self.failed:
+            return "failed"
+        return "pending"
+
     @property
     def num_completed(self) -> int:
         return len(self.completed)

@@ -31,11 +31,19 @@ from typing import Any, Iterator
 from repro.campaign.spec import canonical_json
 from repro.util.errors import CampaignError
 
-__all__ = ["ResultStore", "RESULTS_NAME", "LOG_NAME", "INDEX_NAME"]
+__all__ = [
+    "ResultStore",
+    "RESULTS_NAME",
+    "LOG_NAME",
+    "INDEX_NAME",
+    "ARTIFACTS_DIRNAME",
+]
 
 RESULTS_NAME = "results.jsonl"
 LOG_NAME = "results.log.jsonl"
 INDEX_NAME = "index.json"
+#: Per-cell trace-artifact bundles live under ``artifacts/<cell-key>/``.
+ARTIFACTS_DIRNAME = "artifacts"
 
 #: Fields copied from each record into its index summary row.
 _SUMMARY_FIELDS = ("scenario", "partitioner", "seed")
@@ -162,6 +170,30 @@ class ResultStore:
         tmp_index.replace(self.index_path)
         self.log_path.unlink(missing_ok=True)
         return index
+
+    # -- artifact bundles ---------------------------------------------
+    @property
+    def artifacts_root(self) -> Path:
+        return self.directory / ARTIFACTS_DIRNAME
+
+    def artifact_dir(self, key: str) -> Path:
+        """The bundle directory for one cell key (may not exist yet)."""
+        return self.artifacts_root / key
+
+    def has_artifacts(self, key: str) -> bool:
+        return self.artifact_dir(key).is_dir()
+
+    def artifact_path(self, key: str, filename: str) -> Path:
+        """One artifact file inside a cell's bundle directory.
+
+        ``filename`` must be a bare name -- the serving layer maps its
+        public ``kind`` segment through a fixed table before calling
+        this, so no request-controlled path component ever carries a
+        separator.
+        """
+        if "/" in filename or "\\" in filename or filename in (".", ".."):
+            raise CampaignError(f"invalid artifact filename {filename!r}")
+        return self.artifact_dir(key) / filename
 
     # -- serving helpers ----------------------------------------------
     def signature(self) -> tuple:

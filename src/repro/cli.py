@@ -17,6 +17,7 @@ Usage::
     python -m repro campaign run SPEC.json --dir campaigns/a --workers 4
     python -m repro campaign status campaigns/a       # progress ledger
     python -m repro campaign resume campaigns/a --workers 4
+    python -m repro campaign watch campaigns/a        # live progress tail
     python -m repro serve --root campaigns --port 8765  # HTTP front
 
 ``campaign`` executes a scenario × partitioner × seed × config grid
@@ -24,9 +25,16 @@ Usage::
 completed-cell ledger after every cell: a run killed at any point --
 SIGKILL included -- resumes with ``campaign resume`` re-executing zero
 completed cells, and the compacted result store is byte-identical to an
-uninterrupted single-worker run.  ``serve`` fronts a directory of
-campaigns with a stdlib HTTP API (status, per-cell records, HTML report
-and dashboard) with ETag-validated response caching.
+uninterrupted single-worker run.  Each cell also persists a per-cell
+trace-artifact bundle (span JSONL, flamegraph, critical-path profile)
+under ``artifacts/<cell-key>/`` and appends lifecycle events to the
+campaign's ``events.jsonl`` progress log.  ``campaign watch`` tails
+that log (or a serve ``/live`` SSE URL) as a live progress line with
+throughput and ETA.  ``serve`` fronts a directory of campaigns with a
+stdlib HTTP API (status, paginated cells, per-cell records and
+artifacts, OpenMetrics at ``/metrics``, an SSE stream at
+``/campaigns/<id>/live``, HTML report and dashboard) with
+ETag-validated response caching.
 
 ``profile`` reconstructs the per-iteration critical path from the span
 stream (which rank's compute/exchange gated each step, slack per rank,
@@ -642,12 +650,14 @@ def _execute_campaign(
     spec, directory: Path, workers: int, max_cells: int | None
 ) -> int:
     """Shared body of ``campaign run`` and ``campaign resume``."""
-    from repro.campaign import CampaignRunner
+    from repro.campaign import ORCHESTRATOR_TRACE_NAME, CampaignRunner
 
     tracer = Tracer()
     runner = CampaignRunner(spec, directory, workers=workers, tracer=tracer)
     result = runner.run(max_cells=max_cells)
-    write_jsonl(tracer, directory / "events.jsonl")
+    # The orchestrator's own trace; ``events.jsonl`` is the cross-process
+    # progress log the runner appends to while cells execute.
+    write_jsonl(tracer, directory / ORCHESTRATOR_TRACE_NAME)
     _print_campaign_result(result)
     if result["complete"]:
         print(f"  result store: {runner.store.results_path}")
@@ -659,8 +669,138 @@ def _execute_campaign(
     return 1 if result["failed"] else 0
 
 
+def _watch_event_line(record: dict, progress) -> str | None:
+    """One log line per lifecycle event for non-tty watch output."""
+    name = record.get("name")
+    attrs = record.get("attributes") or {}
+    key = attrs.get("cell_key", "")
+    if name == "campaign.started":
+        return (
+            f"campaign {attrs.get('campaign_id', '?')}: "
+            f"{attrs.get('num_cells', '?')} cells, "
+            f"{attrs.get('pending', '?')} pending"
+        )
+    if name == "live.cell_started":
+        return f"cell started  {key}"
+    if name == "live.cell_finished":
+        return (
+            f"cell finished {key} "
+            f"({progress.completed}/{progress.num_cells or '?'})"
+        )
+    if name == "live.cell_failed":
+        return f"cell failed   {key}: {attrs.get('error', '')}"
+    return None
+
+
+def _watch_directory(
+    directory: Path, interval: float, timeout: float | None
+) -> int:
+    """Tail a campaign directory's progress log until completion."""
+    import time as _time
+
+    from repro.campaign import campaign_status
+    from repro.telemetry.live import EVENTS_NAME, LiveProgress, ProgressLog
+
+    status = campaign_status(directory)
+    progress = LiveProgress(num_cells=status["num_cells"])
+    log = ProgressLog(directory / EVENTS_NAME)
+    live = sys.stdout.isatty()
+    deadline = _time.monotonic() + timeout if timeout is not None else None
+    offset = 0
+    observed_any = False
+    while True:
+        records, offset = log.read_from(offset)
+        for record in records:
+            if not progress.observe(record):
+                continue
+            observed_any = True
+            if live:
+                sys.stdout.write("\r\x1b[K" + progress.render_line())
+                sys.stdout.flush()
+            else:
+                line = _watch_event_line(record, progress)
+                if line is not None:
+                    print(line)
+        if progress.complete:
+            break
+        if not observed_any and status["complete"]:
+            # Completed before the progress log existed: nothing to tail.
+            progress.completed = int(status["completed"])
+            progress.complete = True
+            break
+        if deadline is not None and _time.monotonic() >= deadline:
+            if live:
+                sys.stdout.write("\n")
+            print(
+                f"watch timed out after {timeout:g}s: "
+                + progress.render_line()
+            )
+            return 1
+        _time.sleep(max(0.05, interval))
+    if live:
+        sys.stdout.write("\n")
+    print("watch: " + progress.render_line())
+    return 1 if progress.failed else 0
+
+
+def _watch_url(url: str, timeout: float | None) -> int:
+    """Consume a serve ``/campaigns/<id>/live`` SSE stream until done."""
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    deadline = _time.monotonic() + timeout if timeout is not None else None
+    request = urllib.request.Request(
+        url, headers={"Accept": "text/event-stream"}
+    )
+    last: dict = {}
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            for raw in response:
+                line = raw.decode("utf-8", "replace").rstrip("\r\n")
+                if not line.startswith("data: "):
+                    if deadline is not None and _time.monotonic() >= deadline:
+                        print(f"watch timed out after {timeout:g}s")
+                        return 1
+                    continue
+                payload = json.loads(line[len("data: "):])
+                snapshot = (
+                    payload.get("progress")
+                    if isinstance(payload, dict) and "progress" in payload
+                    else payload
+                )
+                if not isinstance(snapshot, dict):
+                    continue
+                last = snapshot
+                completed = snapshot.get("completed", 0)
+                total = snapshot.get("num_cells") or "?"
+                print(f"progress: {completed}/{total} cells")
+                if snapshot.get("complete"):
+                    break
+                if deadline is not None and _time.monotonic() >= deadline:
+                    print(f"watch timed out after {timeout:g}s")
+                    return 1
+    except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+        print(f"watch error: could not stream {url}: {exc}", file=sys.stderr)
+        return 2
+    if last.get("complete"):
+        print("watch: complete")
+        return 1 if last.get("failed") else 0
+    print("watch: stream ended before completion")
+    return 1
+
+
+def _run_campaign_watch(
+    target: str, interval: float, timeout: float | None
+) -> int:
+    """``repro campaign watch``: live progress for a directory or URL."""
+    if target.startswith(("http://", "https://")):
+        return _watch_url(target, timeout)
+    return _watch_directory(Path(target), interval, timeout)
+
+
 def _run_campaign(args) -> int:
-    """Dispatch ``repro campaign run|status|resume``; errors exit 2."""
+    """Dispatch ``repro campaign run|status|resume|watch``; errors exit 2."""
     from repro.campaign import CampaignSpec, campaign_status
     from repro.util.errors import CampaignError
 
@@ -687,14 +827,23 @@ def _run_campaign(args) -> int:
                 f"  store records: {status['store_records']}"
                 + (" (compacted)" if status["compacted"] else "")
             )
+            if status.get("artifact_cells"):
+                print(
+                    f"  artifact bundles: {status['artifact_cells']} cells"
+                )
             for key, error in sorted(status["failed"].items()):
                 print(f"  failed {key}: {error}")
             return 1 if status["failed"] else 0
+        if args.campaign_command == "watch":
+            return _run_campaign_watch(
+                args.target, args.interval, args.timeout
+            )
     except CampaignError as exc:
         print(f"campaign error: {exc}", file=sys.stderr)
         return 2
     print(
-        "usage: repro campaign {run,status,resume} ...", file=sys.stderr
+        "usage: repro campaign {run,status,resume,watch} ...",
+        file=sys.stderr,
     )
     return 2
 
@@ -894,6 +1043,23 @@ def main(argv: list[str] | None = None) -> int:
         "status", help="print a campaign directory's progress ledger"
     )
     cstatus.add_argument("dir", help="existing campaign directory")
+    cwatch = campaign_sub.add_parser(
+        "watch",
+        help="tail a campaign's live progress (throughput, ETA) from its "
+        "directory or a serve /campaigns/<id>/live SSE URL",
+    )
+    cwatch.add_argument(
+        "target",
+        help="campaign directory, or an http(s) URL of a serve live stream",
+    )
+    cwatch.add_argument(
+        "--interval", type=float, default=0.5,
+        help="poll interval in seconds for directory mode (default: 0.5)",
+    )
+    cwatch.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up (exit 1) after this many seconds (default: no limit)",
+    )
     serve = sub.add_parser(
         "serve",
         help="serve campaign directories over HTTP (status, cells, "

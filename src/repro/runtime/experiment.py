@@ -152,6 +152,7 @@ def campaign_cell(
     partitioner: str,
     seed: int,
     config: dict | None = None,
+    tracer=None,
 ) -> dict:
     """Execute one campaign grid cell; return its deterministic record.
 
@@ -162,9 +163,16 @@ def campaign_cell(
     so the same cell produces byte-identical records whether it ran
     inline, on any of N pool workers, or in a resumed campaign.  Wall
     timings belong to the orchestrator's own telemetry, not the record.
+
+    ``tracer`` injects the tracer the cell runs under (the campaign
+    worker passes :func:`repro.telemetry.live.deterministic_tracer` so
+    the per-cell artifact bundle it persists afterwards is also a pure
+    function of the spec).  The default is such a deterministic tracer,
+    not a wall-clock one, for the same reason.
     """
     from repro.telemetry.analysis import HealthMonitor
-    from repro.telemetry.spans import Tracer, activate
+    from repro.telemetry.live import deterministic_tracer
+    from repro.telemetry.spans import activate
 
     config = dict(config or {})
     try:
@@ -183,7 +191,8 @@ def campaign_cell(
         regrid_interval=int(config.get("regrid_interval", 5)),
         sensing_interval=int(config.get("sensing_interval", 10)),
     )
-    tracer = Tracer()
+    if tracer is None:
+        tracer = deterministic_tracer()
     health = HealthMonitor().attach(tracer)
     with activate(tracer):
         result = run_once(workload, cluster, make_partitioner(partitioner), cfg)

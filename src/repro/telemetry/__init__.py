@@ -35,6 +35,10 @@ On top of the recording layer sit the consumers added in PR 2:
 - :mod:`repro.telemetry.names` -- the central registry of span/event
   names the instrumentation may emit (linted by
   ``tools/check_span_names.py``).
+- :mod:`repro.telemetry.live` -- cross-process campaign observability:
+  deterministic worker tracers, per-cell artifact bundles, telemetry
+  digests, the append-only progress log, live progress aggregation
+  (throughput/ETA) and OpenMetrics reconstruction for ``repro serve``.
 
 Instrumented call sites accept an injectable tracer and default to the
 ambient one (:func:`get_active_tracer`), which is the no-op tracer unless
@@ -85,6 +89,18 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
     openmetrics_selfcheck,
+)
+from repro.telemetry.live import (
+    ARTIFACT_FILES,
+    EVENTS_NAME,
+    LiveProgress,
+    ProgressLog,
+    TelemetryDigest,
+    deterministic_tracer,
+    digest_from_record,
+    format_sse,
+    registry_from_progress,
+    write_cell_bundle,
 )
 from repro.telemetry.names import EVENT_NAMES, EVENT_PREFIXES, SPAN_NAMES
 from repro.telemetry.profile import (
@@ -186,4 +202,15 @@ __all__ = [
     "write_speedscope",
     "write_openmetrics",
     "LiveTop",
+    # live campaign observability
+    "ARTIFACT_FILES",
+    "EVENTS_NAME",
+    "LiveProgress",
+    "ProgressLog",
+    "TelemetryDigest",
+    "deterministic_tracer",
+    "digest_from_record",
+    "format_sse",
+    "registry_from_progress",
+    "write_cell_bundle",
 ]

@@ -54,6 +54,8 @@ SPAN_NAMES = frozenset(
         "checkpoint.restore",
         # campaign orchestration (one span per completed grid cell)
         "campaign.cell",
+        # artifact-bundle publication recorded at cell commit
+        "campaign.artifact.bundle",
     }
 )
 
@@ -66,6 +68,14 @@ EVENT_NAMES = frozenset(
         "fault.step_aborted",
         "recovery.repartition",
         "recovery.complete",
+        # campaign artifact bundles (emitted by the orchestrator tracer)
+        "campaign.artifact.written",
+        # live progress-log records (written by ProgressLog, mirrored
+        # here so stream consumers share one registry with the tracer)
+        "live.cell_started",
+        "live.cell_finished",
+        "live.cell_failed",
+        "live.heartbeat",
     }
 )
 
@@ -78,6 +88,7 @@ EVENT_PREFIXES = (
     "comm.",
     "checkpoint.",
     "campaign.",
+    "live.",
 )
 
 

@@ -3,11 +3,15 @@
 The compacted store must not depend on *how* the campaign was executed:
 one worker vs a sharded pool, uninterrupted vs killed-and-resumed.  These
 tests compare the canonical ``results.jsonl`` files byte for byte.
+
+The same property extends to the per-cell trace-artifact bundles under
+``artifacts/<cell-key>/``: cells run under a zero-wall deterministic
+tracer, so every bundle file is a pure function of its cell spec.
 """
 
 from __future__ import annotations
 
-from repro.campaign import CampaignRunner, CampaignSpec
+from repro.campaign import ARTIFACTS_DIRNAME, CampaignRunner, CampaignSpec
 
 
 def spec() -> CampaignSpec:
@@ -24,12 +28,31 @@ def store_bytes(directory) -> bytes:
     return (directory / "results.jsonl").read_bytes()
 
 
+def bundle_bytes(directory) -> dict[str, bytes]:
+    """Every artifact file, keyed by bundle-relative path."""
+    root = directory / ARTIFACTS_DIRNAME
+    return {
+        str(p.relative_to(root)): p.read_bytes()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
 class TestWorkerCountInvariance:
     def test_one_vs_eight_workers_byte_identical(self, tmp_path):
         d1, d8 = tmp_path / "w1", tmp_path / "w8"
         assert CampaignRunner(spec(), d1, workers=1).run()["complete"]
         assert CampaignRunner(spec(), d8, workers=8).run()["complete"]
         assert store_bytes(d1) == store_bytes(d8)
+
+    def test_artifact_bundles_byte_identical_across_workers(self, tmp_path):
+        d1, d8 = tmp_path / "w1", tmp_path / "w8"
+        CampaignRunner(spec(), d1, workers=1).run()
+        CampaignRunner(spec(), d8, workers=8).run()
+        one, eight = bundle_bytes(d1), bundle_bytes(d8)
+        assert one  # one bundle per cell actually written
+        assert len({p.split("/")[0] for p in one}) == spec().num_cells
+        assert one == eight
 
 
 class TestInterruptResumeInvariance:
@@ -58,6 +81,13 @@ class TestInterruptResumeInvariance:
         assert result["complete"]
         assert result["executed"] == spec().num_cells - 3
         assert store_bytes(straight) == store_bytes(chopped)
+
+    def test_artifact_bundles_byte_identical_after_resume(self, tmp_path):
+        straight, chopped = tmp_path / "s", tmp_path / "c"
+        CampaignRunner(spec(), straight, workers=1).run()
+        CampaignRunner(spec(), chopped, workers=2).run(max_cells=3)
+        CampaignRunner(spec(), chopped, workers=2).run()
+        assert bundle_bytes(straight) == bundle_bytes(chopped)
 
     def test_index_identical_too(self, tmp_path):
         d1, d2 = tmp_path / "a", tmp_path / "b"

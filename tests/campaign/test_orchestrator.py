@@ -90,10 +90,10 @@ class TestFailures:
         d = tmp_path / "c"
         real = orch.execute_cell
 
-        def flaky(cell_dict):
+        def flaky(cell_dict, *args):
             if cell_dict["seed"] == 2:
                 raise RuntimeError("injected")
-            return real(cell_dict)
+            return real(cell_dict, *args)
 
         monkeypatch.setattr(orch, "execute_cell", flaky)
         runner = CampaignRunner(small_spec(), d)
@@ -111,7 +111,7 @@ class TestFailures:
     def test_failed_cells_retry_on_resume(self, tmp_path, monkeypatch):
         d = tmp_path / "c"
 
-        def broken(cell_dict):
+        def broken(cell_dict, *args):
             raise RuntimeError("down")
 
         monkeypatch.setattr(orch, "execute_cell", broken)

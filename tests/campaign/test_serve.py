@@ -102,6 +102,209 @@ class TestRoutes:
         assert get(f"{base}/campaigns/..%2F..%2Fetc")[0] == 404
 
 
+class TestCellsPagination:
+    def cells(self, base, query=""):
+        status, _, body = get(f"{base}/campaigns/web/cells{query}")
+        assert status == 200
+        return json.loads(body)
+
+    def test_cells_carry_status_and_artifacts(self, served):
+        _, base = served
+        payload = self.cells(base)
+        assert payload["num_cells"] == 2
+        assert payload["total_cells"] == 2
+        for cell in payload["cells"].values():
+            assert cell["status"] == "completed"
+            assert cell["artifacts"] is True
+
+    def test_limit_and_offset_page_in_key_order(self, served):
+        _, base = served
+        all_keys = sorted(self.cells(base)["cells"])
+        first = self.cells(base, "?limit=1")
+        assert list(first["cells"]) == all_keys[:1]
+        assert first["num_cells"] == 2  # total matching, not page size
+        second = self.cells(base, "?limit=1&offset=1")
+        assert list(second["cells"]) == all_keys[1:]
+        beyond = self.cells(base, "?offset=5")
+        assert beyond["cells"] == {}
+
+    def test_status_filter(self, served):
+        _, base = served
+        completed = self.cells(base, "?status=completed")
+        assert len(completed["cells"]) == 2
+        pending = self.cells(base, "?status=pending")
+        assert pending["cells"] == {}
+        assert pending["num_cells"] == 0
+
+    def test_invalid_known_params_400(self, served):
+        _, base = served
+        for query in ("?limit=banana", "?offset=-1", "?status=bogus"):
+            status, _, body = get(f"{base}/campaigns/web/cells{query}")
+            assert status == 400, query
+            assert "error" in json.loads(body)
+
+    def test_unknown_params_ignored(self, served):
+        _, base = served
+        payload = self.cells(base, "?frobnicate=1&limit=1")
+        assert len(payload["cells"]) == 1
+
+
+class TestArtifactRoutes:
+    def first_key(self, base) -> str:
+        _, _, body = get(f"{base}/campaigns/web/cells")
+        return sorted(json.loads(body)["cells"])[0]
+
+    def test_flamegraph_artifact(self, served):
+        server, base = served
+        key = self.first_key(base)
+        status, headers, body = get(
+            f"{base}/campaigns/web/cells/{key}/artifacts/flamegraph"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        on_disk = (
+            server.root / "web" / "artifacts" / key / "flamegraph.txt"
+        ).read_bytes()
+        assert body == on_disk
+
+    def test_trace_and_profile_artifacts(self, served):
+        _, base = served
+        key = self.first_key(base)
+        status, headers, body = get(
+            f"{base}/campaigns/web/cells/{key}/artifacts/trace"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/x-ndjson")
+        assert all(
+            json.loads(line) for line in body.decode("utf-8").splitlines()
+        )
+        status, headers, body = get(
+            f"{base}/campaigns/web/cells/{key}/artifacts/profile"
+        )
+        assert status == 200
+        assert json.loads(body)["cell_key"] == key
+
+    def test_unknown_kind_404_json(self, served):
+        _, base = served
+        key = self.first_key(base)
+        status, _, body = get(
+            f"{base}/campaigns/web/cells/{key}/artifacts/coredump"
+        )
+        assert status == 404
+        assert "unknown artifact kind" in json.loads(body)["error"]
+
+    def test_missing_cell_404_json(self, served):
+        _, base = served
+        status, _, body = get(
+            f"{base}/campaigns/web/cells/no-such-cell/artifacts/trace"
+        )
+        assert status == 404
+        assert "error" in json.loads(body)
+
+    def test_malformed_key_404_never_500(self, served):
+        _, base = served
+        status, _, body = get(
+            f"{base}/campaigns/web/cells/..%2Fsecrets/artifacts/trace"
+        )
+        assert status == 404
+        assert "error" in json.loads(body)
+
+
+class TestMetricsEndpoint:
+    def test_openmetrics_exposition(self, served):
+        _, base = served
+        status, headers, body = get(f"{base}/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith(
+            "application/openmetrics-text"
+        )
+        text = body.decode("utf-8")
+        assert text.endswith("# EOF\n")
+        assert 'campaign="web"' in text
+        assert "campaign_cells_completed" in text
+        assert "serve_requests_total" in text
+
+    def test_exposition_passes_selfcheck(self, served):
+        from repro.telemetry.metrics import openmetrics_selfcheck
+
+        _, base = served
+        _, _, body = get(f"{base}/metrics")
+        assert openmetrics_selfcheck(body.decode("utf-8")) == []
+
+    def test_metrics_not_cached(self, served):
+        _, base = served
+        _, headers, first = get(f"{base}/metrics")
+        assert "ETag" not in headers
+        _, _, second = get(f"{base}/metrics")
+        # The request counter moves between scrapes: live, not a snapshot.
+        assert first != second
+
+
+def read_sse_frames(base: str, campaign: str) -> list[tuple[str, dict]]:
+    """Consume one /live stream to EOF; returns (event, payload) frames."""
+    frames: list[tuple[str, dict]] = []
+    request = urllib.request.Request(f"{base}/campaigns/{campaign}/live")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        event = None
+        for raw in response:
+            line = raw.decode("utf-8").rstrip("\n")
+            if line.startswith("event: "):
+                event = line[len("event: "):]
+            elif line.startswith("data: ") and event is not None:
+                frames.append((event, json.loads(line[len("data: "):])))
+    return frames
+
+
+class TestLiveStream:
+    def test_replays_one_event_per_completed_cell(self, served):
+        _, base = served
+        frames = read_sse_frames(base, "web")
+        names = [e for e, _ in frames]
+        assert names[0] == "snapshot"
+        assert names.count("live.cell_finished") == 2
+        assert names[-1] == "campaign.completed"
+        final = frames[-1][1]["progress"]
+        assert final["complete"]
+        assert final["completed"] == 2
+
+    def test_frames_carry_progress_snapshots(self, served):
+        _, base = served
+        frames = read_sse_frames(base, "web")
+        finishes = [p for e, p in frames if e == "live.cell_finished"]
+        assert [f["progress"]["completed"] for f in finishes] == [1, 2]
+        assert finishes[0]["event"]["attributes"]["cell_key"]
+
+    def test_stream_terminates_on_server_shutdown(self, tmp_path):
+        """A tail-following stream must end on graceful shutdown."""
+        spec = CampaignSpec(
+            name="slow",
+            scenarios=("paper-four-node",),
+            partitioners=("greedy",),
+            seeds=(1, 2),
+            base_config={"iterations": 3},
+        )
+        # One of two cells done: the stream replays it, then tails.
+        CampaignRunner(spec, tmp_path / "slow", workers=1).run(max_cells=1)
+        server = make_server(tmp_path, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        result: dict = {}
+
+        def consume():
+            result["frames"] = read_sse_frames(base, "slow")
+
+        reader = threading.Thread(target=consume, daemon=True)
+        reader.start()
+        time.sleep(0.5)  # let it replay history and enter the tail loop
+        server.shutdown()
+        reader.join(timeout=5)
+        server.server_close()
+        assert not reader.is_alive(), "SSE stream survived shutdown"
+        names = [e for e, _ in result["frames"]]
+        assert "live.cell_finished" in names
+
+
 class TestCaching:
     def test_etag_present_and_304_on_match(self, served):
         _, base = served
@@ -135,6 +338,39 @@ class TestCaching:
         assert status == 200
         assert headers2["ETag"] != etag
         log.unlink()
+
+    def test_cells_pages_revalidate_with_304(self, served):
+        _, base = served
+        _, headers, _ = get(f"{base}/campaigns/web/cells?limit=1")
+        etag = headers["ETag"]
+        status, _, body = get(
+            f"{base}/campaigns/web/cells?limit=1", {"If-None-Match": etag}
+        )
+        assert status == 304
+        assert body == b""
+
+    def test_pages_have_distinct_etags(self, served):
+        _, base = served
+        _, h1, _ = get(f"{base}/campaigns/web/cells?limit=1")
+        _, h2, _ = get(f"{base}/campaigns/web/cells?limit=1&offset=1")
+        assert h1["ETag"] != h2["ETag"]
+
+    def test_etag_invalidated_by_compaction_mid_serve(self, served):
+        from repro.campaign import ResultStore
+
+        server, base = served
+        _, headers, first = get(f"{base}/campaigns/web/cells")
+        etag = headers["ETag"]
+        # Re-compact while the server is live: identical content, but the
+        # store files were rewritten, so the validator must turn over and
+        # a conditional request must be answered with a fresh 200.
+        ResultStore(server.root / "web").compact()
+        status, headers2, body = get(
+            f"{base}/campaigns/web/cells", {"If-None-Match": etag}
+        )
+        assert status == 200
+        assert headers2["ETag"] != etag
+        assert body == first  # same bytes, new validator
 
 
 class TestServerConstruction:
