@@ -24,6 +24,7 @@ Not pytest-collected -- CI runs it explicitly::
 
 from __future__ import annotations
 
+import gc
 import json
 import math
 import platform
@@ -33,10 +34,13 @@ from pathlib import Path
 import numpy as np
 
 from repro import __version__
-from repro.partition import GreedyLPT, WorkModel
-from repro.partition.base import default_work
+from repro.partition import GreedyLPT, SFCHybrid, WorkModel
+from repro.partition.base import PartitionResult, default_work
+from repro.partition.composite import assign_curve_spans
+from repro.partition.splitting import SplitConstraints
 from repro.util.errors import PartitionError
-from repro.util.geometry import Box, BoxList
+from repro.util.geometry import Box, BoxArray, BoxList
+from repro.util.sfc import hilbert_encode_many
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_partition.json"
@@ -47,6 +51,21 @@ REPEATS_AFTER = 5
 #: The legacy path is quadratic in box count; one repeat at the large
 #: size keeps the script's runtime bounded (~25 s total).
 REPEATS_BEFORE = {1_000: 3, 10_000: 1}
+
+#: Million-box tier (columnar refactor): 1 M boxes dealt onto 1024
+#: simulated ranks through the SFC-hybrid span assigner.  The whole
+#: repartition -- key computation, ordering, span cuts, assignment
+#: columns -- must stay under a second of wall time.
+MILLION_BOXES = 1_000_000
+MILLION_RANKS = 1024
+MILLION_BUDGET_S = 1.0
+REPEATS_MILLION = 5
+
+
+def million_capacities() -> np.ndarray:
+    """1024 simulated ranks over four heterogeneous node generations."""
+    caps = np.tile(np.array([1.0, 1.5, 2.0, 4.0]), MILLION_RANKS // 4)
+    return caps / caps.sum()
 
 
 def make_boxes(n: int) -> BoxList:
@@ -123,12 +142,113 @@ def current_partition_and_account(boxes: BoxList, capacities) -> np.ndarray:
     return r.loads()
 
 
+# --------------------------------------------------------------------------
+# Million-box tier: columnar SFC-hybrid vs the per-box object walk.
+# --------------------------------------------------------------------------
+
+
+def make_boxes_columnar(n: int) -> BoxList:
+    """The :func:`make_boxes` patchwork built straight into columns."""
+    i = np.arange(n, dtype=np.int64)
+    side = math.ceil(math.sqrt(n))
+    x = (i % side) * 16
+    y = (i // side) * 16
+    sz = 8 + 4 * (i % 3)
+    lower = np.stack([x, y], axis=1)
+    upper = np.stack([x + sz, y + sz], axis=1)
+    return BoxList.from_array(BoxArray(lower, upper, i % 3))
+
+
+def _legacy_sfc_order(boxes: BoxList) -> list[Box]:
+    """Pre-columnar ``sfc_order_boxes``: per-box corner promotion."""
+    box_list = list(boxes)
+    max_level = max(b.level for b in box_list)
+    corners = np.array(
+        [[c * 2 ** (max_level - b.level) for c in b.lower] for b in box_list],
+        dtype=np.int64,
+    )
+    bits = max(int(corners.max(initial=0)), 1).bit_length()
+    keys = hilbert_encode_many(corners, bits)
+    levels = np.fromiter(
+        (b.level for b in box_list), dtype=np.int64, count=len(box_list)
+    )
+    order = np.lexsort((levels, keys))
+    return [box_list[i] for i in order]
+
+
+def legacy_hybrid_partition(boxes: BoxList, capacities) -> np.ndarray:
+    """Pre-columnar SFCHybrid: object ordering + per-box span walk."""
+    caps = np.asarray(capacities, dtype=float)
+    caps = caps / caps.sum()
+    model = WorkModel()
+    targets = caps * sum(default_work(b) for b in boxes)
+    result = PartitionResult(targets=targets, work_model=model)
+    ordered = _legacy_sfc_order(boxes)
+    assign_curve_spans(ordered, targets, model, SplitConstraints(), result)
+    return _legacy_loads(result.assignment, len(caps))
+
+
+def current_hybrid_partition(boxes: BoxList, capacities) -> np.ndarray:
+    r = SFCHybrid().partition(boxes, capacities, WorkModel())
+    return r.loads()
+
+
+def bench_million() -> dict:
+    caps = million_capacities()
+    # Time the columnar path first, on its own list: the legacy walk
+    # materializes (and caches) a million Box objects, and timing in
+    # that bloated heap would charge the columnar path for GC scans
+    # over objects it never creates.
+    boxes = make_boxes_columnar(MILLION_BOXES)
+    after_loads = current_hybrid_partition(boxes, caps)
+    after = _best_wall(
+        lambda: current_hybrid_partition(boxes, caps), REPEATS_MILLION
+    )
+    del boxes
+    gc.collect()
+    boxes = make_boxes_columnar(MILLION_BOXES)
+    before_loads = legacy_hybrid_partition(boxes, caps)
+    if not np.array_equal(before_loads, after_loads):
+        raise AssertionError(
+            "columnar SFCHybrid changed loads at the million-box tier"
+        )
+    before = _best_wall(lambda: legacy_hybrid_partition(boxes, caps), 1)
+    if after >= MILLION_BUDGET_S:
+        print(
+            f"  WARNING: million-box repartition took {after:.3f} s "
+            f"(budget {MILLION_BUDGET_S:.1f} s)"
+        )
+    return {
+        "partitioner": f"SFCHybrid@{MILLION_BOXES}",
+        "num_boxes": MILLION_BOXES,
+        "num_ranks": MILLION_RANKS,
+        "wall_budget_seconds": MILLION_BUDGET_S,
+        "before": {
+            "wall_seconds": before,
+            "boxes_per_wall_second": MILLION_BOXES / before,
+        },
+        "after": {
+            "wall_seconds": after,
+            "boxes_per_wall_second": MILLION_BOXES / after,
+        },
+        "wall_speedup": before / after,
+    }
+
+
 def _best_wall(fn, repeats: int) -> float:
+    """Best-of-N wall time with the cyclic GC paused while timing."""
     best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            gc.collect()
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        if was_enabled:
+            gc.enable()
     return best
 
 
@@ -166,6 +286,7 @@ def bench_size(n: int) -> dict:
 
 def main() -> None:
     rows = [bench_size(n) for n in SIZES]
+    rows.append(bench_million())
     summary = {
         "schema_version": 1,
         "repro_version": __version__,

@@ -173,7 +173,7 @@ def plan_exchange_volumes(
         volumes[key] = volumes.get(key, 0.0) + cells * bytes_per_cell
 
     by_level: dict[int, list[Box]] = {}
-    for b in boxes:
+    for b in boxes:  # per-box ok: keyed against the Box-keyed owners map
         if b not in owners:
             raise GeometryError(f"box {b} missing from ownership map")
         by_level.setdefault(b.level, []).append(b)

@@ -19,7 +19,7 @@ from repro.amr.intergrid import prolong, restrict
 from repro.amr.level import GridLevel
 from repro.amr.patch import GridPatch
 from repro.util.errors import GeometryError
-from repro.util.geometry import Box, BoxList
+from repro.util.geometry import Box, BoxArray, BoxList
 
 __all__ = ["GridHierarchy"]
 
@@ -67,9 +67,20 @@ class GridHierarchy:
         self.max_levels = max_levels
         self.refine_factor = refine_factor
         self.dx0 = dx0
-        self.levels: list[GridLevel] = []
+        self._levels: list[GridLevel] = []
+        self._flat_cache: BoxList | None = None
         self.time = 0.0
         self.step_count = 0
+
+    @property
+    def levels(self) -> list[GridLevel]:
+        """The level stack (replacing it invalidates the box-list cache)."""
+        return self._levels
+
+    @levels.setter
+    def levels(self, value: list[GridLevel]) -> None:
+        self._levels = value
+        self._flat_cache = None
 
     # ------------------------------------------------------------------
     # Setup
@@ -105,11 +116,29 @@ class GridHierarchy:
         return box
 
     def box_list(self) -> BoxList:
-        """Flattened bounding boxes of every level (what partitioners see)."""
+        """Flattened bounding boxes of every level (what partitioners see).
+
+        The list -- and through it the :class:`BoxArray` column cache every
+        downstream consumer shares (SFC keys, work vectors, disjointness
+        sweeps) -- is memoized until the hierarchy's geometry changes, so
+        repeated repartitions of an unchanged hierarchy extract box
+        coordinates exactly once.
+        """
+        cached = self._flat_cache
+        if cached is not None and len(cached) == sum(
+            len(lvl) for lvl in self._levels
+        ):
+            return cached
         out: list[Box] = []
-        for lvl in self.levels:
+        for lvl in self._levels:
             out.extend(lvl.boxes)
-        return BoxList(out)
+        cached = BoxList(out)
+        self._flat_cache = cached
+        return cached
+
+    def box_array(self) -> BoxArray:
+        """Columnar view of :meth:`box_list` (shared cached columns)."""
+        return self.box_list().array
 
     def subcycles(self, level: int) -> int:
         """Kernel steps taken on ``level`` per coarse (level-0) step."""
@@ -174,16 +203,12 @@ class GridHierarchy:
                 f"level {level} exceeds max_levels={self.max_levels}"
             )
         dom = self.domain_at(level)
-        for b in boxes:
-            if b.level != level:
-                raise GeometryError(f"box {b} is not at level {level}")
-            if not dom.contains_box(b):
-                raise GeometryError(f"box {b} outside domain {dom}")
+        self._check_level_boxes(boxes, level, dom)
 
         old_level = self.levels[level] if level < self.num_levels else None
         new_level = GridLevel(level)
         parent = self.levels[level - 1]
-        for box in boxes:
+        for box in boxes:  # per-box ok: allocates GridPatch field storage
             patch = GridPatch(
                 box,
                 num_fields=self.kernel.num_fields,
@@ -204,6 +229,7 @@ class GridHierarchy:
         # Drop now-empty tail levels so num_levels reflects reality.
         while self.levels and len(self.levels[-1]) == 0:
             self.levels.pop()
+        self._flat_cache = None
 
     def repatch_level(self, level: int, boxes: BoxList) -> None:
         """Re-tile an existing level's footprint with a new patch layout.
@@ -219,16 +245,19 @@ class GridHierarchy:
             raise GeometryError(f"cannot repatch non-existent level {level}")
         old_level = self.levels[level]
         old_cells = old_level.total_cells
-        new_cells = sum(b.num_cells for b in boxes)
+        new_cells = boxes.total_cells
         if old_cells != new_cells:
             raise GeometryError(
                 f"repatch changes level {level} coverage: "
                 f"{old_cells} cells -> {new_cells}"
             )
+        bad = np.flatnonzero(boxes.array.level != level)
+        if bad.size:
+            raise GeometryError(
+                f"box {boxes[int(bad[0])]} is not at level {level}"
+            )
         new_patches = GridLevel(level)
-        for box in boxes:
-            if box.level != level:
-                raise GeometryError(f"box {box} is not at level {level}")
+        for box in boxes:  # per-box ok: allocates GridPatch field storage
             patch = GridPatch(
                 box,
                 num_fields=self.kernel.num_fields,
@@ -247,6 +276,31 @@ class GridHierarchy:
                 )
             new_patches.add_patch(patch)
         self.levels[level] = new_patches
+        self._flat_cache = None
+
+    @staticmethod
+    def _check_level_boxes(boxes: BoxList, level: int, dom: Box) -> None:
+        """Columnar validation: every box at ``level`` and inside ``dom``.
+
+        Raises for the first offending box in list order with the same
+        message the old per-box walk produced (level mismatch reported
+        before containment, as before).
+        """
+        if len(boxes) == 0:
+            return
+        arr = boxes.array
+        bad_level = arr.level != level
+        lo = np.asarray(dom.lower, dtype=arr.lower.dtype)
+        up = np.asarray(dom.upper, dtype=arr.upper.dtype)
+        outside = np.any(arr.lower < lo, axis=1) | np.any(arr.upper > up, axis=1)
+        bad = np.flatnonzero(bad_level | outside)
+        if bad.size:
+            first = int(bad[0])
+            if bad_level[first]:
+                raise GeometryError(
+                    f"box {boxes[first]} is not at level {level}"
+                )
+            raise GeometryError(f"box {boxes[first]} outside domain {dom}")
 
     def _fill_from_parent(self, patch: GridPatch, parent: GridLevel) -> None:
         """Initialize a new fine patch by prolonging parent data."""

@@ -65,11 +65,16 @@ class Cluster:
         self.clock = SimClock()
         self.tracer = NULL_TRACER
         self._generators: list[SyntheticLoadGenerator] = []
-        #: node -> its generators; every per-node query walks only this
-        #: bucket instead of scanning the full generator list (O(G) per
-        #: node state read becomes O(G_node), which matters once sensing
-        #: probes every node of a large, heavily loaded cluster).
-        self._generators_by_node: dict[int, list[SyntheticLoadGenerator]] = {}
+        # Columnar generator table (node / start / stop / rate / target /
+        # memory / bandwidth columns), rebuilt lazily after attachment.
+        # Every state query evaluates all ramps in one vectorized pass and
+        # scatters them per node with ``np.bincount`` -- the per-node
+        # Python generator walks this replaces were the last linear scans
+        # on the sensing path.
+        self._gen_columns_cache: tuple[np.ndarray, ...] | None = None
+        # Static per-node spec columns for vectorized speed queries.
+        self._cpu_speed = np.array([s.cpu_speed for s in self.nodes])
+        self._os_overhead = np.array([s.os_overhead for s in self.nodes])
         #: node -> sim time it went down (absent = up)
         self._down_since: dict[int, float] = {}
         #: node -> multiplicative NIC derating in (0, 1] (absent = 1.0)
@@ -114,7 +119,7 @@ class Cluster:
                 f"{self.num_nodes} nodes"
             )
         self._generators.append(gen)
-        self._generators_by_node.setdefault(gen.node, []).append(gen)
+        self._gen_columns_cache = None
         if self.tracer.enabled:
             self._trace_generator(gen)
 
@@ -192,11 +197,77 @@ class Cluster:
         return self._link_derate.get(node, 1.0)
 
     # ------------------------------------------------------------------
+    def _gen_columns(self) -> tuple[np.ndarray, ...]:
+        """Generator table as columns (rebuilt after attachments)."""
+        cols = self._gen_columns_cache
+        if cols is None:
+            gens = self._generators
+            cols = (
+                np.array([g.node for g in gens], dtype=np.intp),
+                np.array([g.start_time for g in gens], dtype=float),
+                np.array(
+                    [
+                        np.inf if g.stop_time is None else g.stop_time
+                        for g in gens
+                    ],
+                    dtype=float,
+                ),
+                np.array([g.ramp_rate for g in gens], dtype=float),
+                np.array([g.target_level for g in gens], dtype=float),
+                np.array([g.memory_per_unit_mb for g in gens], dtype=float),
+                np.array(
+                    [g.bandwidth_fraction_per_unit for g in gens],
+                    dtype=float,
+                ),
+            )
+            self._gen_columns_cache = cols
+        return cols
+
+    def _node_sums(self, t: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(load level, memory MB, NIC fraction) consumed per node at ``t``.
+
+        All ramps are evaluated in one vectorized pass over the generator
+        columns; per-node totals come from ``np.bincount``, whose in-order
+        accumulation reproduces the old per-node Python sums bit for bit.
+        """
+        node, start, stop, rate, target, mem, bw = self._gen_columns()
+        n = self.num_nodes
+        if not node.size:
+            zeros = np.zeros(n)
+            return zeros, zeros, zeros
+        active = (t >= start) & (t < stop)
+        lvl = np.where(active, np.minimum(target, rate * (t - start)), 0.0)
+        load = np.bincount(node, weights=lvl, minlength=n)
+        mem_used = np.bincount(node, weights=lvl * mem, minlength=n)
+        bw_used = np.bincount(node, weights=lvl * bw, minlength=n)
+        return load, mem_used, bw_used
+
     def load_level(self, node: int, t: float | None = None) -> float:
         """Total synthetic load on ``node`` at time ``t`` (default: now)."""
+        self._check_node(node)
         t = self.clock.now if t is None else t
-        return sum(
-            g.level_at(t) for g in self._generators_by_node.get(node, ())
+        return float(self._node_sums(t)[0][node])
+
+    def _state_at(
+        self, node: int, level: float, mem_used: float, bw_used: float
+    ) -> NodeState:
+        if node in self._down_since:
+            # A crashed node delivers nothing -- no CPU, no memory, no NIC.
+            return NodeState(
+                cpu_available=0.0,
+                free_memory_mb=0.0,
+                bandwidth_mbps=0.0,
+                load_level=level,
+            )
+        spec = self.nodes[node]
+        mem_total = OS_BASE_MEMORY_MB + mem_used
+        bw_share = max(0.05, 1.0 - bw_used)  # >= 5% stays deliverable
+        bw_share *= self._link_derate.get(node, 1.0)
+        return NodeState(
+            cpu_available=cpu_share_under_load(level, spec.os_overhead),
+            free_memory_mb=max(0.0, spec.memory_mb - mem_total),
+            bandwidth_mbps=spec.bandwidth_mbps * bw_share,
+            load_level=level,
         )
 
     def state_of(self, node: int, t: float | None = None) -> NodeState:
@@ -208,40 +279,38 @@ class Cluster:
         """
         self._check_node(node)
         t = self.clock.now if t is None else t
-        spec = self.nodes[node]
-        level = self.load_level(node, t)
-        if node in self._down_since:
-            # A crashed node delivers nothing -- no CPU, no memory, no NIC.
-            return NodeState(
-                cpu_available=0.0,
-                free_memory_mb=0.0,
-                bandwidth_mbps=0.0,
-                load_level=level,
-            )
-        node_gens = self._generators_by_node.get(node, ())
-        mem_used = OS_BASE_MEMORY_MB + sum(g.memory_at(t) for g in node_gens)
-        bw_consumed = sum(g.bandwidth_fraction_at(t) for g in node_gens)
-        bw_share = max(0.05, 1.0 - bw_consumed)  # >= 5% stays deliverable
-        bw_share *= self._link_derate.get(node, 1.0)
-        return NodeState(
-            cpu_available=cpu_share_under_load(level, spec.os_overhead),
-            free_memory_mb=max(0.0, spec.memory_mb - mem_used),
-            bandwidth_mbps=spec.bandwidth_mbps * bw_share,
-            load_level=level,
+        load, mem_used, bw_used = self._node_sums(t)
+        return self._state_at(
+            node,
+            float(load[node]),
+            float(mem_used[node]),
+            float(bw_used[node]),
         )
 
     def states(self, t: float | None = None) -> list[NodeState]:
-        """Ground-truth state of every node."""
-        return [self.state_of(k, t) for k in range(self.num_nodes)]
+        """Ground-truth state of every node (one columnar pass)."""
+        t = self.clock.now if t is None else t
+        load, mem_used, bw_used = self._node_sums(t)
+        return [
+            self._state_at(
+                k, float(load[k]), float(mem_used[k]), float(bw_used[k])
+            )
+            for k in range(self.num_nodes)
+        ]
 
     def effective_speed(self, node: int, t: float | None = None) -> float:
         """Deliverable work units per second on ``node`` at ``t``."""
         return self.state_of(node, t).effective_speed(self.nodes[node])
 
     def effective_speeds(self, t: float | None = None) -> np.ndarray:
-        return np.array(
-            [self.effective_speed(k, t) for k in range(self.num_nodes)]
-        )
+        """Per-node deliverable speeds, computed without NodeState objects."""
+        t = self.clock.now if t is None else t
+        load = self._node_sums(t)[0]
+        share = np.clip((1.0 - self._os_overhead) / (1.0 + load), 0.0, 1.0)
+        speeds = self._cpu_speed * share
+        if self._down_since:
+            speeds[list(self._down_since)] = 0.0
+        return speeds
 
     # ------------------------------------------------------------------
     # Presets

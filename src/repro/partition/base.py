@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import abc
 import functools
-from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -40,9 +39,19 @@ def default_work(box: Box, refine_factor: int = 2) -> float:
     return float(box.num_cells * refine_factor**box.level)
 
 
-@dataclass(slots=True)
 class PartitionResult:
     """Outcome of one partitioning call.
+
+    The assignment exists in one (or both) of two forms:
+
+    - **pairs** -- the legacy ``list[(Box, rank)]`` exposed as
+      :attr:`assignment`; mutable, and what object-path callers build.
+    - **columns** -- a :class:`~repro.util.geometry.BoxList` plus an
+      aligned rank array, installed by the columnar partitioners via
+      :meth:`set_columns`.  The pair list then materializes lazily on
+      first :attr:`assignment` access, so a repartition that only reads
+      :meth:`loads` / :meth:`rank_vector` / :meth:`boxes` never builds
+      per-box Python objects.
 
     Attributes
     ----------
@@ -58,16 +67,81 @@ class PartitionResult:
         to it so load accounting reuses the partitioner's cached vectors.
     """
 
-    assignment: list[tuple[Box, int]] = field(default_factory=list)
-    targets: np.ndarray = field(default_factory=lambda: np.zeros(0))
-    num_splits: int = 0
-    work_model: WorkModel | None = field(
-        default=None, repr=False, compare=False
+    __slots__ = (
+        "_assignment",
+        "targets",
+        "num_splits",
+        "work_model",
+        "_ranks",
+        "_boxes",
     )
-    _ranks: np.ndarray | None = field(
-        default=None, repr=False, compare=False
-    )
-    _boxes: BoxList | None = field(default=None, repr=False, compare=False)
+
+    def __init__(
+        self,
+        assignment: list[tuple[Box, int]] | None = None,
+        targets: np.ndarray | None = None,
+        num_splits: int = 0,
+        work_model: WorkModel | None = None,
+    ) -> None:
+        self._assignment: list[tuple[Box, int]] | None = (
+            [] if assignment is None else assignment
+        )
+        self.targets: np.ndarray = (
+            np.zeros(0) if targets is None else targets
+        )
+        self.num_splits = num_splits
+        self.work_model = work_model
+        self._ranks: np.ndarray | None = None
+        self._boxes: BoxList | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionResult({self.num_assigned()} boxes, "
+            f"{self.num_ranks} ranks, {self.num_splits} splits)"
+        )
+
+    def set_columns(self, boxes: "BoxList | object", ranks: np.ndarray) -> None:
+        """Install the assignment as columnar data.
+
+        ``boxes`` is a :class:`~repro.util.geometry.BoxList` (or
+        ``BoxArray``, wrapped transparently) and ``ranks`` an aligned
+        integer array.  The ``(box, rank)`` pair list materializes lazily
+        if some caller still reads :attr:`assignment`.
+        """
+        from repro.util.geometry import BoxArray
+
+        if isinstance(boxes, BoxArray):
+            boxes = BoxList.from_array(boxes)
+        ranks = np.ascontiguousarray(ranks, dtype=np.intp)
+        if len(ranks) != len(boxes):
+            raise PartitionError(
+                f"rank vector length {len(ranks)} != box count {len(boxes)}"
+            )
+        ranks.setflags(write=False)
+        self._assignment = None
+        self._boxes = boxes
+        self._ranks = ranks
+
+    @property
+    def assignment(self) -> list[tuple[Box, int]]:
+        """``(box, rank)`` pairs; built lazily from the columns."""
+        pairs = self._assignment
+        if pairs is None:
+            pairs = list(zip(self._boxes, self._ranks.tolist()))
+            self._assignment = pairs
+        return pairs
+
+    @assignment.setter
+    def assignment(self, pairs: list[tuple[Box, int]]) -> None:
+        self._assignment = pairs
+        self._ranks = None
+        self._boxes = None
+
+    def num_assigned(self) -> int:
+        """Number of assigned boxes, without materializing pair objects."""
+        if self._assignment is not None:
+            return len(self._assignment)
+        return len(self._boxes) if self._boxes is not None else 0
 
     @property
     def num_ranks(self) -> int:
@@ -80,7 +154,7 @@ class PartitionResult:
     def boxes(self) -> BoxList:
         """The assigned boxes (memoized once the assignment is final)."""
         boxes = self._boxes
-        if boxes is None or len(boxes) != len(self.assignment):
+        if boxes is None or len(boxes) != self.num_assigned():
             boxes = BoxList(b for b, _ in self.assignment)
             self._boxes = boxes
         return boxes
@@ -93,7 +167,7 @@ class PartitionResult:
     def rank_vector(self) -> np.ndarray:
         """Assigned rank per box, aligned with :attr:`assignment`."""
         ranks = self._ranks
-        if ranks is None or len(ranks) != len(self.assignment):
+        if ranks is None or len(ranks) != self.num_assigned():
             ranks = np.fromiter(
                 (r for _, r in self.assignment),
                 dtype=np.intp,
@@ -113,7 +187,7 @@ class PartitionResult:
         self, work_of: WorkFunction | WorkModel | None = None
     ) -> np.ndarray:
         """Realized per-rank work W_k, from the cached work vector."""
-        if not self.assignment:
+        if not self.num_assigned():
             return np.zeros(self.num_ranks)
         return np.bincount(
             self.rank_vector(),
@@ -122,13 +196,17 @@ class PartitionResult:
         )
 
     def boxes_of(self, rank: int) -> BoxList:
+        if self._assignment is None:
+            idx = np.flatnonzero(self._ranks == rank)
+            return self._boxes.take(idx)
         return BoxList(b for b, r in self.assignment if r == rank)
 
     def validate_covers(self, original: BoxList) -> None:
         """Check the assignment tiles exactly the input boxes.
 
         Total cells per level must match and assigned boxes must be
-        disjoint; raises :class:`PartitionError` otherwise.
+        disjoint; raises :class:`PartitionError` otherwise.  Runs on the
+        cached column views of both lists -- no per-box objects.
         """
         got = self.boxes()
         got_cells = got.cells_by_level()
@@ -164,7 +242,7 @@ def _traced_partition(impl: Callable) -> Callable:
         ) as span:
             result = impl(self, boxes, capacities, work_of)
             span.set(
-                num_assigned=len(result.assignment),
+                num_assigned=result.num_assigned(),
                 num_splits=result.num_splits,
                 num_ranks=result.num_ranks,
             )

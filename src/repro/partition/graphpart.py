@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Sequence
 
 import networkx as nx
+import numpy as np
 
 from repro.partition.base import (
     Partitioner,
@@ -35,7 +36,7 @@ from repro.partition.base import (
     WorkModel,
     as_work_model,
 )
-from repro.util.geometry import Box, BoxList
+from repro.util.geometry import BoxList
 
 __all__ = ["build_box_graph", "GraphPartitioner"]
 
@@ -48,50 +49,106 @@ def build_box_graph(
 ) -> nx.Graph:
     """Connectivity graph of a hierarchy's bounding boxes.
 
-    Node attributes: ``work`` (priced in one vectorized pass).  Edge
-    attribute ``volume``: cells that would cross between the two boxes in
-    one ghost exchange (both directions), including coarse-fine
-    prolongation overlap.
+    Node ``i`` is row ``i`` of the box list; node attribute ``work`` is
+    priced in one vectorized pass.  Edge attribute ``volume``: cells that
+    would cross between the two boxes in one ghost exchange (both
+    directions), including coarse-fine prolongation overlap.
+
+    Edges are generated over the list's columns: per level, candidate
+    pairs are pruned with an axis-0 sweep (sorted lower corners + binary
+    search, the same trick as ``BoxArray.is_disjoint``) and the survivors'
+    exchange volumes computed in one broadcast -- the volumes are exact
+    integers, identical to the old per-pair ``Box.intersection`` walk.
     """
     g = nx.Graph()
-    box_list = list(boxes)
-    works = as_work_model(work_of).vector(boxes).tolist()
-    for i, b in enumerate(box_list):
-        g.add_node(i, box=b, work=works[i])
-    by_level: dict[int, list[tuple[int, Box]]] = {}
-    for i, b in enumerate(box_list):
-        by_level.setdefault(b.level, []).append((i, b))
+    bl = boxes if isinstance(boxes, BoxList) else BoxList(boxes)
+    arr = bl.array
+    works = as_work_model(work_of).vector(bl).tolist()
+    n = len(arr)
+    g.add_nodes_from((i, {"work": works[i]}) for i in range(n))
 
-    def bump(i: int, j: int, cells: int) -> None:
-        if cells <= 0 or i == j:
-            return
-        if g.has_edge(i, j):
-            g[i][j]["volume"] += cells
-        else:
-            g.add_edge(i, j, volume=cells)
+    gw = int(ghost_width)
+    lower = arr.lower
+    upper = arr.upper
+    levels = arr.level
+    edges: list[tuple[int, int, dict]] = []
 
-    for level, members in by_level.items():
-        # Intra-level ghost adjacency.
-        for ai in range(len(members)):
-            i, a = members[ai]
-            grown = a.grow(ghost_width) if ghost_width else a
-            for bj in range(ai + 1, len(members)):
-                j, b = members[bj]
-                inter = grown.intersection(b)
-                if inter is not None:
-                    bump(i, j, 2 * inter.num_cells)
-        # Inter-level prolongation overlap.
-        parents = by_level.get(level - 1, ()) if level > 0 else ()
-        if not parents:
-            continue
-        for i, fine in members:
-            footprint = (
-                fine.grow(ghost_width) if ghost_width else fine
-            ).coarsen(refine_factor)
-            for j, parent in parents:
-                inter = parent.intersection(footprint)
-                if inter is not None:
-                    bump(i, j, inter.num_cells)
+    for lvl in np.unique(levels).tolist():
+        pos = np.flatnonzero(levels == lvl)
+        m = pos.size
+        lo = lower[pos]
+        up = upper[pos]
+        # Intra-level ghost adjacency.  The earlier box of each pair is
+        # the grown operand (grow(a) & b, as the object path had it);
+        # pruning uses a symmetric +gw slack on axis 0, a superset of the
+        # true pairs, and the exact extent test drops the rest.
+        if m > 1:
+            order = np.argsort(lo[:, 0], kind="stable")
+            slo = lo[order]
+            sup = up[order]
+            ends = np.searchsorted(slo[:, 0], sup[:, 0] + gw, side="left")
+            starts = np.arange(m) + 1
+            counts = np.maximum(ends - starts, 0)
+            tot = int(counts.sum())
+            if tot:
+                ii = np.repeat(np.arange(m), counts)
+                offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+                jj = (
+                    np.arange(tot)
+                    - np.repeat(offsets, counts)
+                    + np.repeat(starts, counts)
+                )
+                oi = order[ii]
+                oj = order[jj]
+                a = np.minimum(oi, oj)  # earlier member: the grown side
+                b = np.maximum(oi, oj)
+                inter_lo = np.maximum(lo[a] - gw, lo[b])
+                inter_up = np.minimum(up[a] + gw, up[b])
+                ext = inter_up - inter_lo
+                ok = (ext > 0).all(axis=1)
+                if bool(ok.any()):
+                    cells = np.prod(ext[ok], axis=1)
+                    edges.extend(
+                        (i, j, {"volume": v})
+                        for i, j, v in zip(
+                            pos[a[ok]].tolist(),
+                            pos[b[ok]].tolist(),
+                            (2 * cells).tolist(),
+                        )
+                    )
+        # Inter-level prolongation overlap: each fine box's grown
+        # footprint, coarsened one level, against the parent level.
+        if lvl > 0 and m:
+            parents_pos = np.flatnonzero(levels == lvl - 1)
+            if parents_pos.size:
+                rf = int(refine_factor)
+                fp_lo = np.floor_divide(lo - gw, rf)
+                fp_up = -np.floor_divide(-(up + gw), rf)  # ceil division
+                p_lo = lower[parents_pos]
+                p_up = upper[parents_pos]
+                porder = np.argsort(p_lo[:, 0], kind="stable")
+                sp_lo0 = p_lo[porder, 0]
+                hi = np.searchsorted(sp_lo0, fp_up[:, 0], side="left")
+                tot = int(hi.sum())
+                if tot:
+                    fi = np.repeat(np.arange(m), hi)
+                    offsets = np.concatenate(([0], np.cumsum(hi)[:-1]))
+                    pj = porder[np.arange(tot) - np.repeat(offsets, hi)]
+                    inter_lo = np.maximum(p_lo[pj], fp_lo[fi])
+                    inter_up = np.minimum(p_up[pj], fp_up[fi])
+                    ext = inter_up - inter_lo
+                    ok = (ext > 0).all(axis=1)
+                    if bool(ok.any()):
+                        cells = np.prod(ext[ok], axis=1)
+                        edges.extend(
+                            (i, j, {"volume": v})
+                            for i, j, v in zip(
+                                pos[fi[ok]].tolist(),
+                                parents_pos[pj[ok]].tolist(),
+                                cells.tolist(),
+                            )
+                        )
+    g.add_edges_from(edges)
     return g
 
 
@@ -186,7 +243,11 @@ class GraphPartitioner(Partitioner):
         # Process ranks in capacity order so recursive halves are balanced.
         rank_order = sorted(range(len(caps)), key=lambda r: -caps[r])
         bisect(sorted(g.nodes), rank_order)
-        for n, rank in sorted(assignment.items()):
-            result.assignment.append((g.nodes[n]["box"], rank))
+        # Node i is row i of the input list, so the assignment is the
+        # input columns plus a rank per row -- no object materialization.
+        ranks = np.empty(len(boxes), dtype=np.intp)
+        for node, rank in assignment.items():
+            ranks[node] = rank
+        result.set_columns(boxes, ranks)
         result.validate_covers(boxes)
         return result

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.partition.base import (
     Partitioner,
     PartitionResult,
@@ -36,26 +38,28 @@ class GreedyLPT(Partitioner):
     ) -> PartitionResult:
         caps = self._check_inputs(boxes, capacities)
         model = as_work_model(work_of)
-        works = model.vector(boxes).tolist()
+        works_vec = model.vector(boxes)
         total = model.total(boxes)
         targets = caps * total
         result = PartitionResult(targets=targets, work_model=model)
         num_ranks = len(caps)
-        loads = [0.0] * num_ranks
+        loads = np.zeros(num_ranks)
         # Guard capacities so a zero-capacity rank is only used when every
         # rank has zero capacity (which _check_inputs already excludes).
-        safe_caps = [c if c > 0 else 1e-12 for c in caps.tolist()]
-        rank_range = range(num_ranks)
-        order = sorted(
-            range(len(boxes)),
-            key=lambda i: (-works[i], boxes[i].corner_key()),
-        )
-        for i in order:
-            w = works[i]
-            rank = min(
-                rank_range, key=lambda r: (loads[r] + w) / safe_caps[r]
-            )
-            result.assignment.append((boxes[i], rank))
-            loads[rank] += w
+        safe_caps = np.where(caps > 0, caps, 1e-12)
+        # Descending work, corner-key tie-break, over whole columns --
+        # lexsort is stable like the object path's ``sorted``, so the
+        # placement order (and every downstream float sum) is identical.
+        order = boxes.array.corner_lexsort(primary=-works_vec)
+        n = len(order)
+        ranks = np.empty(n, dtype=np.intp)
+        placed = works_vec[order].tolist()
+        for pos, w in enumerate(placed):
+            # First minimum of the load-to-capacity ratio: np.argmin picks
+            # the same rank as ``min(range(num_ranks), key=...)``.
+            r = int(np.argmin((loads + w) / safe_caps))
+            ranks[pos] = r
+            loads[r] += w
+        result.set_columns(boxes.take(order), ranks)
         result.validate_covers(boxes)
         return result

@@ -35,8 +35,12 @@ from repro.partition.base import (
     WorkModel,
     as_work_model,
 )
-from repro.partition.splitting import SplitConstraints, split_to_target
-from repro.util.geometry import Box, BoxList
+from repro.partition.splitting import (
+    BoxRow,
+    SplitConstraints,
+    split_row_to_target,
+)
+from repro.util.geometry import BoxArray, BoxList
 
 __all__ = ["ACEHeterogeneous"]
 
@@ -72,31 +76,48 @@ class ACEHeterogeneous(Partitioner):
     ) -> PartitionResult:
         caps = self._check_inputs(boxes, capacities)
         model = as_work_model(work_of)
-        works = model.vector(boxes).tolist()
+        works_vec = model.vector(boxes)
+        works = works_vec.tolist()
         total = model.total(boxes)
         targets = caps * total
         result = PartitionResult(targets=targets, work_model=model)
         if len(boxes) == 0:
             return result
 
-        # Work-ascending priority queue of (work, seq, box); seq is a
+        arr = boxes.array
+
+        # Work-ascending priority queue of (work, seq, payload); seq is a
         # tie-breaker keeping the order deterministic for equal-work boxes
         # (initial boxes tie-break by corner key, split remainders enter
         # after existing equal-work entries, exactly as the old sorted
         # list did).  A heap makes every pop/push O(log n) where the old
         # ``list.pop(0)`` + ``bisect.insort`` pair was O(n) each -- the
         # difference between quadratic and linearithmic assignment on the
-        # extreme-scale box counts the roadmap targets.
-        queue: list[tuple[float, int, Box]] = []
-        for seq, i in enumerate(
-            sorted(
-                range(len(boxes)),
-                key=lambda j: (works[j], boxes[j].corner_key()),
-            )
-        ):
-            queue.append((works[i], seq, boxes[i]))
+        # extreme-scale box counts the roadmap targets.  The payload is a
+        # row index into the columns (or, for split remainders, a plain
+        # ``(lower, upper, level)`` row) -- never a Box object; the
+        # ``(work, seq)`` prefix is unique, so payloads never compare.
+        order = arr.corner_lexsort(primary=works_vec)
+        queue: list[tuple[float, int, int | BoxRow]] = [
+            (works[i], s, i) for s, i in enumerate(order.tolist())
+        ]
         heapq.heapify(queue)  # already sorted; heapify is O(n) anyway
         seq = len(queue)
+
+        # Assignment accumulates as source references: a base row index,
+        # or a negative index into the split-row side list.  Columns are
+        # gathered in two vectorized passes at the end.
+        out_src: list[int] = []
+        out_ranks: list[int] = []
+        split_rows: list[BoxRow] = []
+
+        def emit(payload: "int | BoxRow", rank: int) -> None:
+            if type(payload) is int:
+                out_src.append(payload)
+            else:
+                split_rows.append(payload)
+                out_src.append(-len(split_rows))
+            out_ranks.append(rank)
 
         rank_order = np.argsort(caps, kind="stable")
         for idx, rank in enumerate(rank_order):
@@ -106,18 +127,21 @@ class ACEHeterogeneous(Partitioner):
             while queue:
                 if last_rank:
                     # Everything left belongs to the biggest-capacity rank.
-                    _, _, box = heapq.heappop(queue)
-                    result.assignment.append((box, rank))
+                    _, _, payload = heapq.heappop(queue)
+                    emit(payload, rank)
                     continue
-                w, _, box = queue[0]
+                w, _, payload = queue[0]
                 if w <= remaining + self.fill_tolerance * w:
                     heapq.heappop(queue)
-                    result.assignment.append((box, rank))
+                    emit(payload, rank)
                     remaining -= w
                     continue
                 if remaining <= 0:
                     break
-                split = split_to_target(box, remaining, model, self.constraints)
+                row = arr.row(payload) if type(payload) is int else payload
+                split = split_row_to_target(
+                    row, remaining, model, self.constraints
+                )
                 if split is None:
                     # Unsplittable: accept the imbalance on this rank only
                     # if nothing smaller is available, else move on.
@@ -125,12 +149,38 @@ class ACEHeterogeneous(Partitioner):
                 heapq.heappop(queue)
                 piece, rest = split
                 result.num_splits += len(rest)  # one cut per remainder box
-                result.assignment.append((piece, rank))
-                remaining -= model.work(piece)
+                emit(piece, rank)
+                remaining -= model.work_row(*piece)
                 for r in rest:
-                    heapq.heappush(queue, (model.work(r), seq, r))
+                    heapq.heappush(queue, (model.work_row(*r), seq, r))
                     seq += 1
                 if remaining <= 0:
                     break
+
+        m = len(out_src)
+        src = np.array(out_src, dtype=np.int64)
+        ndim = arr.ndim
+        lowers = np.empty((m, ndim), dtype=np.int64)
+        uppers = np.empty((m, ndim), dtype=np.int64)
+        levels = np.empty(m, dtype=np.int64)
+        base_pos = np.flatnonzero(src >= 0)
+        if base_pos.size:
+            bidx = src[base_pos]
+            lowers[base_pos] = arr.lower[bidx]
+            uppers[base_pos] = arr.upper[bidx]
+            levels[base_pos] = arr.level[bidx]
+        extra_pos = np.flatnonzero(src < 0)
+        if extra_pos.size:
+            ex_lo = np.array([r[0] for r in split_rows], dtype=np.int64)
+            ex_up = np.array([r[1] for r in split_rows], dtype=np.int64)
+            ex_lv = np.array([r[2] for r in split_rows], dtype=np.int64)
+            k = -src[extra_pos] - 1
+            lowers[extra_pos] = ex_lo[k]
+            uppers[extra_pos] = ex_up[k]
+            levels[extra_pos] = ex_lv[k]
+        result.set_columns(
+            BoxList.from_array(BoxArray(lowers, uppers, levels)),
+            np.array(out_ranks, dtype=np.intp),
+        )
         result.validate_covers(boxes)
         return result

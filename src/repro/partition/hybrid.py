@@ -23,7 +23,7 @@ from repro.partition.base import (
     WorkModel,
     as_work_model,
 )
-from repro.partition.composite import assign_curve_spans
+from repro.partition.composite import assign_curve_spans_columnar
 from repro.partition.splitting import SplitConstraints
 from repro.util.geometry import BoxList
 from repro.util.sfc import sfc_order_boxes
@@ -57,7 +57,9 @@ class SFCHybrid(Partitioner):
         result = PartitionResult(targets=targets, work_model=model)
         if len(boxes) == 0:
             return result
-        ordered = list(sfc_order_boxes(boxes, curve=self.curve))
-        assign_curve_spans(ordered, targets, model, self.constraints, result)
+        ordered = sfc_order_boxes(boxes, curve=self.curve)
+        assign_curve_spans_columnar(
+            ordered, targets, model, self.constraints, result
+        )
         result.validate_covers(boxes)
         return result

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
 
 from repro.partition.base import (
     Partitioner,
@@ -27,7 +28,7 @@ from repro.partition.base import (
     WorkModel,
     as_work_model,
 )
-from repro.util.geometry import BoxList
+from repro.util.geometry import BoxArray, BoxList
 
 __all__ = ["LevelPartitioner"]
 
@@ -50,11 +51,18 @@ class LevelPartitioner(Partitioner):
         total = model.total(boxes)
         result = PartitionResult(targets=caps * total, work_model=model)
         splits = 0
+        subs: list[PartitionResult] = []
         for level in boxes.levels:
             level_boxes = boxes.at_level(level)
             sub = self.inner.partition(level_boxes, caps, model)
-            result.assignment.extend(sub.assignment)
+            subs.append(sub)
             splits += sub.num_splits
         result.num_splits = splits
+        if subs:
+            # Merge the per-level results column-wise (level order == the
+            # object path's ``assignment.extend`` order); no pair lists.
+            merged = BoxArray.concatenate([s.boxes().array for s in subs])
+            ranks = np.concatenate([s.rank_vector() for s in subs])
+            result.set_columns(BoxList.from_array(merged), ranks)
         result.validate_covers(boxes)
         return result

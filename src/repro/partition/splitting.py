@@ -26,7 +26,11 @@ from repro.partition.workmodel import WorkFunction, WorkModel
 from repro.util.errors import PartitionError
 from repro.util.geometry import Box
 
-__all__ = ["SplitConstraints", "split_to_target"]
+__all__ = ["SplitConstraints", "split_to_target", "split_row_to_target", "BoxRow"]
+
+#: Object-free box currency of the columnar partitioners: plain
+#: ``(lower, upper, level)`` tuples, hashable for the work-row memo.
+BoxRow = tuple[tuple[int, ...], tuple[int, ...], int]
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,33 +50,45 @@ class SplitConstraints:
             raise PartitionError(f"snap must be >= 1, got {self.snap}")
 
 
-def _candidate_cut(
-    box: Box, axis: int, target_work: float, box_work: float, c: SplitConstraints
+def _candidate_cut_coords(
+    lo_ax: int,
+    up_ax: int,
+    target_work: float,
+    box_work: float,
+    c: SplitConstraints,
 ) -> int | None:
-    """Largest admissible cut on ``axis`` whose low piece's work <= target.
+    """Largest admissible cut in ``[lo_ax, up_ax)`` whose low piece's work
+    <= target -- the coordinate-level core shared by the Box and row paths.
 
     Returns an absolute cut coordinate, or ``None`` when the axis admits no
     cut satisfying the min-size and snap constraints.
     """
-    extent = box.shape[axis]
+    extent = up_ax - lo_ax
     if extent < 2 * c.min_box_size:
         return None
     work_per_plane = box_work / extent
     want = int(target_work / work_per_plane)  # planes in the low piece
     # Clamp to the admissible band, then snap the absolute coordinate down.
     want = max(c.min_box_size, min(want, extent - c.min_box_size))
-    cut = box.lower[axis] + want
+    cut = lo_ax + want
     if c.snap > 1:
         snapped = (cut // c.snap) * c.snap
         # Snapping down may violate the low piece's min size; snap up then.
-        if snapped - box.lower[axis] < c.min_box_size:
+        if snapped - lo_ax < c.min_box_size:
             snapped = -(-cut // c.snap) * c.snap
         cut = snapped
-    if not (
-        box.lower[axis] + c.min_box_size <= cut <= box.upper[axis] - c.min_box_size
-    ):
+    if not (lo_ax + c.min_box_size <= cut <= up_ax - c.min_box_size):
         return None
     return cut
+
+
+def _candidate_cut(
+    box: Box, axis: int, target_work: float, box_work: float, c: SplitConstraints
+) -> int | None:
+    """Largest admissible cut on ``axis`` of ``box`` (object-path wrapper)."""
+    return _candidate_cut_coords(
+        box.lower[axis], box.upper[axis], target_work, box_work, c
+    )
 
 
 def split_to_target(
@@ -122,6 +138,61 @@ def split_to_target(
             # Accept the recursive cut only when it actually lands closer.
             if abs(work_of(piece) - target_work) < abs(
                 work_of(lo) - target_work
+            ):
+                return piece, rest + [hi]
+    return lo, [hi]
+
+
+def split_row_to_target(
+    row: BoxRow,
+    target_work: float,
+    model: WorkModel,
+    constraints: SplitConstraints | None = None,
+    _depth: int = 0,
+) -> tuple[BoxRow, list[BoxRow]] | None:
+    """Row-based twin of :func:`split_to_target` for the columnar path.
+
+    Operates on plain ``(lower, upper, level)`` tuples so the array-sliced
+    partitioners never materialize :class:`Box` objects while splitting.
+    Same cut selection, same integer arithmetic, same accept-if-closer
+    recursion -- the produced coordinates are identical to the object path
+    (the byte-identity tests pin this).  ``model`` must be a
+    :class:`~repro.partition.workmodel.WorkModel`; its ``work_row`` memo
+    makes the repeated work probes O(1).
+    """
+    c = constraints or SplitConstraints()
+    if target_work < 0:
+        raise PartitionError(f"negative target work {target_work}")
+    lower, upper, level = row
+    box_work = model.work_row(lower, upper, level)
+    if box_work <= 0:
+        raise PartitionError(f"box {row} has non-positive work {box_work}")
+
+    shape = [u - l for l, u in zip(lower, upper)]
+    axis = shape.index(max(shape))  # first max == Box.longest_axis
+    cut = _candidate_cut_coords(
+        lower[axis], upper[axis], target_work, box_work, c
+    )
+    if cut is None:
+        return None
+    lo_up = list(upper)
+    lo_up[axis] = cut
+    hi_lo = list(lower)
+    hi_lo[axis] = cut
+    lo: BoxRow = (lower, tuple(lo_up), level)
+    hi: BoxRow = (tuple(hi_lo), upper, level)
+    ndim = len(lower)
+    if (
+        c.allow_multi_axis
+        and model.work_row(*lo) > target_work
+        and _depth < 3 * ndim
+    ):
+        deeper = split_row_to_target(lo, target_work, model, c, _depth + 1)
+        if deeper is not None:
+            piece, rest = deeper
+            # Accept the recursive cut only when it actually lands closer.
+            if abs(model.work_row(*piece) - target_work) < abs(
+                model.work_row(*lo) - target_work
             ):
                 return piece, rest + [hi]
     return lo, [hi]

@@ -43,7 +43,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.util.errors import PartitionError
-from repro.util.geometry import Box
+from repro.util.geometry import Box, BoxArray, BoxList
 
 __all__ = ["WorkFunction", "WorkModel", "CallableWorkModel", "as_work_model"]
 
@@ -65,6 +65,7 @@ class WorkModel:
             )
         self.refine_factor = int(refine_factor)
         self._box_cache: dict[Box, float] = {}
+        self._row_cache: dict[tuple, float] = {}
         # id -> (pinned sequence, vector); pinning the sequence keeps its
         # id from being reused while the entry lives.
         self._list_cache: OrderedDict[int, tuple[object, np.ndarray]] = (
@@ -81,9 +82,16 @@ class WorkModel:
     def compute(self, boxes: Sequence[Box]) -> np.ndarray:
         """Uncached per-box work vector (override point for custom models).
 
-        One pass over the boxes gathers corner/level arrays; all
-        arithmetic is NumPy from there.
+        Columnar inputs (:class:`~repro.util.geometry.BoxList` /
+        :class:`~repro.util.geometry.BoxArray`) are priced straight off
+        their cached ``int64`` columns -- no per-box gathering at all;
+        plain box sequences gather corner/level arrays in one pass first.
+        Either way the arithmetic is NumPy and the values bit-identical.
         """
+        if isinstance(boxes, BoxList):
+            return self.compute_columns(boxes.array)
+        if isinstance(boxes, BoxArray):
+            return self.compute_columns(boxes)
         if len(boxes) == 0:
             return np.zeros(0)
         lowers = np.array([b.lower for b in boxes], dtype=np.int64)
@@ -91,6 +99,13 @@ class WorkModel:
         levels = np.array([b.level for b in boxes], dtype=np.int64)
         cells = np.prod(uppers - lowers, axis=1)
         return (cells * self.refine_factor**levels).astype(np.float64)
+
+    def compute_columns(self, arr: BoxArray) -> np.ndarray:
+        """Work vector straight from struct-of-arrays columns."""
+        if len(arr) == 0:
+            return np.zeros(0)
+        cells = arr.num_cells()
+        return (cells * self.refine_factor**arr.level).astype(np.float64)
 
     def vector(self, boxes: Sequence[Box]) -> np.ndarray:
         """Per-box work of ``boxes`` as one read-only float64 array.
@@ -129,12 +144,35 @@ class WorkModel:
     def _work_one(self, box: Box) -> float:
         return float(box.num_cells * self.refine_factor**box.level)
 
+    def work_row(
+        self,
+        lower: tuple[int, ...],
+        upper: tuple[int, ...],
+        level: int,
+    ) -> float:
+        """Work of one box given as plain ``(lower, upper, level)`` tuples.
+
+        The object-free twin of :meth:`work` for the columnar splitters:
+        same Python-int arithmetic (bit-identical to pricing the Box), own
+        memo keyed on the row tuple so repeated split probes stay O(1).
+        """
+        key = (lower, upper, level)
+        w = self._row_cache.get(key)
+        if w is None:
+            n = 1
+            for lo, up in zip(lower, upper):
+                n *= up - lo
+            w = float(n * self.refine_factor**level)
+            self._row_cache[key] = w
+        return w
+
     # A WorkModel is itself a valid WorkFunction.
     __call__ = work
 
     def clear_cache(self) -> None:
         """Drop all memoized results (rarely needed; caches are bounded)."""
         self._box_cache.clear()
+        self._row_cache.clear()
         self._list_cache.clear()
 
 
@@ -161,6 +199,16 @@ class CallableWorkModel(WorkModel):
 
     def _work_one(self, box: Box) -> float:
         return float(self.fn(box))
+
+    def work_row(
+        self,
+        lower: tuple[int, ...],
+        upper: tuple[int, ...],
+        level: int,
+    ) -> float:
+        # Legacy callables only understand Box objects; materialize one
+        # (through the shared per-box memo, so each row is priced once).
+        return self.work(Box(lower, upper, level))
 
 
 def as_work_model(

@@ -40,7 +40,7 @@ from repro.runtime.pipeline import RepartitionPipeline
 from repro.runtime.timemodel import TimeModel
 from repro.telemetry.spans import NullTracer, Tracer, get_active_tracer
 from repro.util.errors import SimulationError
-from repro.util.geometry import Box, BoxList
+from repro.util.geometry import Box
 
 __all__ = ["DistributedRunConfig", "DistributedRunResult", "DistributedAmrRun"]
 
@@ -172,7 +172,7 @@ class DistributedAmrRun:
     def owned_loads(self) -> np.ndarray:
         """Per-rank work of the current assignment (cached work vector)."""
         out = self.pipeline.last
-        if out is None or not out.part.assignment:
+        if out is None or not out.part.num_assigned():
             return np.zeros(self.cluster.num_nodes)
         return out.part.loads()
 
@@ -191,12 +191,12 @@ class DistributedAmrRun:
 
     def _repatch(self, part) -> None:
         # Turn the partitioner's (possibly split) boxes into patch
-        # layout before migration is priced.
-        by_level: dict[int, list[Box]] = {}
-        for box, _rank in part.assignment:
-            by_level.setdefault(box.level, []).append(box)
-        for level in sorted(by_level):
-            self.hierarchy.repatch_level(level, BoxList(by_level[level]))
+        # layout before migration is priced.  Level grouping runs on the
+        # result's level column; ``at_level`` preserves assignment order
+        # within each level, as the old per-pair bucketing did.
+        boxes = part.boxes()
+        for level in boxes.levels:
+            self.hierarchy.repatch_level(level, boxes.at_level(level))
 
     def _on_regrid(self, hierarchy: GridHierarchy) -> None:
         """Partition the fresh hierarchy and make its output the patching."""

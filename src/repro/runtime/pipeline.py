@@ -48,7 +48,10 @@ from repro.cluster.cluster import Cluster
 from repro.monitor.service import ResourceMonitor
 from repro.partition.base import Partitioner, PartitionResult
 from repro.partition.capacity import CapacityCalculator
-from repro.partition.metrics import imbalance_pct, redistribution_volume
+from repro.partition.metrics import (
+    imbalance_pct,
+    redistribution_volume_columns,
+)
 from repro.partition.workmodel import WorkFunction, WorkModel, as_work_model
 from repro.runtime.timemodel import IterationCost, TimeModel
 from repro.util.errors import ResilienceError
@@ -72,32 +75,34 @@ class RepartitionOutcome:
 
     ``loads``/``targets``/``imbalance`` are all derived from the single
     cached work vector of ``part`` -- callers must not recompute them
-    with per-box loops.
+    with per-box loops.  ``owners`` materializes box objects lazily: a
+    repartition whose caller only reads the columnar views never builds
+    the per-box dict.
     """
 
     part: PartitionResult
-    owners: dict[Box, int]
     loads: np.ndarray  # realized W_k
     targets: np.ndarray  # ideal L_k = C_k * L
     imbalance: np.ndarray  # I_k (%)
     migration_bytes: int
     migration_seconds: float
 
+    @property
+    def owners(self) -> dict[Box, int]:
+        """Box -> rank mapping, built on first access."""
+        return self.part.owners()
+
     def level_loads(self, num_ranks: int) -> tuple[list[int], np.ndarray]:
         """(levels, per-level load matrix) for per-level sync pricing.
 
         One ``np.add.at`` scatter of the cached work vector replaces the
         per-box Python loop; unbuffered in-order accumulation keeps the
-        float result identical to the loop it replaced.
+        float result identical to the loop it replaced.  Box levels come
+        straight off the result's level column.
         """
-        assignment = self.part.assignment
-        if not assignment:
+        if not self.part.num_assigned():
             return [], np.zeros((1, num_ranks))
-        box_levels = np.fromiter(
-            (b.level for b, _ in assignment),
-            dtype=np.int64,
-            count=len(assignment),
-        )
+        box_levels = self.part.boxes().array.level
         levels, index = np.unique(box_levels, return_inverse=True)
         matrix = np.zeros((len(levels), num_ranks))
         np.add.at(
@@ -157,10 +162,45 @@ class RepartitionPipeline:
         # charges.  A disabled tracer keeps the communicator silent.
         if getattr(tracer, "enabled", False):
             self.time_model.comm.bind_tracer(tracer)
-        #: assignment of the previous epoch, diffed for migration volume
-        self.prev_assignment: list[tuple[Box, int]] = []
+        # Assignment of the previous epoch (diffed for migration volume),
+        # held as columns; the pair list view materializes only if an
+        # external reader asks for :attr:`prev_assignment`.
+        self._prev_boxes: BoxList | None = None
+        self._prev_ranks: np.ndarray | None = None
+        self._prev_pairs: list[tuple[Box, int]] | None = []
         #: outcome of the most recent :meth:`repartition`
         self.last: RepartitionOutcome | None = None
+
+    # ------------------------------------------------------------------
+    # Previous-epoch assignment (columns first, pairs on demand)
+    # ------------------------------------------------------------------
+    @property
+    def prev_assignment(self) -> list[tuple[Box, int]]:
+        """Previous epoch's ``(box, rank)`` pairs (lazy object view)."""
+        pairs = self._prev_pairs
+        if pairs is None:
+            pairs = list(zip(self._prev_boxes, self._prev_ranks.tolist()))
+            self._prev_pairs = pairs
+        return pairs
+
+    @prev_assignment.setter
+    def prev_assignment(self, pairs: list[tuple[Box, int]]) -> None:
+        # Checkpoint restore hands back a pair list; lower it to columns.
+        pairs = list(pairs)
+        self._prev_pairs = pairs
+        if pairs:
+            self._prev_boxes = BoxList(b for b, _ in pairs)
+            self._prev_ranks = np.fromiter(
+                (r for _, r in pairs), dtype=np.intp, count=len(pairs)
+            )
+        else:
+            self._prev_boxes = None
+            self._prev_ranks = None
+
+    def _set_prev_columns(self, boxes: BoxList, ranks: np.ndarray) -> None:
+        self._prev_boxes = boxes
+        self._prev_ranks = ranks
+        self._prev_pairs = None
 
     # ------------------------------------------------------------------
     # Stage: sense + capacity
@@ -229,18 +269,22 @@ class RepartitionPipeline:
         """
         tracer = self.tracer
         part = self.partitioner.partition(boxes, capacities, self.work_model)
-        owners = part.owners()
         if before_migrate is not None:
             before_migrate(part)
         with tracer.span("migrate", **(migrate_attrs or {})) as mig_span:
             # Geometric cell-owner diff against the previous assignment: the
             # true redistribution traffic, robust to boxes being re-split.
-            moved = redistribution_volume(
-                self.prev_assignment, part.assignment, self.bytes_per_cell
+            # Runs on the column views of both epochs -- no pair lists.
+            moved = redistribution_volume_columns(
+                self._prev_boxes,
+                self._prev_ranks,
+                part.boxes(),
+                part.rank_vector(),
+                self.bytes_per_cell,
             )
             if on_apply is not None:
-                on_apply(owners)
-            self.prev_assignment = part.assignment
+                on_apply(part.owners())
+            self._set_prev_columns(part.boxes(), part.rank_vector())
             mig_seconds = self.time_model.migration_cost(moved)
             self.cluster.clock.advance(mig_seconds)
             mig_bytes = int(sum(moved.values()))
@@ -270,7 +314,6 @@ class RepartitionPipeline:
                     )
         outcome = RepartitionOutcome(
             part=part,
-            owners=owners,
             loads=loads,
             targets=targets,
             imbalance=imbalance,
@@ -294,9 +337,12 @@ class RepartitionPipeline:
         down = set(self.cluster.down_nodes)
         if not down:
             return ()
-        return tuple(
-            sorted(down & {rank for _, rank in self.prev_assignment})
-        )
+        ranks = self._prev_ranks
+        if ranks is not None:
+            owners = set(np.unique(ranks).tolist())
+        else:
+            owners = {rank for _, rank in (self._prev_pairs or [])}
+        return tuple(sorted(down & owners))
 
     def needs_recovery(self) -> bool:
         """Whether any current box owner is a dead rank."""
@@ -346,24 +392,28 @@ class RepartitionPipeline:
                 boxes, caps_live, self.work_model
             )
             # Remap compact ranks back to true node indices; expand the
-            # target vector so every consumer stays num_nodes-sized.
+            # target vector so every consumer stays num_nodes-sized.  The
+            # remap is one gather on the rank column -- no pair rebuild.
             n = self.cluster.num_nodes
             targets_full = np.zeros(n)
             targets_full[live_idx] = part_live.targets
             part = PartitionResult(
-                assignment=[
-                    (b, int(live_idx[r])) for b, r in part_live.assignment
-                ],
                 targets=targets_full,
                 num_splits=part_live.num_splits,
                 work_model=part_live.work_model,
             )
-            owners = part.owners()
+            part.set_columns(
+                part_live.boxes(), live_idx[part_live.rank_vector()]
+            )
             if before_migrate is not None:
                 before_migrate(part)
             with tracer.span("migrate", trigger="recovery") as mig_span:
-                moved = redistribution_volume(
-                    self.prev_assignment, part.assignment, self.bytes_per_cell
+                moved = redistribution_volume_columns(
+                    self._prev_boxes,
+                    self._prev_ranks,
+                    part.boxes(),
+                    part.rank_vector(),
+                    self.bytes_per_cell,
                 )
                 live_moved: dict[tuple[int, int], float] = {}
                 evac_bytes = 0.0
@@ -373,8 +423,8 @@ class RepartitionPipeline:
                     else:
                         evac_bytes += nbytes
                 if on_apply is not None:
-                    on_apply(owners)
-                self.prev_assignment = part.assignment
+                    on_apply(part.owners())
+                self._set_prev_columns(part.boxes(), part.rank_vector())
                 mig_seconds = self.time_model.migration_cost(live_moved)
                 mig_seconds += evac_bytes / (
                     storage_bandwidth_mbps * 125_000.0
@@ -403,7 +453,6 @@ class RepartitionPipeline:
             metrics.counter("evacuated_bytes").inc(int(evac_bytes))
         outcome = RepartitionOutcome(
             part=part,
-            owners=owners,
             loads=loads,
             targets=targets_full,
             imbalance=imbalance,

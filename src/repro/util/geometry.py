@@ -1,4 +1,5 @@
-"""Rectilinear index-space geometry: :class:`Box` and :class:`BoxList`.
+"""Rectilinear index-space geometry: :class:`Box`, :class:`BoxArray` and
+:class:`BoxList`.
 
 GrACE maintains every component grid of the adaptive hierarchy as a *list of
 bounding boxes*: a bounding box is a rectilinear region of the computational
@@ -6,6 +7,22 @@ domain defined by a lower bound, an upper bound and a refinement level (the
 level fixes the stride of the box's cells relative to the base grid).  The
 partitioners in :mod:`repro.partition` operate purely on these box lists, so
 this module is the common currency of the whole system.
+
+Two representations coexist:
+
+- :class:`Box` -- one frozen object per box; convenient for construction,
+  splitting and the object-level geometry algebra.
+- :class:`BoxArray` -- struct-of-arrays metadata: contiguous ``int64``
+  columns (``lower``, ``upper``, ``level``) over *all* boxes at once.  This
+  is the extreme-scale form (Schornbaum & Rüde, arXiv:1704.06829): the SFC
+  index, the work model and the partitioners operate on these columns
+  directly, so a million-box repartition never walks Python objects.
+
+:class:`BoxList` bridges the two: it can be built from either form and
+converts lazily.  A list created from columns (:meth:`BoxList.from_array`)
+stays columnar until some caller actually iterates box objects; a list
+built from objects exposes its column view through :attr:`BoxList.array`,
+computed once and cached.
 
 Conventions
 -----------
@@ -27,7 +44,7 @@ import numpy as np
 
 from repro.util.errors import GeometryError
 
-__all__ = ["Box", "BoxList"]
+__all__ = ["Box", "BoxArray", "BoxList"]
 
 
 def _as_int_tuple(values: Sequence[int], what: str) -> tuple[int, ...]:
@@ -334,17 +351,385 @@ class Box:
         return f"Box(L{self.level} {self.lower}->{self.upper})"
 
 
+class BoxArray:
+    """Struct-of-arrays box metadata: contiguous ``int64`` columns.
+
+    ``lower`` and ``upper`` have shape ``(n, ndim)``; ``level`` has shape
+    ``(n,)``.  The columns are frozen (read-only) on construction -- a
+    ``BoxArray`` is the immutable backing store of a :class:`BoxList`, and
+    downstream consumers (work model, SFC index, partitioners) may alias
+    its columns without defensive copies.
+
+    Row ``i`` corresponds to ``Box(tuple(lower[i]), tuple(upper[i]),
+    int(level[i]))``; :meth:`box` / :meth:`to_boxes` materialize that view
+    on demand.  All bulk geometry (cell counts, level bucketing, overlap
+    sweeps, deterministic sort orders) runs directly on the columns.
+    """
+
+    __slots__ = ("lower", "upper", "level", "_num_cells", "_cells_by_level")
+
+    def __init__(
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        level: np.ndarray,
+    ) -> None:
+        lower = np.ascontiguousarray(lower, dtype=np.int64)
+        upper = np.ascontiguousarray(upper, dtype=np.int64)
+        level = np.ascontiguousarray(level, dtype=np.int64)
+        if lower.ndim != 2:
+            raise GeometryError(
+                f"lower must have shape (n, ndim), got {lower.shape}"
+            )
+        if upper.shape != lower.shape:
+            raise GeometryError(
+                f"upper shape {upper.shape} != lower shape {lower.shape}"
+            )
+        if level.shape != (lower.shape[0],):
+            raise GeometryError(
+                f"level must have shape ({lower.shape[0]},), got {level.shape}"
+            )
+        if lower.shape[0]:
+            if bool((upper <= lower).any()):
+                raise GeometryError("empty box in BoxArray (upper <= lower)")
+            if bool((level < 0).any()):
+                raise GeometryError("negative refinement level in BoxArray")
+        for col in (lower, upper, level):
+            col.setflags(write=False)
+        self.lower = lower
+        self.upper = upper
+        self.level = level
+        self._num_cells: np.ndarray | None = None
+        self._cells_by_level: dict[int, int] | None = None
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def empty(cls, ndim: int = 1) -> "BoxArray":
+        return cls(
+            np.zeros((0, ndim), dtype=np.int64),
+            np.zeros((0, ndim), dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_boxes(cls, boxes: Iterable[Box]) -> "BoxArray":
+        seq = boxes if isinstance(boxes, (list, tuple)) else list(boxes)
+        if not seq:
+            return cls.empty()
+        lower = np.array([b.lower for b in seq], dtype=np.int64)
+        upper = np.array([b.upper for b in seq], dtype=np.int64)
+        level = np.array([b.level for b in seq], dtype=np.int64)
+        return cls(lower, upper, level)
+
+    @staticmethod
+    def concatenate(arrays: Sequence["BoxArray"]) -> "BoxArray":
+        """Row-wise concatenation (empty operands are skipped)."""
+        parts = [a for a in arrays if len(a)]
+        if not parts:
+            return BoxArray.empty(arrays[0].ndim if arrays else 1)
+        if len(parts) == 1:
+            return parts[0]
+        return BoxArray(
+            np.concatenate([a.lower for a in parts]),
+            np.concatenate([a.upper for a in parts]),
+            np.concatenate([a.level for a in parts]),
+        )
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return self.lower.shape[0]
+
+    @property
+    def ndim(self) -> int:
+        """Spatial dimensionality of every box in the array."""
+        return self.lower.shape[1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BoxArray({len(self)} boxes, ndim={self.ndim})"
+
+    # -- object views -------------------------------------------------------
+    def box(self, i: int) -> Box:
+        """Materialize row ``i`` as a :class:`Box` object."""
+        i = int(i)
+        return Box(
+            tuple(self.lower[i].tolist()),
+            tuple(self.upper[i].tolist()),
+            int(self.level[i]),
+        )
+
+    def row(self, i: int) -> tuple[tuple[int, ...], tuple[int, ...], int]:
+        """Row ``i`` as plain ``(lower, upper, level)`` Python tuples.
+
+        The object-free currency of the columnar splitters: cheaper than
+        :meth:`box` (no dataclass validation) and hashable for work memos.
+        """
+        i = int(i)
+        return (
+            tuple(self.lower[i].tolist()),
+            tuple(self.upper[i].tolist()),
+            int(self.level[i]),
+        )
+
+    def to_boxes(self) -> tuple[Box, ...]:
+        """Materialize every row as a :class:`Box` (the object view)."""
+        los = self.lower.tolist()
+        ups = self.upper.tolist()
+        lvls = self.level.tolist()
+        return tuple(
+            Box(tuple(lo), tuple(up), lv)
+            for lo, up, lv in zip(los, ups, lvls)
+        )
+
+    # -- selection ----------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "BoxArray":
+        """Rows selected/reordered by positional ``indices``."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return BoxArray(self.lower[idx], self.upper[idx], self.level[idx])
+
+    def level_indices(self, level: int) -> np.ndarray:
+        """Positional indices of the rows on one refinement level."""
+        return np.flatnonzero(self.level == level)
+
+    def at_level(self, level: int) -> "BoxArray":
+        """Sub-array of boxes on one refinement level."""
+        return self.take(self.level_indices(level))
+
+    # -- measures -----------------------------------------------------------
+    def num_cells(self) -> np.ndarray:
+        """Per-box cell count as an ``(n,)`` int64 array (memoized).
+
+        The columns are frozen, so the counts are cached on first use --
+        a repartition touches them several times (work vector, cover
+        validation, load accounting) and repeated repartitions of an
+        unchanged hierarchy skip the pass entirely.
+        """
+        if self._num_cells is not None:
+            return self._num_cells
+        if not len(self):
+            out = np.zeros(0, dtype=np.int64)
+        else:
+            out = self.upper[:, 0] - self.lower[:, 0]
+            for d in range(1, self.ndim):
+                out = out * (self.upper[:, d] - self.lower[:, d])
+        out.setflags(write=False)
+        self._num_cells = out
+        return out
+
+    def total_cells(self) -> int:
+        return int(self.num_cells().sum())
+
+    def unique_levels(self) -> np.ndarray:
+        return np.unique(self.level)
+
+    def cells_by_level(self) -> dict[int, int]:
+        """Total cell count per refinement level, in one vectorized pass."""
+        if self._cells_by_level is not None:
+            return dict(self._cells_by_level)
+        if not len(self):
+            return {}
+        cells = self.num_cells()
+        present = np.bincount(self.level)
+        totals = np.bincount(self.level, weights=cells)
+        if totals.max(initial=0.0) < 2.0**53:
+            # float64 bincount sums are exact below 2**53 cells.
+            by_level = {
+                int(lvl): int(totals[lvl])
+                for lvl in np.flatnonzero(present)
+            }
+        else:
+            uniq, inverse = np.unique(self.level, return_inverse=True)
+            exact = np.zeros(len(uniq), dtype=np.int64)
+            np.add.at(exact, inverse, cells)
+            by_level = {
+                int(lvl): int(tot) for lvl, tot in zip(uniq, exact)
+            }
+        self._cells_by_level = by_level
+        return dict(by_level)
+
+    # -- deterministic orderings -------------------------------------------
+    def corner_lexsort(self, primary: np.ndarray | None = None) -> np.ndarray:
+        """Stable sort indices by ``(primary, level, lower...)``.
+
+        The columnar equivalent of ``sorted(range(n), key=lambda i:
+        (primary[i], *boxes[i].corner_key()))`` -- ``np.lexsort`` is stable
+        exactly like ``sorted``, so orders (and therefore downstream
+        assignments) are identical to the object path.  With ``primary``
+        omitted this is the canonical ``(level, lower)`` ordering.
+        """
+        keys = [self.lower[:, d] for d in range(self.ndim - 1, -1, -1)]
+        keys.append(self.level)
+        if primary is not None:
+            keys.append(np.asarray(primary))
+        return np.lexsort(keys)
+
+    # -- overlap testing ----------------------------------------------------
+    def is_disjoint(self) -> bool:
+        """True when no two same-level boxes overlap.
+
+        Small per-level groups use one broadcast comparison; larger ones a
+        vectorized grid hash -- bin every box by its lower corner with a
+        bin pitch of the level's maximum extent per axis, so two boxes can
+        only overlap if their bins are identical or axis-adjacent.
+        Candidate pairs then come from ``3**ndim / 2`` bucket joins, each
+        a pair of ``searchsorted`` calls over the bin-sorted keys, and the
+        survivors get one exact broadcast test (chunked to bound memory).
+        Unlike a single-axis sweep this does not degenerate on
+        grid-aligned patchworks where thousands of boxes share one column
+        of the sweep axis.  Every partition validates its output through
+        here, so this must stay cheap at millions of boxes; the columns
+        are built once per :class:`BoxList` and reused across calls.
+        """
+        if len(self) < 2:
+            return True
+        for lvl in np.flatnonzero(np.bincount(self.level)):
+            idx = np.flatnonzero(self.level == lvl)
+            n = idx.size
+            if n < 2:
+                continue
+            lowers = self.lower[idx]
+            uppers = self.upper[idx]
+            if n <= 32:
+                # All i<j pairs in one broadcast.
+                hit = (
+                    (lowers[:, None, :] < uppers[None, :, :])
+                    & (lowers[None, :, :] < uppers[:, None, :])
+                ).all(axis=2)
+                iu = np.triu_indices(n, k=1)
+                if bool(hit[iu].any()):
+                    return False
+                continue
+            pitch = (uppers - lowers).max(axis=0)
+            cell = lowers // pitch
+            cell = cell - cell.min(axis=0)
+            dims = cell.max(axis=0) + 2
+            strides = np.ones(self.ndim, dtype=np.int64)
+            for d in range(self.ndim - 2, -1, -1):
+                strides[d] = strides[d + 1] * dims[d + 1]
+            key = cell[:, 0] * int(strides[0])
+            for d in range(1, self.ndim):
+                key += cell[:, d] * int(strides[d])
+            order = np.argsort(key, kind="stable")
+            lo = lowers[order]
+            up = uppers[order]
+            skey = key[order]
+            scell = cell[order]
+            pos = np.arange(n)
+            # Same-bin pairs: every j > i inside the bucket.  Bucket ends
+            # come from the sorted keys' run-length structure (O(n), no
+            # binary searches).
+            change = skey[1:] != skey[:-1]
+            run_ends = np.append(np.flatnonzero(change) + 1, n)
+            right = run_ends[np.cumsum(np.concatenate(([0], change)))]
+            if self._pairs_overlap(lo, up, pos, pos + 1, right - pos - 1):
+                return False
+            # Adjacent-bin pairs: enumerate only lexicographically
+            # positive offsets so each unordered pair joins exactly once.
+            # Row-major keys make an offset a constant key delta; only
+            # offsets with a -1 component need a validity mask (bin
+            # coordinate 0 has no neighbor below, while +1 always stays
+            # in range because ``dims`` leaves headroom).
+            for off in itertools.product((-1, 0, 1), repeat=self.ndim):
+                if off <= (0,) * self.ndim:
+                    continue
+                neg = [d for d, o in enumerate(off) if o < 0]
+                delta = int(np.dot(off, strides))
+                if neg:
+                    mask = scell[:, neg[0]] >= 1
+                    for d in neg[1:]:
+                        mask &= scell[:, d] >= 1
+                    valid = np.flatnonzero(mask)
+                    if not valid.size:
+                        continue
+                    tkey = skey[valid] + delta
+                else:
+                    valid = pos
+                    tkey = skey + delta
+                left = np.searchsorted(skey, tkey, side="left")
+                # A hit bin's size comes from the run-length structure:
+                # ``right[left]`` is the end of the run starting at
+                # ``left`` when the key actually matches (no second
+                # binary search needed).
+                safe = np.minimum(left, n - 1)
+                cnt = np.where(
+                    (left < n) & (skey[safe] == tkey),
+                    right[safe] - left,
+                    0,
+                )
+                if self._pairs_overlap(lo, up, valid, left, cnt):
+                    return False
+        return True
+
+    @staticmethod
+    def _pairs_overlap(
+        lo: np.ndarray,
+        up: np.ndarray,
+        src: np.ndarray,
+        starts: np.ndarray,
+        counts: np.ndarray,
+        chunk: int = 1 << 20,
+    ) -> bool:
+        """True if any candidate pair of boxes overlaps in every axis.
+
+        Source box ``src[k]`` is paired with the ``counts[k]`` rows
+        beginning at ``starts[k]``; the pair expansion is chunked so the
+        broadcast test never materializes more than ``chunk`` rows.
+        """
+        m = counts.size
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        if not int(bounds[-1]):
+            return False
+        i0 = 0
+        while i0 < m:
+            i1 = min(
+                max(int(np.searchsorted(bounds, bounds[i0] + chunk)), i0 + 1),
+                m,
+            )
+            c = counts[i0:i1]
+            tot = int(c.sum())
+            if tot:
+                reps = np.repeat(np.arange(i0, i1), c)
+                offsets = np.concatenate(([0], np.cumsum(c)[:-1]))
+                ii = src[reps]
+                jj = (
+                    np.arange(tot)
+                    - np.repeat(offsets, c)
+                    + starts[reps]
+                )
+                # Filter axis by axis on 1-D column gathers, compressing
+                # to survivors each round -- most candidates die on the
+                # first axis, so the later gathers touch almost nothing.
+                for d in range(lo.shape[1]):
+                    keep = (lo[ii, d] < up[jj, d]) & (lo[jj, d] < up[ii, d])
+                    ii = ii[keep]
+                    jj = jj[keep]
+                    if not ii.size:
+                        break
+                if ii.size:
+                    return True
+            i0 = i1
+        return False
+
+
 class BoxList:
     """An ordered, immutable-ish collection of boxes (possibly mixed-level).
 
     This is the unit the GrACE runtime hands to a partitioner at every
     regrid: the flattened bounding-box list of the whole grid hierarchy.
+
+    A ``BoxList`` is backed by either per-box :class:`Box` objects, a
+    columnar :class:`BoxArray`, or both.  Lists built from objects expose
+    their column view through :attr:`array` (computed once, cached);
+    lists built from columns (:meth:`from_array`) defer materializing
+    Box objects until something actually iterates them.  Hot bulk paths
+    (cell accounting, level slicing, overlap sweeps, deterministic sorts)
+    run on the columns either way.
     """
 
-    __slots__ = ("_boxes",)
+    __slots__ = ("_boxes", "_array")
 
     def __init__(self, boxes: Iterable[Box] = ()):
-        self._boxes: tuple[Box, ...] = tuple(boxes)
+        self._array: BoxArray | None = None
+        self._boxes: tuple[Box, ...] | None = tuple(boxes)
         for b in self._boxes:
             if not isinstance(b, Box):
                 raise GeometryError(f"BoxList items must be Box, got {type(b)!r}")
@@ -354,39 +739,84 @@ class BoxList:
                 if b.ndim != ndim:
                     raise GeometryError("mixed dimensionality in BoxList")
 
+    @classmethod
+    def from_array(cls, array: BoxArray) -> "BoxList":
+        """A list backed purely by columns; Box objects materialize lazily."""
+        if not isinstance(array, BoxArray):
+            raise GeometryError(
+                f"from_array expects a BoxArray, got {type(array)!r}"
+            )
+        self = object.__new__(cls)
+        self._boxes = None
+        self._array = array
+        return self
+
+    # -- representation management -----------------------------------------
+    @property
+    def array(self) -> BoxArray:
+        """The columnar view (built once from the objects, then cached)."""
+        if self._array is None:
+            self._array = BoxArray.from_boxes(self._boxes)
+        return self._array
+
+    @property
+    def is_materialized(self) -> bool:
+        """True when per-box objects exist (False for pure-columnar lists)."""
+        return self._boxes is not None
+
+    def _tuple(self) -> tuple[Box, ...]:
+        if self._boxes is None:
+            self._boxes = self._array.to_boxes()
+        return self._boxes
+
     # -- container protocol -------------------------------------------------
     def __len__(self) -> int:
-        return len(self._boxes)
+        if self._boxes is not None:
+            return len(self._boxes)
+        return len(self._array)
 
     def __iter__(self) -> Iterator[Box]:
-        return iter(self._boxes)
+        return iter(self._tuple())
 
     def __getitem__(self, i):
         if isinstance(i, slice):
-            return BoxList(self._boxes[i])
-        return self._boxes[i]
+            if self._boxes is not None:
+                return BoxList(self._boxes[i])
+            n = len(self._array)
+            return BoxList.from_array(self._array.take(np.arange(n)[i]))
+        if self._boxes is not None:
+            return self._boxes[i]
+        return self._array.box(i)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BoxList):
             return NotImplemented
-        return self._boxes == other._boxes
+        if self._boxes is None and other._boxes is None:
+            a, b = self._array, other._array
+            return (
+                a.lower.shape == b.lower.shape
+                and bool(np.array_equal(a.lower, b.lower))
+                and bool(np.array_equal(a.upper, b.upper))
+                and bool(np.array_equal(a.level, b.level))
+            )
+        return self._tuple() == other._tuple()
 
     def __hash__(self) -> int:
-        return hash(self._boxes)
+        return hash(self._tuple())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"BoxList({len(self._boxes)} boxes, {self.total_cells} cells)"
+        return f"BoxList({len(self)} boxes, {self.total_cells} cells)"
 
     # -- measures -----------------------------------------------------------
     @property
     def total_cells(self) -> int:
         """Sum of cell counts over all boxes."""
-        return sum(b.num_cells for b in self._boxes)
+        return self.array.total_cells()
 
     @property
     def levels(self) -> tuple[int, ...]:
         """Sorted distinct refinement levels present."""
-        return tuple(sorted({b.level for b in self._boxes}))
+        return tuple(int(lvl) for lvl in self.array.unique_levels())
 
     def cells_by_level(self) -> dict[int, int]:
         """Total cell count per refinement level, in one vectorized pass.
@@ -395,108 +825,83 @@ class BoxList:
         paths (one array build instead of per-box Python arithmetic per
         level).
         """
-        if not self._boxes:
-            return {}
-        lowers = np.array([b.lower for b in self._boxes], dtype=np.int64)
-        uppers = np.array([b.upper for b in self._boxes], dtype=np.int64)
-        levels = np.array([b.level for b in self._boxes], dtype=np.int64)
-        cells = np.prod(uppers - lowers, axis=1)
-        uniq, inverse = np.unique(levels, return_inverse=True)
-        totals = np.zeros(len(uniq), dtype=np.int64)
-        np.add.at(totals, inverse, cells)
-        return {int(lvl): int(tot) for lvl, tot in zip(uniq, totals)}
+        return self.array.cells_by_level()
 
     def at_level(self, level: int) -> "BoxList":
         """Sub-list of boxes on one refinement level."""
-        return BoxList(b for b in self._boxes if b.level == level)
+        if self._boxes is not None:
+            return BoxList(b for b in self._boxes if b.level == level)
+        return BoxList.from_array(self._array.at_level(level))
 
     # -- transformations ----------------------------------------------------
+    def take(self, indices) -> "BoxList":
+        """Sub-list selected/reordered by positional ``indices``.
+
+        Preserves the backing representation: a materialized list yields
+        the same Box objects; a columnar list stays columnar.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        if self._boxes is not None:
+            boxes = self._boxes
+            out = BoxList(boxes[int(i)] for i in idx)
+            if self._array is not None:
+                out._array = self._array.take(idx)
+            return out
+        return BoxList.from_array(self._array.take(idx))
+
     def append(self, box: Box) -> "BoxList":
-        return BoxList((*self._boxes, box))
+        return BoxList((*self._tuple(), box))
 
     def extend(self, boxes: Iterable[Box]) -> "BoxList":
-        return BoxList((*self._boxes, *boxes))
+        if (
+            self._boxes is None
+            and isinstance(boxes, BoxList)
+            and boxes._boxes is None
+        ):
+            return BoxList.from_array(
+                BoxArray.concatenate([self._array, boxes._array])
+            )
+        return BoxList((*self._tuple(), *boxes))
 
     def sorted_by_cells(self, reverse: bool = False) -> "BoxList":
         """Stable sort by cell count (the paper sorts boxes ascending)."""
-        return BoxList(
-            sorted(self._boxes, key=lambda b: (b.num_cells, b.corner_key()),
-                   reverse=reverse)
-        )
+        if self._boxes is not None:
+            return BoxList(
+                sorted(self._boxes, key=lambda b: (b.num_cells, b.corner_key()),
+                       reverse=reverse)
+            )
+        arr = self._array
+        keys = [arr.lower[:, d] for d in range(arr.ndim - 1, -1, -1)]
+        keys.append(arr.level)
+        keys.append(arr.num_cells())
+        if reverse:
+            # Negating every key column reverses the tuple comparison while
+            # lexsort's stability keeps equal keys in original order --
+            # exactly ``sorted(..., reverse=True)``.
+            keys = [-k for k in keys]
+        return self.take(np.lexsort(keys))
 
     def sorted_canonical(self) -> "BoxList":
         """Deterministic (level, lower-corner) ordering."""
-        return BoxList(sorted(self._boxes, key=Box.corner_key))
+        if self._boxes is not None:
+            return BoxList(sorted(self._boxes, key=Box.corner_key))
+        return self.take(self._array.corner_lexsort())
 
     def is_disjoint(self) -> bool:
         """True when no two same-level boxes overlap.
 
-        Small per-level lists use the plain pairwise check (early exit,
-        no array setup); larger ones a vectorized sweep along axis 0 --
-        sort by lower corner, prune candidate pairs to those whose
-        axis-0 intervals overlap, and test the survivors with one
-        broadcast comparison (chunked to bound memory).  Every partition
-        validates its output through here, so this must stay cheap at
-        thousands of boxes.
+        Delegates to the cached column view: the coordinate arrays the
+        sweep-line needs are built once per list and reused across calls
+        (validate_covers used to rebuild them on every partition).
         """
-        by_level: dict[int, list[Box]] = {}
-        for b in self._boxes:
-            by_level.setdefault(b.level, []).append(b)
-        for boxes in by_level.values():
-            n = len(boxes)
-            if n < 2:
-                continue
-            if n <= 32:
-                for i, a in enumerate(boxes):
-                    for b in boxes[i + 1:]:
-                        if a.intersects(b):
-                            return False
-                continue
-            lowers = np.array([b.lower for b in boxes], dtype=np.int64)
-            uppers = np.array([b.upper for b in boxes], dtype=np.int64)
-            order = np.argsort(lowers[:, 0], kind="stable")
-            lo = lowers[order]
-            up = uppers[order]
-            # Candidates for row i: the j > i whose axis-0 interval starts
-            # before i's ends (sorted starts make this a binary search).
-            ends = np.searchsorted(lo[:, 0], up[:, 0], side="left")
-            starts = np.arange(n) + 1
-            counts = np.maximum(ends - starts, 0)
-            bounds = np.concatenate(([0], np.cumsum(counts)))
-            total = int(bounds[-1])
-            if total == 0:
-                continue
-            chunk = 1 << 20
-            i0 = 0
-            while i0 < n:
-                i1 = min(
-                    max(
-                        int(np.searchsorted(bounds, bounds[i0] + chunk)),
-                        i0 + 1,
-                    ),
-                    n,
-                )
-                c = counts[i0:i1]
-                tot = int(c.sum())
-                if tot:
-                    ii = np.repeat(np.arange(i0, i1), c)
-                    offsets = np.concatenate(([0], np.cumsum(c)[:-1]))
-                    jj = (
-                        np.arange(tot)
-                        - np.repeat(offsets, c)
-                        + np.repeat(starts[i0:i1], c)
-                    )
-                    hit = (lo[ii] < up[jj]) & (lo[jj] < up[ii])
-                    if hit.all(axis=1).any():
-                        return False
-                i0 = i1
-        return True
+        return self.array.is_disjoint()
 
     def bounding_box(self) -> Box:
         """Smallest single box covering every member (single-level lists only)."""
-        if not self._boxes:
+        boxes = self._tuple()
+        if not boxes:
             raise GeometryError("bounding_box of an empty BoxList")
-        out = self._boxes[0]
-        for b in self._boxes[1:]:
+        out = boxes[0]
+        for b in boxes[1:]:
             out = out.bounding_union(b)
         return out

@@ -23,7 +23,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.util.errors import GeometryError
-from repro.util.geometry import Box, BoxList
+from repro.util.geometry import Box, BoxArray, BoxList
 
 __all__ = [
     "morton_encode",
@@ -32,6 +32,8 @@ __all__ = [
     "hilbert_encode",
     "hilbert_decode",
     "hilbert_encode_many",
+    "sfc_keys_array",
+    "sfc_sort_order",
     "sfc_order_boxes",
 ]
 
@@ -208,27 +210,61 @@ def hilbert_encode_many(coords: np.ndarray, bits: int) -> np.ndarray:
         raise GeometryError(f"bits*ndim = {bits * ndim} exceeds int64 capacity")
     if n and (coords.min() < 0 or coords.max() >= (1 << bits)):
         raise GeometryError("coordinates out of range for the requested bits")
-    x = coords.T.astype(np.int64).copy()  # shape (ndim, n)
-    m = np.int64(1 << (bits - 1))
-    q = m
-    while q > 1:
-        p = q - 1
-        for i in range(ndim):
-            has = (x[i] & q).astype(bool)
-            x[0] = np.where(has, x[0] ^ p, x[0])
-            t = np.where(has, 0, (x[0] ^ x[i]) & p)
-            x[0] ^= t
-            x[i] ^= t
-        q >>= 1
-    for i in range(1, ndim):
-        x[i] ^= x[i - 1]
-    t = np.zeros(n, dtype=np.int64)
-    q = m
-    while q > 1:
-        t = np.where((x[ndim - 1] & q).astype(bool), t ^ (q - 1), t)
-        q >>= 1
-    x ^= t
-    # Transpose -> key, MSB-first interleave across words.
+    out = np.empty(n, dtype=np.int64)
+    # Process in cache-sized blocks: the bit walk is ~16 sequential
+    # passes over its arrays, so keeping each block's temporaries
+    # resident in cache beats streaming the full columns from memory.
+    block = 1 << 16
+    for b0 in range(0, max(n, 1), block):
+        x = coords[b0 : b0 + block].T.astype(np.int64).copy()
+        # Branchless Skilling walk: ``sel`` is an all-ones mask where the
+        # pivot bit is set, so both sides of the per-bit conditional
+        # reduce to pure integer ops on whole columns (no bool temps, no
+        # where).  Word 0's else-branch is a no-op (``x0 ^ x0``), so it
+        # only needs the bit-set side.
+        shift = bits - 1
+        while shift > 0:
+            q = np.int64(1) << shift
+            p = q - 1
+            x[0] ^= p & -((x[0] & q) >> shift)
+            for i in range(1, ndim):
+                sel = -((x[i] & q) >> shift)
+                t = (x[0] ^ x[i]) & p & ~sel
+                x[0] ^= (p & sel) ^ t
+                x[i] ^= t
+            shift -= 1
+        for i in range(1, ndim):
+            x[i] ^= x[i - 1]
+        # t has bit j set iff an odd number of bits above j are set in
+        # the last word: a suffix-parity, computed by the doubling
+        # prefix-xor ladder instead of a per-bit loop.
+        g = x[ndim - 1].copy()
+        for s in (1, 2, 4, 8, 16, 32):
+            g ^= g >> s
+        x ^= g >> 1
+        out[b0 : b0 + block] = _interleave_msb_first(x, bits)
+    return out
+
+
+def _interleave_msb_first(x: np.ndarray, bits: int) -> np.ndarray:
+    """Transpose words -> keys: MSB-first bit interleave across words.
+
+    The 2-D case spreads bits with the classic magic-number doubling
+    ladder (bit ``k`` of a word lands at position ``2k``), replacing the
+    ``bits * ndim`` single-bit passes of the generic loop with ten
+    whole-array ops.
+    """
+    ndim, n = x.shape
+    if ndim == 2 and bits <= 31:
+
+        def spread(v: np.ndarray) -> np.ndarray:
+            v = (v | (v << 16)) & np.int64(0x0000FFFF0000FFFF)
+            v = (v | (v << 8)) & np.int64(0x00FF00FF00FF00FF)
+            v = (v | (v << 4)) & np.int64(0x0F0F0F0F0F0F0F0F)
+            v = (v | (v << 2)) & np.int64(0x3333333333333333)
+            return (v | (v << 1)) & np.int64(0x5555555555555555)
+
+        return (spread(x[0]) << 1) | spread(x[1])
     keys = np.zeros(n, dtype=np.int64)
     for word in range(ndim):
         for bit in range(bits):
@@ -247,8 +283,57 @@ def _required_bits(max_coord: int) -> int:
     return bits
 
 
+def sfc_keys_array(
+    arr: BoxArray,
+    curve: str = "hilbert",
+    refine_factor: int = 2,
+) -> np.ndarray:
+    """SFC key of every box's lower corner, computed over whole columns.
+
+    Corners are promoted to the index space of the finest level present
+    (multiplying by ``refine_factor`` per level difference) so boxes from
+    different levels interleave along one common curve.  Returns an
+    ``(n,)`` int64 key array aligned with the rows of ``arr``.
+    """
+    n = len(arr)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    ndim = arr.ndim
+    max_level = int(arr.level.max())
+    scale = np.power(
+        np.int64(refine_factor), (max_level - arr.level).astype(np.int64)
+    )
+    corners = arr.lower * scale[:, None]
+    max_coord = int(corners.max(initial=0))
+    bits = _required_bits(max(max_coord, 1))
+    if bits * ndim > 62:
+        raise GeometryError(
+            f"domain too large for int64 SFC keys (bits={bits}, ndim={ndim})"
+        )
+    if curve == "hilbert":
+        return hilbert_encode_many(corners, bits)
+    if curve == "morton":
+        return morton_encode_many(corners, bits)
+    raise GeometryError(f"unknown curve {curve!r}; use 'hilbert' or 'morton'")
+
+
+def sfc_sort_order(
+    arr: BoxArray,
+    curve: str = "hilbert",
+    refine_factor: int = 2,
+) -> np.ndarray:
+    """Positional indices ordering ``arr`` along the space-filling curve.
+
+    Stable tie-break on level so co-located multi-level boxes order
+    deterministically coarse-to-fine (``np.lexsort`` is stable, matching
+    the object path's ``sorted`` exactly).
+    """
+    keys = sfc_keys_array(arr, curve=curve, refine_factor=refine_factor)
+    return np.lexsort((arr.level, keys))
+
+
 def sfc_order_boxes(
-    boxes: Iterable[Box],
+    boxes: "Iterable[Box] | BoxList",
     curve: str = "hilbert",
     refine_factor: int = 2,
 ) -> BoxList:
@@ -258,32 +343,13 @@ def sfc_order_boxes(
     present (multiplying by ``refine_factor`` per level difference) so boxes
     from different levels interleave along one common curve -- this is how the
     HDDA linearizes the whole hierarchy, and what ACEComposite walks.
+
+    The keys and sort order are computed over the list's cached columns
+    (:func:`sfc_keys_array` / :func:`sfc_sort_order`); a columnar input
+    stays columnar, an object-backed input keeps its Box objects.
     """
-    box_list = list(boxes)
-    if not box_list:
+    bl = boxes if isinstance(boxes, BoxList) else BoxList(boxes)
+    if not len(bl):
         return BoxList()
-    ndim = box_list[0].ndim
-    max_level = max(b.level for b in box_list)
-    corners = np.array(
-        [
-            [c * refine_factor ** (max_level - b.level) for c in b.lower]
-            for b in box_list
-        ],
-        dtype=np.int64,
-    )
-    max_coord = int(corners.max(initial=0))
-    bits = _required_bits(max(max_coord, 1))
-    if bits * ndim > 62:
-        raise GeometryError(
-            f"domain too large for int64 SFC keys (bits={bits}, ndim={ndim})"
-        )
-    if curve == "hilbert":
-        keys = hilbert_encode_many(corners, bits)
-    elif curve == "morton":
-        keys = morton_encode_many(corners, bits)
-    else:
-        raise GeometryError(f"unknown curve {curve!r}; use 'hilbert' or 'morton'")
-    # Stable tie-break on level so co-located multi-level boxes order
-    # deterministically coarse-to-fine.
-    order = np.lexsort((np.array([b.level for b in box_list]), keys))
-    return BoxList(box_list[i] for i in order)
+    order = sfc_sort_order(bl.array, curve=curve, refine_factor=refine_factor)
+    return bl.take(order)

@@ -1,14 +1,31 @@
 #!/usr/bin/env python
-"""Fail if per-box work-summing loops creep back outside the work model.
+"""Fail if scalar per-box idioms creep back into the columnar core.
 
-The vectorized :class:`repro.partition.workmodel.WorkModel` is the single
-place allowed to price boxes one at a time; everywhere else must go
-through its cached vector (``model.vector`` / ``model.total`` /
-``result.loads``).  This check greps ``src/`` for the scalar idioms the
-refactor removed, so a reviewer does not have to spot them by eye:
+Two families of checks, both substring/regex greps so a reviewer does
+not have to spot regressions by eye:
+
+**Work pricing** (all of ``src/``): the vectorized
+:class:`repro.partition.workmodel.WorkModel` is the single place allowed
+to price boxes one at a time; everywhere else must go through its cached
+vector (``model.vector`` / ``model.total`` / ``result.loads``).
+Forbidden idioms::
 
     sum(work_of(b) for b in boxes)        # O(n) Python-level pricing
     out[rank] += work_of(box)             # per-box load accumulation
+
+**Box metadata** (``partition/`` and ``amr/`` only): the columnar
+refactor moved box metadata -- corners, levels, cell counts, SFC keys --
+onto :class:`repro.util.geometry.BoxArray` column slices.  Per-box
+Python loops over a ``BoxList``'s metadata in those packages are flagged::
+
+    for b in boxes: ...                   # walk columns, not objects
+    sum(b.num_cells for b in boxes)       # BoxArray.num_cells()/total_cells()
+    sorted(boxes, key=...corner_key())    # corner_lexsort / sfc_sort_order
+
+Loops that genuinely need per-box *objects* (allocating GridPatch field
+storage, indexing a Box-keyed dict) carry a ``# per-box ok: <reason>``
+marker on the offending line; the marker is the audit trail, not a
+loophole -- new markers should be rare and justified in review.
 
 Run from the repo root (CI does)::
 
@@ -17,14 +34,16 @@ Run from the repo root (CI does)::
 
 from __future__ import annotations
 
+import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 
-#: Substrings that indicate scalar per-box work pricing.
-FORBIDDEN = (
+#: Substrings that indicate scalar per-box work pricing (checked in all
+#: of ``src/``).
+FORBIDDEN_WORK = (
     "sum(work_of(",
     "sum(self._work_of(",
     "work_of(b) for b",
@@ -33,31 +52,76 @@ FORBIDDEN = (
     "+= self._work_of(",
 )
 
+#: Scalar box-metadata idioms (checked in the columnar core only).
+FORBIDDEN_METADATA: tuple[tuple[re.Pattern[str], str], ...] = (
+    (
+        re.compile(r"for\s+(?:b|box)\s+in\s+boxes\b"),
+        "per-box loop over a BoxList -- slice BoxArray columns instead",
+    ),
+    (
+        re.compile(r"\.num_cells\s+for\s+(?:b|box)\s+in\b"),
+        "per-box cell counting -- use BoxArray.num_cells()/total_cells()",
+    ),
+    (
+        re.compile(r"sorted\(boxes"),
+        "object sort over boxes -- use corner_lexsort()/sfc_sort_order()",
+    ),
+    (
+        re.compile(r"\.corner_key\(\)"),
+        "scalar corner key -- lexsort the BoxArray columns instead",
+    ),
+)
+
+#: Packages holding the columnar hot paths; metadata rules apply here.
+METADATA_DIRS = (SRC / "repro" / "partition", SRC / "repro" / "amr")
+
 #: The one module allowed to price boxes per-box (it implements the
 #: vectorization and the legacy-callable adapter).
-ALLOWED = {SRC / "repro" / "partition" / "workmodel.py"}
+ALLOWED_WORK = {SRC / "repro" / "partition" / "workmodel.py"}
+
+#: Modules exempt from the metadata rules: the work model (it *is* the
+#: object-to-column adapter) and diagnostics that render a few dozen
+#: boxes to text, where columns buy nothing.
+ALLOWED_METADATA = {
+    SRC / "repro" / "partition" / "workmodel.py",
+    SRC / "repro" / "amr" / "viz.py",
+}
+
+#: Inline escape for loops that genuinely need Box objects.
+PER_BOX_OK = "# per-box ok"
 
 
 def main() -> int:
     violations: list[str] = []
     for path in sorted(SRC.rglob("*.py")):
-        if path in ALLOWED:
-            continue
+        rel = path.relative_to(REPO_ROOT)
+        check_metadata = (
+            any(path.is_relative_to(d) for d in METADATA_DIRS)
+            and path not in ALLOWED_METADATA
+        )
         for lineno, line in enumerate(
             path.read_text(encoding="utf-8").splitlines(), start=1
         ):
             stripped = line.strip()
             if stripped.startswith("#"):
                 continue
-            for pattern in FORBIDDEN:
-                if pattern in line:
-                    rel = path.relative_to(REPO_ROOT)
+            if path not in ALLOWED_WORK:
+                for pattern in FORBIDDEN_WORK:
+                    if pattern in line:
+                        violations.append(
+                            f"{rel}:{lineno}: scalar work loop `{pattern}`"
+                            f" -- use WorkModel.vector()/total() instead"
+                        )
+            if not check_metadata or PER_BOX_OK in line:
+                continue
+            for regex, hint in FORBIDDEN_METADATA:
+                if regex.search(line):
                     violations.append(
-                        f"{rel}:{lineno}: scalar work loop `{pattern}`"
-                        f" -- use WorkModel.vector()/total() instead"
+                        f"{rel}:{lineno}: scalar box metadata"
+                        f" `{regex.pattern}` -- {hint}"
                     )
     if violations:
-        print("per-box work pricing outside the work model:")
+        print("scalar per-box idioms outside the allowed modules:")
         for v in violations:
             print(f"  {v}")
         return 1
