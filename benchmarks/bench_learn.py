@@ -1,0 +1,242 @@
+"""Learned-policy subsystem benchmark: write ``BENCH_learn.json``.
+
+Times the :mod:`repro.learn` stack at its three cost centers:
+
+- **history ingest + warm start**: durably appending observations to an
+  :class:`~repro.learn.history.ExecutionHistoryStore` (fsync per row),
+  re-opening the store, and replaying it through a fresh
+  :class:`~repro.learn.policy.LearnController` -- rows/second through
+  the full persistence + fit path.
+- **model fit**: streaming-OLS observation throughput
+  (:class:`~repro.learn.models.OnlineLinearModel`) and transient
+  capacity-model refit+predict throughput, the per-iteration price of
+  keeping the models warm.
+- **gate decisions**: :class:`~repro.learn.policy.RepartitionGate`
+  pricings per second on a warm model, the inner-loop cost the runtime
+  pays at every sensing.
+- **end-to-end**: the learned adaptive loop vs the paper's fixed f=20
+  on the dynamic Linux-cluster scenario -- host wall seconds for both,
+  plus the simulated totals as drift keys (any change means the
+  decisions themselves changed).
+
+The artifact feeds ``repro bench-diff`` alongside the other BENCH
+files: ``*_per_wall_second`` keys diff as rates (higher is better),
+``*_wall_seconds`` as wall time (lower is better), ``sim_seconds_*`` as
+drift.
+
+Not pytest-collected -- CI runs it explicitly::
+
+    PYTHONPATH=src python benchmarks/bench_learn.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__
+from repro.learn import (
+    ExecutionHistoryStore,
+    LearnConfig,
+    LearnController,
+    OnlineLinearModel,
+    RepartitionGate,
+    TransientCapacityModel,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_learn.json"
+
+HISTORY_ROWS = 400
+OLS_POINTS = 200_000
+GATE_CALLS = 20_000
+CAPACITY_STEPS = 2_000
+E2E_ITERATIONS = 60
+
+
+def bench_history() -> dict:
+    """Durable append + reopen + warm-start over HISTORY_ROWS rows."""
+    rng = np.random.default_rng(7)
+    scratch = Path(tempfile.mkdtemp(prefix="bench-learn-"))
+    try:
+        store = ExecutionHistoryStore(scratch / "h")
+        t0 = time.perf_counter()
+        for i in range(HISTORY_ROWS):
+            store.record(
+                source="bench",
+                phase=("compute", "iteration", "migrate")[i % 3],
+                node=i % 8,
+                t=float(i),
+                work=float(100 + (i % 17)),
+                seconds=float(rng.uniform(0.5, 1.5)),
+            )
+        append_wall = time.perf_counter() - t0
+        store.checkpoint()
+
+        t0 = time.perf_counter()
+        reopened = ExecutionHistoryStore(scratch / "h")
+        counts = LearnController().warm_start(reopened)
+        warm_wall = time.perf_counter() - t0
+        assert len(reopened) == HISTORY_ROWS, "lost rows on reopen"
+        return {
+            "history_rows": HISTORY_ROWS,
+            "append_wall_seconds": append_wall,
+            "appends_per_wall_second": HISTORY_ROWS / append_wall,
+            "warm_start_wall_seconds": warm_wall,
+            "warm_start_rows": sum(counts.values()),
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def bench_models() -> dict:
+    """Streaming-OLS and transient-capacity fit throughput."""
+    rng = np.random.default_rng(11)
+    xs = rng.uniform(10.0, 1000.0, size=OLS_POINTS)
+    ys = 0.5 + 0.002 * xs + rng.normal(0.0, 0.01, size=OLS_POINTS)
+    model = OnlineLinearModel()
+    t0 = time.perf_counter()
+    for x, y in zip(xs, ys):
+        model.observe(float(x), float(y))
+    ols_wall = time.perf_counter() - t0
+    assert not model.is_cold
+
+    cap = TransientCapacityModel(num_nodes=8, window=12)
+    caps = rng.uniform(0.05, 0.2, size=(CAPACITY_STEPS, 8))
+    t0 = time.perf_counter()
+    for step in range(CAPACITY_STEPS):
+        cap.observe(float(step), caps[step])
+        cap.predict(float(step) + 0.5)
+    cap_wall = time.perf_counter() - t0
+    return {
+        "ols_points": OLS_POINTS,
+        "ols_observations_per_wall_second": OLS_POINTS / ols_wall,
+        "capacity_steps": CAPACITY_STEPS,
+        "capacity_fits_per_wall_second": CAPACITY_STEPS / cap_wall,
+    }
+
+
+def bench_gate() -> dict:
+    """Warm-gate pricing throughput (the per-sensing inner-loop cost)."""
+    rng = np.random.default_rng(3)
+    gate = RepartitionGate(LearnConfig())
+    loads = rng.uniform(50.0, 150.0, size=(64, 8))
+    caps = rng.uniform(0.05, 0.2, size=(64, 8))
+    caps /= caps.sum(axis=1, keepdims=True)
+    t0 = time.perf_counter()
+    for i in range(GATE_CALLS):
+        gate.decide(
+            loads=loads[i % 64],
+            capacities=caps[i % 64],
+            horizon_iters=5,
+            beta=0.01,
+            migration_seconds=0.5,
+        )
+    wall = time.perf_counter() - t0
+    return {
+        "gate_calls": GATE_CALLS,
+        "gate_decisions_per_wall_second": GATE_CALLS / wall,
+    }
+
+
+def bench_end_to_end() -> dict:
+    """Learned loop vs fixed f=20 on the dynamic-load scenario."""
+    from repro.cluster import Cluster
+    from repro.kernels.workloads import paper_rm3d_trace
+    from repro.monitor.service import ResourceMonitor
+    from repro.partition import ACEHeterogeneous
+    from repro.runtime.engine import RuntimeConfig, SamrRuntime
+
+    regrid = 7
+    workload = paper_rm3d_trace(num_regrids=E2E_ITERATIONS // regrid + 2)
+    cal = SamrRuntime(
+        workload,
+        Cluster.paper_linux_cluster(8, seed=11, dynamic=True,
+                                    horizon_s=1e9),
+        ACEHeterogeneous(),
+        config=RuntimeConfig(
+            iterations=E2E_ITERATIONS, regrid_interval=regrid
+        ),
+    ).run()
+    horizon = 0.8 * cal.total_seconds
+
+    def run_once(learned: bool):
+        cluster = Cluster.paper_linux_cluster(
+            8, seed=11, dynamic=True, horizon_s=horizon
+        )
+        learn = None
+        if learned:
+            learn = LearnController(
+                LearnConfig(
+                    adaptive_sensing=True,
+                    payoff_gate=True,
+                    transient_forecast=True,
+                )
+            )
+        t0 = time.perf_counter()
+        result = SamrRuntime(
+            workload,
+            cluster,
+            ACEHeterogeneous(),
+            monitor=ResourceMonitor(cluster),
+            config=RuntimeConfig(
+                iterations=E2E_ITERATIONS,
+                regrid_interval=regrid,
+                sensing_interval=20,
+            ),
+            learn=learn,
+        ).run()
+        return result, time.perf_counter() - t0
+
+    fixed_wall = learned_wall = float("inf")
+    fixed_sim = learned_sim = 0.0
+    for _ in range(3):
+        result, wall = run_once(learned=False)
+        fixed_wall = min(fixed_wall, wall)
+        fixed_sim = result.total_seconds
+        result, wall = run_once(learned=True)
+        learned_wall = min(learned_wall, wall)
+        learned_sim = result.total_seconds
+    return {
+        "iterations": E2E_ITERATIONS,
+        "fixed_loop_wall_seconds": fixed_wall,
+        "learned_loop_wall_seconds": learned_wall,
+        "sim_seconds_fixed": fixed_sim,
+        "sim_seconds_learned": learned_sim,
+    }
+
+
+def main() -> None:
+    sections = {}
+    for name, fn in (
+        ("history", bench_history),
+        ("models", bench_models),
+        ("gate", bench_gate),
+        ("end_to_end", bench_end_to_end),
+    ):
+        sections[name] = fn()
+        pretty = ", ".join(
+            f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in sections[name].items()
+        )
+        print(f"{name}: {pretty}")
+    payload = {
+        "schema_version": 1,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        **sections,
+    }
+    OUTPUT.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,9 @@ Usage::
     python -m repro campaign resume campaigns/a --workers 4
     python -m repro campaign watch campaigns/a        # live progress tail
     python -m repro serve --root campaigns --port 8765  # HTTP front
+    python -m repro learn fit campaigns/a             # fit cost models
+    python -m repro learn inspect campaigns/a/learn   # model fit state
+    python -m repro learn replay campaigns/a/learn    # learned vs fixed-f
 
 ``campaign`` executes a scenario × partitioner × seed × config grid
 (one JSON spec file) sharded across worker processes, checkpointing the
@@ -35,6 +38,16 @@ stdlib HTTP API (status, paginated cells, per-cell records and
 artifacts, OpenMetrics at ``/metrics``, an SSE stream at
 ``/campaigns/<id>/live``, HTML report and dashboard) with
 ETag-validated response caching.
+
+``learn`` closes the loop from observability to decision-making: ``fit``
+ingests a campaign's per-cell ``artifacts/<cell-key>/profile.json``
+bundles into a durable execution-history store and fits the
+least-squares cost/capacity models of :mod:`repro.learn`; ``inspect``
+reports which models are fitted vs cold; ``replay`` re-runs the dynamic
+Linux-cluster scenario with the learned policies (adaptive sensing
+interval, payoff-gated repartitioning, transient capacity forecasting)
+warm-started from that store and compares against the paper's fixed
+f=20 loop.
 
 ``profile`` reconstructs the per-iteration critical path from the span
 stream (which rank's compute/exchange gated each step, slack per rank,
@@ -231,6 +244,31 @@ def _run_sweep_heterogeneity(quick: bool) -> str:
     return "\n".join(lines)
 
 
+def _run_ablation_learn(quick: bool) -> str:
+    data = ab.learn_ablation(iterations=60 if quick else 150)
+    lines = [
+        "learned-policy ablation vs fixed "
+        f"f={data['sensing_interval']} "
+        f"(regrid every {data['regrid_interval']} its):"
+    ]
+    for scenario, rec in data["scenarios"].items():
+        lines.append(f"  {scenario}:")
+        for row in rec["rows"]:
+            extra = ""
+            if "sensing_interval" in row:
+                extra = (
+                    f", f->{row['sensing_interval']}, "
+                    f"gate {row['gate_skips']}/{row['gate_decisions']} "
+                    "skipped"
+                )
+            lines.append(
+                f"    {row['variant']:>10}: {row['seconds']:7.1f}s "
+                f"({row['win_pct']:+5.1f}%, "
+                f"{row['num_sensings']} sensings{extra})"
+            )
+    return "\n".join(lines)
+
+
 def _run_ablation_panel(quick: bool) -> str:
     data = ab.partitioner_panel(iterations=15 if quick else 30)
     lines = ["partitioner panel (8-node loaded cluster):"]
@@ -260,6 +298,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], str]]] = {
         "forecaster-choice ablation", _run_ablation_forecasters,
     ),
     "ablation-panel": ("partitioner panel", _run_ablation_panel),
+    "ablation-learn": (
+        "learned-policy ablation (adaptive-f / gate / transient)",
+        _run_ablation_learn,
+    ),
     "sweep-probe-cost": (
         "probe-cost sensitivity sweep", _run_sweep_probe_cost,
     ),
@@ -902,6 +944,194 @@ def _run_bench_diff(
     return 0
 
 
+def _print_learn_summary(summary: dict) -> None:
+    cap = summary["capacity_model"]
+    itm = summary["iter_model"]
+    mig = summary["migration_model"]
+    probe = summary["probe_model"]
+
+    def _state(cold: bool) -> str:
+        return "cold" if cold else "fitted"
+
+    print(
+        f"  iteration model:  {_state(itm['cold'])} "
+        f"(n={itm['n']}, beta={itm['beta']:.4g}, "
+        f"intercept={itm['intercept']:.4g})"
+    )
+    print(
+        f"  migration model:  {_state(mig['cold'])} "
+        f"(n={mig['n']}, mean={mig['mean_seconds']:.4g}s)"
+    )
+    print(
+        f"  probe model:      {_state(probe['cold'])} "
+        f"(n={probe['n']}, mean={probe['mean_seconds']:.4g}s)"
+    )
+    print(
+        f"  capacity model:   {_state(cap['cold'])} "
+        f"(window={cap['window_len']}, "
+        f"drift_rate={cap['drift_rate']:.4g}/s)"
+    )
+    print(f"  sensing interval: {summary['sensing_interval']} its")
+
+
+def _learn_fit(campaign: str, store_dir: str | None) -> int:
+    """Ingest campaign artifacts into a history store and fit models."""
+    from repro.learn import ExecutionHistoryStore, LearnController
+
+    campaign_path = Path(campaign)
+    if not (campaign_path / "artifacts").is_dir():
+        print(
+            f"no artifacts/ under {campaign_path}; run the campaign first",
+            file=sys.stderr,
+        )
+        return 2
+    directory = Path(store_dir) if store_dir else campaign_path / "learn"
+    store = ExecutionHistoryStore(directory)
+    added = store.ingest_artifacts(campaign_path)
+    store.checkpoint()
+    learn = LearnController(history=store)
+    counts = learn.warm_start(store)
+    print(
+        f"history store {directory}: {len(store)} rows "
+        f"({added} newly ingested from {campaign_path}/artifacts)"
+    )
+    print(
+        "warm-started models from "
+        + ", ".join(f"{v} {k}" for k, v in counts.items())
+        + " rows:"
+    )
+    _print_learn_summary(learn.summary())
+    return 0
+
+
+def _learn_inspect(store_dir: str) -> int:
+    """Print a history store's contents and the models it supports."""
+    from repro.learn import ExecutionHistoryStore, LearnController
+
+    directory = Path(store_dir)
+    if not directory.is_dir():
+        print(f"no history store at {directory}", file=sys.stderr)
+        return 2
+    store = ExecutionHistoryStore(directory)
+    print(f"history store {directory}: {len(store)} rows")
+    if len(store):
+        keys = store.column("cell_key")
+        for cell_key in store.sources():
+            n = int((keys == cell_key).sum())
+            print(f"  cell {cell_key}: {n} rows")
+        print("  phases: " + ", ".join(store.phases()))
+    learn = LearnController(history=None)
+    learn.warm_start(store)
+    _print_learn_summary(learn.summary())
+    return 0
+
+
+def _learn_replay(store_dir: str, iterations: int, seed: int) -> int:
+    """Re-run the dynamic-load scenario with warm-started models.
+
+    Runs the paper's fixed-f loop and the fully learned loop (adaptive
+    sensing + payoff gate + transient forecasting), the latter seeded
+    from the history store, and prints the wall-clock comparison.
+    """
+    from repro.cluster import Cluster
+    from repro.kernels.workloads import paper_rm3d_trace
+    from repro.learn import (
+        ExecutionHistoryStore,
+        LearnConfig,
+        LearnController,
+    )
+    from repro.monitor.service import ResourceMonitor
+    from repro.partition import ACEHeterogeneous
+    from repro.runtime.engine import RuntimeConfig, SamrRuntime
+
+    directory = Path(store_dir)
+    if not directory.is_dir():
+        print(f"no history store at {directory}", file=sys.stderr)
+        return 2
+    store = ExecutionHistoryStore(directory)
+
+    regrid_interval = 7
+    workload = paper_rm3d_trace(
+        num_regrids=iterations // regrid_interval + 2
+    )
+    cal = SamrRuntime(
+        workload,
+        Cluster.paper_linux_cluster(8, seed=seed, dynamic=True,
+                                    horizon_s=1e9),
+        ACEHeterogeneous(),
+        config=RuntimeConfig(
+            iterations=iterations, regrid_interval=regrid_interval
+        ),
+    ).run()
+    horizon = 0.8 * cal.total_seconds
+
+    def run_once(learn: LearnController | None):
+        cluster = Cluster.paper_linux_cluster(
+            8, seed=seed, dynamic=True, horizon_s=horizon
+        )
+        return SamrRuntime(
+            workload,
+            cluster,
+            ACEHeterogeneous(),
+            monitor=ResourceMonitor(cluster),
+            config=RuntimeConfig(
+                iterations=iterations,
+                regrid_interval=regrid_interval,
+                sensing_interval=20,
+            ),
+            learn=learn,
+        ).run()
+
+    baseline = run_once(None)
+    learn = LearnController(
+        LearnConfig(
+            adaptive_sensing=True, payoff_gate=True,
+            transient_forecast=True,
+        )
+    )
+    counts = learn.warm_start(store)
+    replayed = run_once(learn)
+    win = (
+        (baseline.total_seconds - replayed.total_seconds)
+        / baseline.total_seconds * 100.0
+        if baseline.total_seconds
+        else 0.0
+    )
+    print(
+        f"replay on load-dynamics ({iterations} its, seed {seed}), "
+        f"warm-started from {len(store)} history rows "
+        f"({sum(counts.values())} replayed):"
+    )
+    print(
+        f"  fixed f=20: {baseline.total_seconds:8.1f}s "
+        f"({baseline.num_sensings} sensings)"
+    )
+    print(
+        f"  learned:    {replayed.total_seconds:8.1f}s "
+        f"({replayed.num_sensings} sensings, {win:+.1f}%)"
+    )
+    _print_learn_summary(learn.summary())
+    return 0
+
+
+def _run_learn(args) -> int:
+    """Dispatch ``repro learn fit|inspect|replay``; errors exit 2."""
+    from repro.util.errors import ExperimentError
+
+    try:
+        if args.learn_command == "fit":
+            return _learn_fit(args.campaign, args.store)
+        if args.learn_command == "inspect":
+            return _learn_inspect(args.store)
+        if args.learn_command == "replay":
+            return _learn_replay(args.store, args.iterations, args.seed)
+    except ExperimentError as exc:
+        print(f"learn error: {exc}", file=sys.stderr)
+        return 2
+    print("usage: repro learn {fit,inspect,replay} ...", file=sys.stderr)
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1075,6 +1305,42 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument(
         "--port", type=int, default=8765, help="bind port (default: 8765)"
     )
+    learn = sub.add_parser(
+        "learn",
+        help="execution-history cost models: fit from campaign "
+        "artifacts, inspect a store, replay with learned policies",
+    )
+    learn_sub = learn.add_subparsers(dest="learn_command")
+    lfit = learn_sub.add_parser(
+        "fit",
+        help="ingest a campaign's artifacts/ into a history store and "
+        "fit the cost models",
+    )
+    lfit.add_argument(
+        "campaign", help="campaign directory with artifacts/<cell>/"
+    )
+    lfit.add_argument(
+        "--store", default=None,
+        help="history store directory (default: <campaign>/learn)",
+    )
+    linspect = learn_sub.add_parser(
+        "inspect", help="print a history store's rows and model fits"
+    )
+    linspect.add_argument("store", help="history store directory")
+    lreplay = learn_sub.add_parser(
+        "replay",
+        help="run the dynamic-load scenario with models warm-started "
+        "from a history store, vs the fixed-f baseline",
+    )
+    lreplay.add_argument("store", help="history store directory")
+    lreplay.add_argument(
+        "--iterations", type=int, default=60,
+        help="AMR iterations per run (default: 60)",
+    )
+    lreplay.add_argument(
+        "--seed", type=int, default=11,
+        help="cluster/load-script seed (default: 11)",
+    )
     bench = sub.add_parser(
         "bench-diff",
         help="compare two BENCH_*.json artifacts; flag perf regressions",
@@ -1137,6 +1403,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_campaign(args)
     if args.command == "serve":
         return _run_serve(args.root, args.host, args.port)
+    if args.command == "learn":
+        return _run_learn(args)
     if args.command == "bench-diff":
         return _run_bench_diff(
             args.old, args.new, args.tolerance, args.fail_on_regression,

@@ -1,0 +1,40 @@
+"""Learned cost models and predictive partitioning policies.
+
+The decision-making layer on top of the observability stack: an
+execution-history store (:mod:`repro.learn.history`), least-squares
+cost/capacity models fitted from it (:mod:`repro.learn.models`), and the
+adaptive sensing + payoff-gated repartitioning policies that replace the
+paper's hand-tuned constants (:mod:`repro.learn.policy`).
+"""
+
+from repro.learn.history import ExecutionHistoryStore
+from repro.learn.models import (
+    AmdahlCostModel,
+    OnlineLinearModel,
+    OnlineMeanModel,
+    TransientCapacityModel,
+)
+from repro.learn.policy import (
+    NULL_LEARNER,
+    AdaptiveSensingPolicy,
+    GateDecision,
+    LearnConfig,
+    LearnController,
+    NullLearner,
+    RepartitionGate,
+)
+
+__all__ = [
+    "ExecutionHistoryStore",
+    "OnlineLinearModel",
+    "OnlineMeanModel",
+    "AmdahlCostModel",
+    "TransientCapacityModel",
+    "LearnConfig",
+    "AdaptiveSensingPolicy",
+    "GateDecision",
+    "RepartitionGate",
+    "LearnController",
+    "NullLearner",
+    "NULL_LEARNER",
+]

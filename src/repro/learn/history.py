@@ -1,0 +1,359 @@
+"""Append-only execution-history store feeding the learned cost models.
+
+Every adaptive decision in :mod:`repro.learn.policy` is only as good as
+the history behind it, so the store borrows the campaign
+:class:`~repro.campaign.store.ResultStore` durability discipline
+wholesale:
+
+- appends go to ``history.jsonl`` and are **fsynced** before the call
+  returns -- a crash never loses an acknowledged observation;
+- reads tolerate a **torn tail** (a partial line from a crash
+  mid-append parses as garbage and is dropped, never raised);
+- an ``index.json`` sidecar records the exact ``(records, bytes)``
+  high-water mark and is published atomically (tmp + rename), so a
+  reopened store resumes from byte-identical state: the trusted prefix
+  is replayed verbatim and only unindexed bytes are re-validated.
+
+Rows are flat observations -- one ``(source, cell_key, phase, node, t,
+work, seconds, capacity, count)`` tuple per line -- ingested from three
+places: live runs (the :class:`~repro.learn.policy.LearnController`
+records per-node iteration timings as they happen), campaign telemetry
+digests, and the per-cell ``artifacts/<cell-key>/profile.json`` bundles
+PR 7 writes.  In memory the store is columnar: numeric columns are
+numpy arrays, so model fitting and queries are vectorized scans, not
+row loops.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from repro.util.errors import ExperimentError
+
+__all__ = ["ExecutionHistoryStore", "HISTORY_NAME", "INDEX_NAME"]
+
+#: Append log and exact-resume index file names inside a store directory.
+HISTORY_NAME = "history.jsonl"
+INDEX_NAME = "index.json"
+
+#: Store format version stamped into the index.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Row fields, in canonical serialization order.  ``t`` is simulated
+#: seconds; ``node`` is -1 for rows that aggregate across nodes.
+_FIELDS = (
+    "seq",
+    "source",
+    "cell_key",
+    "phase",
+    "node",
+    "t",
+    "work",
+    "seconds",
+    "capacity",
+    "count",
+)
+
+_NUMERIC = {
+    "seq": np.int64,
+    "node": np.int64,
+    "t": np.float64,
+    "work": np.float64,
+    "seconds": np.float64,
+    "capacity": np.float64,
+    "count": np.int64,
+}
+
+
+def _encode(row: dict[str, Any]) -> str:
+    return json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+class ExecutionHistoryStore:
+    """Durable, columnar store of per-phase execution observations."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.history_path = self.directory / HISTORY_NAME
+        self.index_path = self.directory / INDEX_NAME
+        self._rows: list[dict[str, Any]] = []
+        self._sources: set[str] = set()
+        self._trusted_bytes = 0
+        self._columns: dict[str, np.ndarray] | None = None
+        self._load()
+
+    # -- load / resume -------------------------------------------------
+    def _read_index(self) -> dict[str, int] | None:
+        if not self.index_path.is_file():
+            return None
+        try:
+            data = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        try:
+            return {
+                "records": int(data["records"]),
+                "bytes": int(data["bytes"]),
+            }
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _parse_lines(self, data: bytes) -> Iterator[dict[str, Any]]:
+        for line in data.split(b"\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                # Torn tail from a crash mid-append: the observation was
+                # never acknowledged (fsync happens before the caller
+                # returns), so dropping it is the correct resume.
+                continue
+            if isinstance(row, dict) and "phase" in row:
+                yield row
+
+    def _load(self) -> None:
+        if not self.history_path.is_file():
+            return
+        data = self.history_path.read_bytes()
+        tail_start = data.rfind(b"\n") + 1
+        if tail_start < len(data):
+            # Torn final line from a crash mid-append: the writer never
+            # acknowledged that row (fsync precedes the return), so
+            # physically truncate it -- appending after the torn bytes
+            # would otherwise weld the next acknowledged row onto them.
+            with open(self.history_path, "r+b") as fh:
+                fh.truncate(tail_start)
+                fh.flush()
+                os.fsync(fh.fileno())
+            data = data[:tail_start]
+        index = self._read_index()
+        trusted = 0
+        if index is not None and 0 <= index["bytes"] <= len(data):
+            # Exact resume: replay the indexed prefix verbatim, then
+            # re-validate only bytes appended after the last checkpoint.
+            prefix = list(self._parse_lines(data[: index["bytes"]]))
+            if len(prefix) == index["records"]:
+                trusted = index["bytes"]
+                self._rows.extend(prefix)
+        if trusted == 0:
+            self._rows = list(self._parse_lines(data))
+            # Everything parseable was absorbed; trust up to the last
+            # newline so the next checkpoint covers the whole file.
+            trusted = data.rfind(b"\n") + 1
+        else:
+            self._rows.extend(self._parse_lines(data[trusted:]))
+            tail_end = data.rfind(b"\n") + 1
+            trusted = max(trusted, tail_end)
+        self._trusted_bytes = trusted
+        for row in self._rows:
+            self._renumber(row)
+            if row.get("cell_key"):
+                self._sources.add(str(row["cell_key"]))
+
+    def _renumber(self, row: dict[str, Any]) -> None:
+        row["seq"] = int(row.get("seq", len(self._rows)))
+
+    def checkpoint(self) -> None:
+        """Atomically publish the exact-resume index."""
+        doc = {
+            "schema_version": HISTORY_SCHEMA_VERSION,
+            "records": len(self._rows),
+            "bytes": self._trusted_bytes,
+        }
+        tmp = self.index_path.with_name(self.index_path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(self.index_path)
+
+    # -- ingest --------------------------------------------------------
+    def record(
+        self,
+        *,
+        source: str,
+        phase: str,
+        seconds: float,
+        node: int = -1,
+        t: float = 0.0,
+        work: float = 0.0,
+        capacity: float = float("nan"),
+        count: int = 1,
+        cell_key: str = "",
+    ) -> dict[str, Any]:
+        """Durably append one observation; returns the stored row."""
+        if not phase:
+            raise ExperimentError("history row needs a non-empty phase")
+        row = {
+            "seq": len(self._rows),
+            "source": str(source),
+            "cell_key": str(cell_key),
+            "phase": str(phase),
+            "node": int(node),
+            "t": float(t),
+            "work": float(work),
+            "seconds": float(seconds),
+            "capacity": float(capacity),
+            "count": int(count),
+        }
+        encoded = _encode(row)
+        with open(self.history_path, "a", encoding="utf-8") as fh:
+            fh.write(encoded)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._trusted_bytes = self.history_path.stat().st_size
+        self._rows.append(row)
+        if row["cell_key"]:
+            self._sources.add(row["cell_key"])
+        self._columns = None
+        return row
+
+    def ingest_digest(self, digest: Any) -> int:
+        """Ingest a :class:`~repro.telemetry.live.TelemetryDigest`.
+
+        One row per phase (aggregate across nodes), stamped with the
+        cell key so re-ingestion is idempotent.  Returns rows added.
+        """
+        cell_key = str(getattr(digest, "cell_key", "") or "")
+        if cell_key and cell_key in self._sources:
+            return 0
+        added = 0
+        sim_seconds = float(getattr(digest, "sim_seconds", 0.0))
+        for phase, seconds in sorted(getattr(digest, "phases", {}).items()):
+            self.record(
+                source="digest",
+                cell_key=cell_key,
+                phase=phase,
+                seconds=float(seconds),
+                t=sim_seconds,
+            )
+            added += 1
+        if added:
+            self.checkpoint()
+        return added
+
+    def ingest_profile(
+        self, profile: dict[str, Any], cell_key: str | None = None
+    ) -> int:
+        """Ingest one artifact-bundle ``profile.json`` document."""
+        key = str(cell_key or profile.get("cell_key") or "")
+        if key and key in self._sources:
+            return 0
+        metrics = profile.get("metrics", {})
+        counters = metrics.get("counters", {})
+        sim_seconds = float(counters.get("total_sim_seconds", 0.0))
+        added = 0
+        phases = profile.get("phases", {})
+        if not isinstance(phases, dict):
+            raise ExperimentError("profile document has no phases table")
+        for phase, agg in sorted(phases.items()):
+            self.record(
+                source="profile",
+                cell_key=key,
+                phase=str(phase),
+                seconds=float(agg.get("sim_seconds", 0.0)),
+                count=int(agg.get("count", 1)),
+                t=sim_seconds,
+            )
+            added += 1
+        if added:
+            self.checkpoint()
+        return added
+
+    def ingest_artifacts(self, campaign_dir: str | Path) -> int:
+        """Ingest every ``artifacts/<cell-key>/profile.json`` bundle."""
+        root = Path(campaign_dir)
+        artifacts = root / "artifacts"
+        if not artifacts.is_dir():
+            raise ExperimentError(
+                f"no artifacts/ directory under {root}"
+            )
+        added = 0
+        for profile_path in sorted(artifacts.glob("*/profile.json")):
+            try:
+                doc = json.loads(profile_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue  # a half-published bundle is not history
+            if not isinstance(doc, dict):
+                continue
+            added += self.ingest_profile(
+                doc, cell_key=profile_path.parent.name
+            )
+        return added
+
+    # -- queries -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def sources(self) -> tuple[str, ...]:
+        return tuple(sorted(self._sources))
+
+    def phases(self) -> tuple[str, ...]:
+        return tuple(sorted({row["phase"] for row in self._rows}))
+
+    def table(self) -> dict[str, np.ndarray]:
+        """The full store as a columnar table (numpy per column)."""
+        if self._columns is None:
+            cols: dict[str, np.ndarray] = {}
+            for name in _FIELDS:
+                values = [row.get(name) for row in self._rows]
+                dtype = _NUMERIC.get(name)
+                if dtype is not None:
+                    cols[name] = np.asarray(
+                        [v if v is not None else -1 for v in values],
+                        dtype=dtype,
+                    )
+                else:
+                    cols[name] = np.asarray(
+                        [str(v or "") for v in values], dtype=object
+                    )
+            self._columns = cols
+        return self._columns
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in _FIELDS:
+            raise ExperimentError(f"unknown history column {name!r}")
+        return self.table()[name]
+
+    def query(
+        self,
+        *,
+        source: str | None = None,
+        phase: str | None = None,
+        node: int | None = None,
+        cell_key: str | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Filtered columnar view (one vectorized mask, no row loop)."""
+        table = self.table()
+        n = len(self._rows)
+        mask = np.ones(n, dtype=bool)
+        if source is not None:
+            mask &= table["source"] == source
+        if phase is not None:
+            mask &= table["phase"] == phase
+        if node is not None:
+            mask &= table["node"] == int(node)
+        if cell_key is not None:
+            mask &= table["cell_key"] == cell_key
+        return {name: col[mask] for name, col in table.items()}
+
+    def work_series(
+        self, phase: str, node: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(work, seconds) pairs for one phase on one node."""
+        view = self.query(phase=phase, node=node)
+        return view["work"], view["seconds"]
+
+    def iter_rows(self) -> Iterable[dict[str, Any]]:
+        return iter(self._rows)

@@ -1,0 +1,568 @@
+"""Adaptive sensing and payoff-gated repartitioning policies.
+
+The paper hand-tunes two knobs this module learns instead:
+
+- **When to sense.**  Table III fixes the probe cadence at f=20 after an
+  offline sweep.  :class:`AdaptiveSensingPolicy` derives the interval at
+  runtime from the :class:`~repro.learn.models.TransientCapacityModel`'s
+  fitted capacity drift: sense again when the capacity vector is
+  predicted to have drifted past tolerance, not on a fixed count.  Fast
+  transients shorten the interval; quiet stretches stretch it.
+- **Whether to repartition.**  The paper redistributes after every
+  sensing.  :class:`RepartitionGate` prices the decision the way
+  Altevogt & Linke price theirs: repartitioning pays off only if the
+  predicted imbalance cost over the remaining iterations of the epoch
+  exceeds the modeled migration cost.  With relative capacities summing
+  to one, a balanced partition's bottleneck work equals the total work
+  ``W``, so the per-iteration payoff of rebalancing is
+  ``beta * (max_k W_k / c_k - W)`` where ``beta`` is the fitted
+  seconds-per-bottleneck-work slope of the iteration cost model.
+
+Both policies fall back **deterministically** to the paper's behavior
+while their models are cold: the sensing policy returns the fixed
+fallback interval (f=20 by default) and the gate always repartitions.
+:class:`LearnController` packages models + policies + history recording
+behind the same injectable no-op-default pattern the tracer uses:
+:data:`NULL_LEARNER` has ``enabled = False`` and every call site guards
+on it, so a run without learning executes byte-identically to one built
+before this module existed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.learn.history import ExecutionHistoryStore
+from repro.learn.models import (
+    AmdahlCostModel,
+    OnlineLinearModel,
+    OnlineMeanModel,
+    TransientCapacityModel,
+)
+from repro.util.errors import ExperimentError
+
+__all__ = [
+    "LearnConfig",
+    "AdaptiveSensingPolicy",
+    "GateDecision",
+    "RepartitionGate",
+    "LearnController",
+    "NullLearner",
+    "NULL_LEARNER",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LearnConfig:
+    """Which learned behaviors are active, and their safety margins.
+
+    Attributes
+    ----------
+    adaptive_sensing / payoff_gate / transient_forecast:
+        Independent switches for the three learned behaviors, so the
+        ablation can attribute the win per piece.
+    fallback_interval:
+        Sensing cadence (iterations) while the drift model is cold --
+        the paper's hand-tuned f (default 20).
+    min_interval / max_interval:
+        Clamp on the learned sensing interval.
+    drift_tolerance:
+        Relative-capacity drift (fraction of total) tolerated between
+        sensings; the learned interval is the predicted time to drift
+        this far.
+    gate_safety:
+        Multiplier on the modeled repartition cost the predicted payoff
+        must beat (>1 biases toward the paper's always-repartition).
+    min_fit_points:
+        Observations before any model considers itself fitted.
+    capacity_window:
+        Sliding-window length of the transient capacity model.
+    capacity_min_points:
+        Sensings before the transient capacity model is warm.  Lower
+        than ``min_fit_points`` because sensings are scarce (one per
+        fallback interval, not one per iteration) and the drift fit
+        needs to engage within a single fallback-cadence run.
+    forecast_lead:
+        Fraction of the sensing interval the transient model predicts
+        ahead when substituting forecast capacities (0.5 targets the
+        middle of the upcoming sensing window).
+    """
+
+    adaptive_sensing: bool = True
+    payoff_gate: bool = True
+    transient_forecast: bool = True
+    fallback_interval: int = 20
+    min_interval: int = 2
+    max_interval: int = 80
+    drift_tolerance: float = 0.02
+    gate_safety: float = 1.0
+    min_fit_points: int = 4
+    capacity_window: int = 12
+    capacity_min_points: int = 3
+    forecast_lead: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.fallback_interval < 1:
+            raise ExperimentError(
+                f"fallback_interval must be >= 1, got {self.fallback_interval}"
+            )
+        if not 1 <= self.min_interval <= self.max_interval:
+            raise ExperimentError(
+                "need 1 <= min_interval <= max_interval, got "
+                f"[{self.min_interval}, {self.max_interval}]"
+            )
+        if self.drift_tolerance <= 0:
+            raise ExperimentError(
+                f"drift_tolerance must be positive, got {self.drift_tolerance}"
+            )
+        if self.gate_safety <= 0:
+            raise ExperimentError(
+                f"gate_safety must be positive, got {self.gate_safety}"
+            )
+        if self.forecast_lead < 0:
+            raise ExperimentError(
+                f"forecast_lead must be >= 0, got {self.forecast_lead}"
+            )
+
+
+class AdaptiveSensingPolicy:
+    """Sensing interval from predicted capacity drift.
+
+    ``interval = drift_tolerance / (drift_rate * seconds_per_iteration)``
+    iterations, clamped to ``[min_interval, max_interval]``: the number
+    of iterations until the fitted transient model predicts the capacity
+    vector has moved ``drift_tolerance`` from what the partitioner last
+    saw.  A cold drift model or unfitted iteration-time model yields the
+    fixed ``fallback_interval`` -- exactly the paper's f.
+    """
+
+    def __init__(self, config: LearnConfig):
+        self.config = config
+
+    def interval(
+        self, drift_rate: float, seconds_per_iteration: float
+    ) -> tuple[int, bool]:
+        """(interval in iterations, whether it came from the model)."""
+        cfg = self.config
+        if drift_rate <= 0.0 or not (seconds_per_iteration > 0.0):
+            return cfg.fallback_interval, False
+        seconds_to_drift = cfg.drift_tolerance / drift_rate
+        iters = seconds_to_drift / seconds_per_iteration
+        clamped = int(
+            min(max(math.floor(iters), cfg.min_interval), cfg.max_interval)
+        )
+        return clamped, True
+
+
+@dataclass(frozen=True, slots=True)
+class GateDecision:
+    """One priced repartition decision."""
+
+    repartition: bool
+    reason: str  # "cold" | "payoff" | "skip"
+    payoff_seconds: float
+    cost_seconds: float
+    horizon_iters: int
+
+
+class RepartitionGate:
+    """Repartition only when predicted payoff beats modeled cost."""
+
+    def __init__(self, config: LearnConfig):
+        self.config = config
+
+    def decide(
+        self,
+        *,
+        loads: np.ndarray,
+        capacities: np.ndarray,
+        horizon_iters: int,
+        beta: float | None,
+        migration_seconds: float | None,
+    ) -> GateDecision:
+        """Price repartitioning ``loads`` under fresh ``capacities``.
+
+        ``beta`` is the fitted seconds-per-bottleneck-work slope (None
+        while cold); ``migration_seconds`` the modeled repartition cost
+        (None while cold).  Cold models always repartition -- the
+        paper's behavior is the deterministic fallback.
+        """
+        horizon = max(int(horizon_iters), 0)
+        if beta is None or migration_seconds is None:
+            return GateDecision(True, "cold", math.inf, 0.0, horizon)
+        caps = np.maximum(np.asarray(capacities, dtype=float), 1e-9)
+        loads = np.asarray(loads, dtype=float)
+        total = float(loads.sum())
+        # Relative capacities sum to 1, so a balanced partition's
+        # bottleneck work max_k W_k/c_k equals the total work; anything
+        # above that is the imbalance the gate can reclaim.
+        bottleneck = float((loads / caps).max()) if loads.size else 0.0
+        excess_work = max(bottleneck - total, 0.0)
+        payoff = beta * excess_work * horizon
+        cost = self.config.gate_safety * max(migration_seconds, 0.0)
+        if payoff > cost:
+            return GateDecision(True, "payoff", payoff, cost, horizon)
+        return GateDecision(False, "skip", payoff, cost, horizon)
+
+
+class LearnController:
+    """Models + policies + history recording behind one loop-facing API.
+
+    The runtime calls four observe/query pairs, all cheap (O(nodes)):
+
+    - :meth:`observe_sense` after every probe sweep;
+    - :meth:`observe_iteration` after every priced iteration;
+    - :meth:`observe_repartition` after every migration;
+    - :meth:`sense_due` / :meth:`repartition_decision` /
+      :meth:`effective_capacities` at the loop's decision points.
+
+    A ``history`` store persists every observation durably; ``None``
+    keeps the controller purely in-memory (the ablation mode).  Models
+    can be pre-seeded from a fitted store via :meth:`warm_start`.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        config: LearnConfig | None = None,
+        *,
+        history: ExecutionHistoryStore | None = None,
+        run_id: str = "live",
+    ):
+        self.config = config or LearnConfig()
+        self.history = history
+        self.run_id = str(run_id)
+        self.tracer = None  # bound by the runtime (see bind())
+        cfg = self.config
+        self.sensing_policy = AdaptiveSensingPolicy(cfg)
+        self.gate = RepartitionGate(cfg)
+        self.capacity_model: TransientCapacityModel | None = None
+        self.compute_model = AmdahlCostModel(
+            phase="compute", min_points=cfg.min_fit_points
+        )
+        #: iteration seconds ~ bottleneck work (max_k W_k / c_k): the
+        #: slope is the gate's beta, the intercept the comm+sync floor.
+        self.iter_model = OnlineLinearModel(min_points=cfg.min_fit_points)
+        self.iter_seconds = OnlineMeanModel(min_points=cfg.min_fit_points)
+        self.migration_model = OnlineMeanModel(min_points=2)
+        self.probe_model = OnlineMeanModel(min_points=2)
+        self._last_interval: int | None = None
+        self.gate_decisions: list[GateDecision] = []
+
+    # -- wiring --------------------------------------------------------
+    def bind(self, tracer, num_nodes: int) -> None:
+        """Attach the runtime's tracer and size the capacity model."""
+        self.tracer = tracer
+        if (
+            self.capacity_model is None
+            or self.capacity_model.num_nodes != int(num_nodes)
+        ):
+            self.capacity_model = TransientCapacityModel(
+                num_nodes=int(num_nodes),
+                window=self.config.capacity_window,
+                min_points=self.config.capacity_min_points,
+            )
+
+    def _event(self, name: str, **attrs) -> None:
+        if self.tracer is not None and getattr(self.tracer, "enabled", False):
+            self.tracer.event(name, **attrs)
+
+    def _metrics(self):
+        if self.tracer is not None and getattr(self.tracer, "enabled", False):
+            return self.tracer.metrics
+        return None
+
+    # -- observations --------------------------------------------------
+    def observe_sense(
+        self, t: float, capacities: np.ndarray, overhead_seconds: float
+    ) -> None:
+        if self.capacity_model is None:
+            self.bind(self.tracer, len(capacities))
+        self.capacity_model.observe(t, capacities)
+        self.probe_model.observe(overhead_seconds)
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter("learn.observations").inc()
+            metrics.gauge("learn.capacity_drift_rate").set(
+                self.capacity_model.drift_rate()
+            )
+        if self.history is not None:
+            self.history.record(
+                source=self.run_id,
+                phase="sense",
+                seconds=float(overhead_seconds),
+                t=float(t),
+            )
+
+    def observe_iteration(
+        self,
+        iteration: int,
+        t: float,
+        loads: np.ndarray,
+        capacities: np.ndarray,
+        cost,
+    ) -> None:
+        """Fold one priced iteration into every model.
+
+        ``cost`` is the time model's IterationCost (per-rank compute and
+        comm plus the collective sync).
+        """
+        loads = np.asarray(loads, dtype=float)
+        caps = np.maximum(np.asarray(capacities, dtype=float), 1e-9)
+        compute = np.asarray(cost.compute, dtype=float)
+        for node in range(len(loads)):
+            if loads[node] > 0.0:
+                self.compute_model.observe(
+                    node, loads[node], float(compute[node])
+                )
+        bottleneck = float((loads / caps).max()) if loads.size else 0.0
+        self.iter_model.observe(bottleneck, float(cost.total))
+        self.iter_seconds.observe(float(cost.total))
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter("learn.observations").inc()
+        if self.history is not None:
+            for node in range(len(loads)):
+                self.history.record(
+                    source=self.run_id,
+                    phase="compute",
+                    node=node,
+                    t=float(t),
+                    work=float(loads[node]),
+                    seconds=float(compute[node]),
+                    capacity=float(caps[node]),
+                )
+            self.history.record(
+                source=self.run_id,
+                phase="iteration",
+                t=float(t),
+                work=bottleneck,
+                seconds=float(cost.total),
+            )
+
+    def observe_repartition(
+        self, t: float, migration_seconds: float, migration_bytes: int
+    ) -> None:
+        self.migration_model.observe(float(migration_seconds))
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter("learn.observations").inc()
+        if self.history is not None:
+            self.history.record(
+                source=self.run_id,
+                phase="migrate",
+                seconds=float(migration_seconds),
+                work=float(migration_bytes),
+                t=float(t),
+            )
+
+    # -- decisions -----------------------------------------------------
+    def sensing_interval(self) -> int:
+        """Current learned (or fallback) sensing interval in iterations."""
+        drift = (
+            self.capacity_model.drift_rate()
+            if self.capacity_model is not None
+            and not self.capacity_model.is_cold
+            else 0.0
+        )
+        spi = (
+            self.iter_seconds.mean if not self.iter_seconds.is_cold else 0.0
+        )
+        interval, fitted = self.sensing_policy.interval(drift, spi)
+        if interval != self._last_interval:
+            self._event(
+                "learn.sense_interval",
+                interval=interval,
+                fitted=fitted,
+                drift_rate=drift,
+            )
+            self._last_interval = interval
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.gauge("learn.sensing_interval").set(float(interval))
+        return interval
+
+    def sense_due(self, iteration: int, last_sense_iteration: int) -> bool:
+        """Whether the learned cadence calls for a probe this iteration."""
+        if iteration <= 0:
+            return False
+        return iteration - last_sense_iteration >= self.sensing_interval()
+
+    def repartition_decision(
+        self,
+        loads: np.ndarray,
+        capacities: np.ndarray,
+        horizon_iters: int,
+    ) -> GateDecision:
+        """Gate a sense-triggered repartition on predicted payoff."""
+        beta = None
+        if not self.iter_model.is_cold and self.iter_model.slope > 0.0:
+            beta = self.iter_model.slope
+        migration = (
+            self.migration_model.mean
+            if not self.migration_model.is_cold
+            else None
+        )
+        decision = self.gate.decide(
+            loads=loads,
+            capacities=capacities,
+            horizon_iters=horizon_iters,
+            beta=beta,
+            migration_seconds=migration,
+        )
+        self.gate_decisions.append(decision)
+        self._event(
+            "learn.gate",
+            repartition=decision.repartition,
+            reason=decision.reason,
+            payoff_seconds=(
+                decision.payoff_seconds
+                if math.isfinite(decision.payoff_seconds)
+                else None
+            ),
+            cost_seconds=decision.cost_seconds,
+            horizon_iters=decision.horizon_iters,
+        )
+        metrics = self._metrics()
+        if metrics is not None:
+            if decision.repartition:
+                metrics.counter("learn.gate_repartitions").inc()
+            else:
+                metrics.counter("learn.gate_skips").inc()
+        return decision
+
+    def effective_capacities(
+        self, capacities: np.ndarray, t: float
+    ) -> np.ndarray:
+        """Substitute the transient forecast for the raw sensed vector.
+
+        Predicts ``forecast_lead`` of the upcoming sensing window ahead,
+        so the partitioner balances against where capacities are heading
+        rather than where they were at probe time.  Cold model: the
+        sensed vector passes through untouched.
+        """
+        model = self.capacity_model
+        if model is None or model.is_cold or self.iter_seconds.is_cold:
+            return capacities
+        interval = self.sensing_interval()
+        lead = (
+            self.config.forecast_lead * interval * self.iter_seconds.mean
+        )
+        predicted = model.predict(float(t) + lead)
+        if predicted is None:
+            return capacities
+        self._event(
+            "learn.capacity_forecast",
+            lead_seconds=lead,
+            drift_rate=model.drift_rate(),
+        )
+        return predicted
+
+    # -- introspection -------------------------------------------------
+    def summary(self) -> dict:
+        """Fit state of every model, for the CLI and the ablation."""
+        gate_skips = sum(
+            1 for d in self.gate_decisions if not d.repartition
+        )
+        return {
+            "config": {
+                "adaptive_sensing": self.config.adaptive_sensing,
+                "payoff_gate": self.config.payoff_gate,
+                "transient_forecast": self.config.transient_forecast,
+                "fallback_interval": self.config.fallback_interval,
+            },
+            "capacity_model": {
+                "cold": (
+                    self.capacity_model.is_cold
+                    if self.capacity_model is not None
+                    else True
+                ),
+                "drift_rate": (
+                    self.capacity_model.drift_rate()
+                    if self.capacity_model is not None
+                    else 0.0
+                ),
+                "window_len": (
+                    len(self.capacity_model)
+                    if self.capacity_model is not None
+                    else 0
+                ),
+            },
+            "iter_model": {
+                "cold": self.iter_model.is_cold,
+                "n": self.iter_model.n,
+                "beta": self.iter_model.slope,
+                "intercept": self.iter_model.intercept,
+            },
+            "migration_model": {
+                "cold": self.migration_model.is_cold,
+                "n": self.migration_model.n,
+                "mean_seconds": self.migration_model.mean,
+            },
+            "probe_model": {
+                "cold": self.probe_model.is_cold,
+                "n": self.probe_model.n,
+                "mean_seconds": self.probe_model.mean,
+            },
+            "sensing_interval": (
+                self._last_interval
+                if self._last_interval is not None
+                else self.config.fallback_interval
+            ),
+            "gate": {
+                "decisions": len(self.gate_decisions),
+                "skips": gate_skips,
+            },
+        }
+
+    def warm_start(self, store: ExecutionHistoryStore) -> dict:
+        """Seed the cost models from a persisted history store.
+
+        Replays compute/iteration/migrate rows through the online
+        models; returns counts per model.  The transient capacity model
+        is *not* seeded -- capacity transients are a property of the
+        live cluster, not of history from another run.
+        """
+        counts = {"compute": 0, "iteration": 0, "migrate": 0}
+        view = store.query(phase="compute")
+        for node, work, seconds in zip(
+            view["node"], view["work"], view["seconds"]
+        ):
+            if work > 0.0:
+                self.compute_model.observe(
+                    int(node), float(work), float(seconds)
+                )
+                counts["compute"] += 1
+        view = store.query(phase="iteration")
+        for work, seconds in zip(view["work"], view["seconds"]):
+            self.iter_model.observe(float(work), float(seconds))
+            self.iter_seconds.observe(float(seconds))
+            counts["iteration"] += 1
+        view = store.query(phase="migrate")
+        for seconds in view["seconds"]:
+            self.migration_model.observe(float(seconds))
+            counts["migrate"] += 1
+        return counts
+
+
+class NullLearner:
+    """The disabled learner: every call site guards on ``enabled``.
+
+    Mirrors the ``NullTracer`` pattern -- a shared inert default, so the
+    runtime wiring never branches on ``None`` and the unlearned path
+    stays byte-identical to the pre-learn code.
+    """
+
+    enabled = False
+    config = LearnConfig()
+
+    def bind(self, tracer, num_nodes: int) -> None:  # pragma: no cover
+        return None
+
+
+#: The shared inert learner (same idiom as ``NULL_TRACER``).
+NULL_LEARNER = NullLearner()

@@ -10,16 +10,22 @@ the current best.
 All forecasters share a two-method interface: ``update(value)`` appends a
 measurement, ``forecast()`` predicts the next one.  ``forecast()`` on an
 empty history raises :class:`~repro.util.errors.MonitorError` -- callers
-must have probed at least once.
+must have probed at least once.  A forecaster that needs *more* history
+than it has (but has at least one measurement) does not raise mid-run:
+it degrades to the last observed value and emits a ``forecast.cold``
+telemetry event, so a cold start shows up in the trace instead of
+killing the loop.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.learn.models import OnlineLinearModel
+from repro.telemetry.spans import get_active_tracer
 from repro.util.errors import MonitorError
 
 __all__ = [
@@ -29,6 +35,7 @@ __all__ = [
     "SlidingMedianForecaster",
     "ARForecaster",
     "AdaptiveEnsembleForecaster",
+    "ModelBackedForecaster",
     "make_forecaster",
 ]
 
@@ -47,6 +54,31 @@ class Forecaster:
             raise MonitorError(
                 f"{type(self).__name__} needs >= {n} measurements, has {have}"
             )
+
+    def _degrade_if_cold(self, n: int, buf: Sequence[float]) -> float | None:
+        """Cold-start guard: ``None`` when history suffices.
+
+        An empty series still raises (there is nothing to degrade to --
+        the caller never probed); a series shorter than ``n`` degrades
+        to the last observed value and stamps a ``forecast.cold`` event
+        on the active tracer rather than raising mid-run.
+        """
+        have = len(buf)
+        if have >= n:
+            return None
+        if have == 0:
+            raise MonitorError(
+                f"{type(self).__name__} has no measurements"
+            )
+        tracer = get_active_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "forecast.cold",
+                forecaster=type(self).__name__,
+                needs=n,
+                have=have,
+            )
+        return float(buf[-1])
 
 
 class LastValueForecaster(Forecaster):
@@ -186,17 +218,71 @@ class AdaptiveEnsembleForecaster(Forecaster):
         ]
 
 
+class ModelBackedForecaster(Forecaster):
+    """Windowed least-squares trend fit over the measurement series.
+
+    Backed by :class:`~repro.learn.models.OnlineLinearModel`: the last
+    ``window`` measurements are regressed against their sequence index
+    and the forecast is the fitted line extrapolated one step ahead --
+    the predictor that tracks ramps (a host steadily gaining or shedding
+    load) the level-based NWS primitives lag behind.  With fewer than
+    ``min_points`` measurements the fit is untrustworthy; the forecast
+    degrades to the last value under a ``forecast.cold`` event instead
+    of raising.
+    """
+
+    def __init__(self, window: int = 20, min_points: int = 4):
+        if window < 3:
+            raise MonitorError(
+                f"model window must be >= 3, got {window}"
+            )
+        if min_points < 3:
+            raise MonitorError(
+                f"min_points must be >= 3, got {min_points}"
+            )
+        self.min_points = int(min_points)
+        self._buf: deque[float] = deque(maxlen=window)
+        self._seen = 0
+
+    def update(self, value: float) -> None:
+        self._buf.append(float(value))
+        self._seen += 1
+
+    def _fit(self) -> OnlineLinearModel:
+        model = OnlineLinearModel(min_points=self.min_points)
+        start = self._seen - len(self._buf)
+        for i, value in enumerate(self._buf):
+            model.observe(float(start + i), value)
+        return model
+
+    def forecast(self) -> float:
+        cold = self._degrade_if_cold(self.min_points, self._buf)
+        if cold is not None:
+            return cold
+        model = self._fit()
+        if model.is_cold:  # degenerate x-spread cannot happen; paranoia
+            return float(self._buf[-1])
+        return float(model.predict(self._seen))
+
+    def forecast_interval(self) -> tuple[float, float]:
+        """95 % CI of the one-step-ahead mean response (inf while cold)."""
+        if len(self._buf) < self.min_points:
+            return (-np.inf, np.inf)
+        return self._fit().predict_interval(self._seen)
+
+
 _FACTORIES: dict[str, Callable[[], Forecaster]] = {
     "last": LastValueForecaster,
     "mean": lambda: SlidingMeanForecaster(10),
     "median": lambda: SlidingMedianForecaster(10),
     "ar": lambda: ARForecaster(20),
     "adaptive": AdaptiveEnsembleForecaster,
+    "model": ModelBackedForecaster,
 }
 
 
 def make_forecaster(kind: str) -> Forecaster:
-    """Factory by name: last | mean | median | ar | adaptive."""
+    """Factory by name: last | mean | median | ar | adaptive | model."""
     try:
         return _FACTORIES[kind]()
     except KeyError:

@@ -50,6 +50,7 @@ __all__ = [
     "probe_cost_sensitivity",
     "heterogeneity_sweep",
     "weak_scaling",
+    "learn_ablation",
 ]
 
 
@@ -366,3 +367,145 @@ def partitioner_panel(iterations: int = 30, seed: int = 7) -> dict:
             }
         )
     return {"rows": rows}
+
+
+def learn_ablation(
+    iterations: int = 150,
+    sensing_interval: int = 20,
+    regrid_interval: int = 7,
+    seed: int = 11,
+    drift_tolerance: float = 0.02,
+) -> dict:
+    """Attribute the learned loop's win per piece (repro.learn).
+
+    Five variants of the adaptive runtime -- the paper's fixed-f loop,
+    each learned behavior alone (adaptive sensing interval, payoff-gated
+    repartitioning, transient capacity forecasting) and all three
+    together -- on two scenarios:
+
+    - **load-dynamics**: the paper's dynamic Linux-cluster load scripts
+      (8 nodes, calibrated horizon);
+    - **chaos**: the same dynamic cluster plus a two-node outage window
+      mid-run, recovered through the resilience stage.
+
+    The regrid interval is deliberately co-prime with f so that
+    sense-triggered repartitions exist at all (with the paper's f=20 and
+    regrid=5, every sensing lands on a regrid and the gate would have
+    nothing to decide).  Returns per-scenario rows with the win over
+    fixed-f attributed to each piece.
+    """
+    from repro.learn import LearnConfig, LearnController
+    from repro.resilience import FaultInjector, FaultPlan
+    from repro.resilience.checkpoint import ResilienceConfig
+
+    workload = paper_rm3d_trace(num_regrids=iterations // regrid_interval + 2)
+    # Calibrate the load-script horizon on a sense-once run (the same
+    # discipline as experiment._calibrated_horizon).
+    cal_cluster = Cluster.paper_linux_cluster(
+        8, seed=seed, dynamic=True, horizon_s=1e9
+    )
+    cal = SamrRuntime(
+        workload,
+        cal_cluster,
+        ACEHeterogeneous(),
+        config=RuntimeConfig(
+            iterations=iterations, regrid_interval=regrid_interval
+        ),
+    ).run()
+    horizon = 0.8 * cal.total_seconds
+
+    def flags(**kw) -> LearnConfig:
+        base = dict(
+            adaptive_sensing=False,
+            payoff_gate=False,
+            transient_forecast=False,
+            fallback_interval=sensing_interval,
+            drift_tolerance=drift_tolerance,
+        )
+        base.update(kw)
+        return LearnConfig(**base)
+
+    variants: list[tuple[str, LearnConfig | None]] = [
+        ("fixed-f", None),
+        ("adaptive-f", flags(adaptive_sensing=True)),
+        ("gate", flags(payoff_gate=True)),
+        ("transient", flags(transient_forecast=True)),
+        (
+            "all",
+            flags(
+                adaptive_sensing=True,
+                payoff_gate=True,
+                transient_forecast=True,
+            ),
+        ),
+    ]
+
+    def run_variant(scenario: str, learn_cfg: LearnConfig | None) -> dict:
+        cluster = Cluster.paper_linux_cluster(
+            8, seed=seed, dynamic=True, horizon_s=horizon
+        )
+        monitor = ResourceMonitor(cluster)
+        resilience = None
+        if scenario == "chaos":
+            plan = FaultPlan.node_outage(
+                [2, 5],
+                at=0.3 * cal.total_seconds,
+                duration=0.3 * cal.total_seconds,
+                seed=seed,
+            )
+            FaultInjector(cluster, monitor=monitor).arm(plan)
+            resilience = ResilienceConfig()
+        learn = (
+            LearnController(learn_cfg) if learn_cfg is not None else None
+        )
+        runtime = SamrRuntime(
+            workload,
+            cluster,
+            ACEHeterogeneous(),
+            monitor=monitor,
+            config=RuntimeConfig(
+                iterations=iterations,
+                regrid_interval=regrid_interval,
+                sensing_interval=sensing_interval,
+            ),
+            resilience=resilience,
+            learn=learn,
+        )
+        result = runtime.run()
+        row = {
+            "seconds": result.total_seconds,
+            "num_sensings": result.num_sensings,
+            "migration_seconds": result.migration_seconds,
+            "sensing_seconds": result.sensing_seconds,
+        }
+        if learn is not None:
+            summary = learn.summary()
+            row["sensing_interval"] = summary["sensing_interval"]
+            row["gate_skips"] = summary["gate"]["skips"]
+            row["gate_decisions"] = summary["gate"]["decisions"]
+            row["capacity_model_cold"] = summary["capacity_model"]["cold"]
+        return row
+
+    scenarios: dict[str, dict] = {}
+    for scenario in ("load-dynamics", "chaos"):
+        rows = []
+        baseline_s: float | None = None
+        for name, learn_cfg in variants:
+            row = {"variant": name, **run_variant(scenario, learn_cfg)}
+            if name == "fixed-f":
+                baseline_s = row["seconds"]
+            row["win_pct"] = (
+                (baseline_s - row["seconds"]) / baseline_s * 100.0
+                if baseline_s
+                else 0.0
+            )
+            rows.append(row)
+        scenarios[scenario] = {"rows": rows}
+    return {
+        "scenarios": scenarios,
+        "iterations": iterations,
+        "sensing_interval": sensing_interval,
+        "regrid_interval": regrid_interval,
+        "seed": seed,
+        "drift_tolerance": drift_tolerance,
+    }

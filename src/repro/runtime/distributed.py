@@ -31,6 +31,7 @@ from repro.amr.hierarchy import GridHierarchy
 from repro.amr.integrator import BergerOligerIntegrator
 from repro.amr.regrid import RegridParams
 from repro.cluster.cluster import Cluster
+from repro.learn.policy import NULL_LEARNER
 from repro.monitor.service import ResourceMonitor
 from repro.partition.base import Partitioner
 from repro.partition.capacity import CapacityCalculator
@@ -113,6 +114,7 @@ class DistributedAmrRun:
         time_model: TimeModel | None = None,
         tracer: Tracer | NullTracer | None = None,
         resilience: ResilienceConfig | None = None,
+        learn=None,
     ):
         self.hierarchy = hierarchy
         self.cluster = cluster
@@ -132,6 +134,8 @@ class DistributedAmrRun:
             regrid_params=regrid_params,
             on_regrid=self._on_regrid,
         )
+        # Learned policies behind the tracer's inert-default pattern.
+        self.learn = learn if learn is not None else NULL_LEARNER
         # Shared sense/partition/migrate/plan mechanics (see the engine).
         self.pipeline = RepartitionPipeline(
             cluster=cluster,
@@ -144,6 +148,7 @@ class DistributedAmrRun:
             bytes_per_cell=self.bytes_per_cell,
             ghost_width=hierarchy.kernel.ghost_width,
             refine_factor=hierarchy.refine_factor,
+            learner=self.learn,
         )
         self._capacities: np.ndarray | None = None
         self._result: DistributedRunResult | None = None
@@ -248,6 +253,9 @@ class DistributedAmrRun:
                 # restores to the initial state and replays everything.
                 self._checkpoint()
             cfg = self.config
+            learn = self.learn
+            learned_sensing = learn.enabled and learn.config.adaptive_sensing
+            last_sense_step = self.hierarchy.step_count
             target = self.hierarchy.step_count + cfg.steps
             while self.hierarchy.step_count < target:
                 step = self.hierarchy.step_count
@@ -255,12 +263,49 @@ class DistributedAmrRun:
                     recovered = self._maybe_recover()
                     if recovered:
                         step = self.hierarchy.step_count
-                if (
-                    cfg.sensing_interval
+                due_fixed = (
+                    not learned_sensing
+                    and cfg.sensing_interval
                     and step > 0
                     and step % cfg.sensing_interval == 0
-                ):
+                )
+                due_learned = learned_sensing and learn.sense_due(
+                    step, last_sense_step
+                )
+                if due_fixed or due_learned:
                     self._sense()
+                    last_sense_step = step
+                    if learn.enabled and learn.config.transient_forecast:
+                        self._capacities = learn.effective_capacities(
+                            self._capacities, self.cluster.clock.now
+                        )
+                    if learn.enabled and learn.config.payoff_gate:
+                        # Mid-epoch redistribution is new capability the
+                        # gate unlocks: between regrids the paper's loop
+                        # rides out any imbalance, but when the priced
+                        # payoff beats the migration bill we repartition
+                        # the *current* patch layout early.
+                        horizon = (
+                            cfg.regrid_interval
+                            - step % cfg.regrid_interval
+                            if cfg.regrid_interval
+                            else cfg.sensing_interval or 1
+                        )
+                        decision = learn.repartition_decision(
+                            self.owned_loads(), self._capacities, horizon
+                        )
+                        if decision.repartition:
+                            out = self.pipeline.repartition(
+                                self.hierarchy.box_list(),
+                                self._capacities,
+                                migrate_attrs={"trigger": "sense"},
+                                before_migrate=self._repatch,
+                            )
+                            if result is not None:
+                                result.migration_seconds += (
+                                    out.migration_seconds
+                                )
+                                result.loads_history.append(out.loads)
                 step_start = self.cluster.clock.now
                 try:
                     with tracer.span("advance", step=step):
@@ -294,6 +339,14 @@ class DistributedAmrRun:
                     )
                 result.step_seconds.append(cost.total)
                 result.steps += 1
+                if learn.enabled and self._capacities is not None:
+                    learn.observe_iteration(
+                        step,
+                        self.cluster.clock.now,
+                        loads,
+                        self._capacities,
+                        cost,
+                    )
                 if (
                     self.ckpt_manager is not None
                     and self.ckpt_manager.due(self.hierarchy.step_count)

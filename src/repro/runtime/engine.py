@@ -28,6 +28,7 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.hdda import HDDA, HierarchicalIndexSpace
 from repro.kernels.workloads import SyntheticWorkload
+from repro.learn.policy import NULL_LEARNER
 from repro.monitor.service import ResourceMonitor
 from repro.partition.base import Partitioner
 from repro.partition.capacity import CapacityCalculator
@@ -178,6 +179,7 @@ class SamrRuntime:
         time_model: TimeModel | None = None,
         tracer: Tracer | NullTracer | None = None,
         resilience: ResilienceConfig | None = None,
+        learn=None,
     ):
         self.workload = workload
         self.cluster = cluster
@@ -206,6 +208,10 @@ class SamrRuntime:
             num_procs=cluster.num_nodes,
             bytes_per_cell=int(self.config.bytes_per_cell),
         )
+        # Learned policies are injectable with an inert default, exactly
+        # like the tracer: NULL_LEARNER has enabled=False, every decision
+        # point guards on it, and the unlearned loop stays byte-identical.
+        self.learn = learn if learn is not None else NULL_LEARNER
         # All sense/partition/migrate/plan mechanics live in the shared
         # pipeline; the runtime keeps only loop control and bookkeeping.
         self.pipeline = RepartitionPipeline(
@@ -219,6 +225,7 @@ class SamrRuntime:
             bytes_per_cell=self.config.bytes_per_cell,
             ghost_width=self.config.ghost_width,
             refine_factor=workload.refine_factor,
+            learner=self.learn,
         )
         self._level_loads = np.zeros((1, cluster.num_nodes))
         self._subcycles = np.ones(1)
@@ -366,11 +373,23 @@ class SamrRuntime:
             metrics.counter("iterations").inc(result.iterations)
         return result
 
+    def _learned_capacities(self, capacities: np.ndarray) -> np.ndarray:
+        """Swap in the transient forecast when that behavior is active."""
+        learn = self.learn
+        if learn.enabled and learn.config.transient_forecast:
+            return learn.effective_capacities(
+                capacities, self.cluster.clock.now
+            )
+        return capacities
+
     def _run_loop(self) -> RunResult:
         cfg = self.config
         tracer = self.tracer
+        learn = self.learn
+        learned_sensing = learn.enabled and learn.config.adaptive_sensing
         result = RunResult()
         capacities = self._sense(result)  # sense once before the start
+        capacities = self._learned_capacities(capacities)
         loads, volumes = self._repartition(0, capacities, result)
         epoch = 0
         baseline: float | None = None  # adaptive-sensing reference time
@@ -389,6 +408,7 @@ class SamrRuntime:
             sensed = False
             due_fixed = (
                 cfg.adaptive_sensing_threshold is None
+                and not learned_sensing
                 and it > 0
                 and cfg.sensing_interval
                 and it % cfg.sensing_interval == 0
@@ -397,8 +417,13 @@ class SamrRuntime:
                 cfg.sensing_interval == 0
                 or it - last_sense_iter >= cfg.sensing_interval
             )
-            if due_fixed or due_adaptive:
+            # Learned cadence: the drift model replaces the fixed f.
+            due_learned = learned_sensing and learn.sense_due(
+                it, last_sense_iter
+            )
+            if due_fixed or due_adaptive or due_learned:
                 capacities = self._sense(result)
+                capacities = self._learned_capacities(capacities)
                 sensed = True
                 adaptive_pending = False
                 last_sense_iter = it
@@ -407,10 +432,24 @@ class SamrRuntime:
                 loads, volumes = self._repartition(epoch, capacities, result)
                 baseline = None  # new epoch: iteration times shift anyway
             elif sensed and cfg.repartition_on_sense:
-                loads, volumes = self._repartition(
-                    epoch, capacities, result, trigger="sense"
-                )
-                baseline = None
+                repartition = True
+                if learn.enabled and learn.config.payoff_gate:
+                    # Price the sense-triggered redistribution: predicted
+                    # imbalance cost over the rest of the epoch vs the
+                    # modeled migration bill.  Cold models always pay
+                    # (the paper's behavior).
+                    horizon = cfg.regrid_interval - (
+                        it % cfg.regrid_interval
+                    )
+                    decision = learn.repartition_decision(
+                        loads, capacities, horizon
+                    )
+                    repartition = decision.repartition
+                if repartition:
+                    loads, volumes = self._repartition(
+                        epoch, capacities, result, trigger="sense"
+                    )
+                    baseline = None
             iteration_start = self.cluster.clock.now
             try:
                 cost = self._price(loads, volumes)
@@ -442,6 +481,10 @@ class SamrRuntime:
             result.compute_seconds += float(cost.compute.max())
             result.comm_seconds += float(cost.comm.max() + cost.sync)
             result.iterations += 1
+            if learn.enabled:
+                learn.observe_iteration(
+                    it, self.cluster.clock.now, loads, capacities, cost
+                )
             theta = cfg.adaptive_sensing_threshold
             if theta is not None:
                 # Deviation from the post-repartition reference signals a

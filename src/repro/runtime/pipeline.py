@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.amr.ghost import plan_exchange_volumes
 from repro.cluster.cluster import Cluster
+from repro.learn.policy import NULL_LEARNER
 from repro.monitor.service import ResourceMonitor
 from repro.partition.base import Partitioner, PartitionResult
 from repro.partition.capacity import CapacityCalculator
@@ -130,6 +131,11 @@ class RepartitionPipeline:
     bytes_per_cell, ghost_width, refine_factor:
         Payload and stencil parameters for migration pricing and
         ghost-exchange planning.
+    learner:
+        The :class:`~repro.learn.policy.LearnController` observing every
+        stage, behind the same inert-default pattern as the tracer
+        (``NULL_LEARNER`` has ``enabled = False``, every hook guards on
+        it, the unlearned path is byte-identical).
     """
 
     def __init__(
@@ -145,6 +151,7 @@ class RepartitionPipeline:
         bytes_per_cell: float = 40.0,
         ghost_width: int = 1,
         refine_factor: int = 2,
+        learner=None,
     ):
         self.cluster = cluster
         self.partitioner = partitioner
@@ -152,6 +159,9 @@ class RepartitionPipeline:
         self.capacity = capacity
         self.time_model = time_model
         self.tracer = tracer
+        self.learner = learner if learner is not None else NULL_LEARNER
+        if self.learner.enabled:
+            self.learner.bind(tracer, cluster.num_nodes)
         self.work_model = as_work_model(work_model, refine_factor)
         self.bytes_per_cell = float(bytes_per_cell)
         self.ghost_width = int(ghost_width)
@@ -243,6 +253,10 @@ class RepartitionPipeline:
                         snapshot.cpu[node]
                     )
                     metrics.gauge("node_capacity", node=node).set(caps[node])
+        if self.learner.enabled:
+            self.learner.observe_sense(
+                self.cluster.clock.now, caps, overhead
+            )
         return SenseOutcome(snapshot, caps, overhead)
 
     # ------------------------------------------------------------------
@@ -312,6 +326,10 @@ class RepartitionPipeline:
                     metrics.gauge("node_utilization", node=node).set(
                         utilization
                     )
+        if self.learner.enabled:
+            self.learner.observe_repartition(
+                self.cluster.clock.now, mig_seconds, mig_bytes
+            )
         outcome = RepartitionOutcome(
             part=part,
             loads=loads,
@@ -451,6 +469,10 @@ class RepartitionPipeline:
             metrics.counter("migration_bytes").inc(mig_bytes)
             metrics.counter("migration_seconds").inc(mig_seconds)
             metrics.counter("evacuated_bytes").inc(int(evac_bytes))
+        if self.learner.enabled:
+            self.learner.observe_repartition(
+                self.cluster.clock.now, mig_seconds, mig_bytes
+            )
         outcome = RepartitionOutcome(
             part=part,
             loads=loads,

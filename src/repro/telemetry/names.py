@@ -23,8 +23,10 @@ __all__ = [
     "SPAN_NAMES",
     "EVENT_NAMES",
     "EVENT_PREFIXES",
+    "METRIC_NAMES",
     "is_known_span",
     "is_known_event",
+    "is_known_metric",
 ]
 
 #: Every span name the runtime instrumentation emits.
@@ -76,6 +78,12 @@ EVENT_NAMES = frozenset(
         "live.cell_finished",
         "live.cell_failed",
         "live.heartbeat",
+        # forecaster cold-start degradation (last-value fallback taken)
+        "forecast.cold",
+        # learned-policy decision points (repro.learn)
+        "learn.sense_interval",
+        "learn.gate",
+        "learn.capacity_forecast",
     }
 )
 
@@ -89,6 +97,70 @@ EVENT_PREFIXES = (
     "checkpoint.",
     "campaign.",
     "live.",
+    "forecast.",
+    "learn.",
+)
+
+#: Every metric name (counter, gauge or histogram) the instrumentation
+#: creates.  The OpenMetrics endpoint, the bench-diff comparator and the
+#: dashboard all key on exact metric names, so they are registered and
+#: linted exactly like span names.
+METRIC_NAMES = frozenset(
+    {
+        # runtime counters
+        "boxes_split",
+        "evacuated_bytes",
+        "iterations",
+        "migration_bytes",
+        "migration_seconds",
+        "num_recoveries",
+        "num_repartitions",
+        "num_sensings",
+        "partition_calls",
+        "probe_cost_seconds",
+        "probe_failures",
+        "total_sim_seconds",
+        # runtime gauges
+        "node_capacity",
+        "node_cpu_available",
+        "node_utilization",
+        "sensing_staleness_seconds",
+        # runtime histograms
+        "iteration_seconds",
+        "phase_sim_seconds",
+        "residual_imbalance_pct",
+        "step_seconds",
+        # communication accounting
+        "comm.bytes_total",
+        "comm.collective_seconds",
+        "comm.derated_bytes_total",
+        "comm.messages_total",
+        "comm.phase_seconds",
+        # campaign orchestration
+        "campaign.artifact_bytes",
+        "campaign.phase_sim_seconds",
+        "campaign.cell_sim_seconds",
+        "campaign.cell_wall_seconds",
+        "campaign.cells",
+        "campaign.cells_completed",
+        "campaign.cells_failed",
+        "campaign.cells_running",
+        "campaign.cells_skipped",
+        "campaign.complete",
+        "campaign.health_events",
+        "campaign.progress_events",
+        "campaign.worst_imbalance_pct",
+        # HTTP serving layer
+        "serve.cache_hits",
+        "serve.cache_misses",
+        "serve.requests",
+        # learned policies (repro.learn)
+        "learn.observations",
+        "learn.gate_repartitions",
+        "learn.gate_skips",
+        "learn.sensing_interval",
+        "learn.capacity_drift_rate",
+    }
 )
 
 
@@ -100,3 +172,8 @@ def is_known_span(name: str) -> bool:
 def is_known_event(name: str) -> bool:
     """Whether ``name`` is a registered event name or prefixed family."""
     return name in EVENT_NAMES or name.startswith(EVENT_PREFIXES)
+
+
+def is_known_metric(name: str) -> bool:
+    """Whether ``name`` is a registered metric name."""
+    return name in METRIC_NAMES

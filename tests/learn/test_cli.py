@@ -1,0 +1,82 @@
+"""Tests for the ``repro learn`` CLI and the ablation-learn entry."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import EXPERIMENTS, main
+
+
+def write_profile(camp, cell: str) -> None:
+    d = camp / "artifacts" / cell
+    d.mkdir(parents=True)
+    (d / "profile.json").write_text(
+        json.dumps(
+            {
+                "schema_version": 1,
+                "cell_key": cell,
+                "phases": {
+                    "compute": {"count": 6, "sim_seconds": 12.0},
+                    "migrate": {"count": 2, "sim_seconds": 0.8},
+                    "iteration": {"count": 6, "sim_seconds": 14.0},
+                },
+                "metrics": {"counters": {"total_sim_seconds": 14.0}},
+            }
+        )
+    )
+
+
+class TestRegistration:
+    def test_ablation_learn_listed(self, capsys):
+        assert "ablation-learn" in EXPERIMENTS
+        assert main(["list"]) == 0
+        assert "ablation-learn" in capsys.readouterr().out
+
+
+class TestLearnCommand:
+    def test_no_subcommand_usage(self, capsys):
+        assert main(["learn"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_inspect_missing_store(self, tmp_path, capsys):
+        assert main(["learn", "inspect", str(tmp_path / "nope")]) == 2
+        assert "no history store" in capsys.readouterr().err
+
+    def test_fit_requires_artifacts(self, tmp_path, capsys):
+        camp = tmp_path / "camp"
+        camp.mkdir()
+        assert main(["learn", "fit", str(camp)]) == 2
+        assert "artifacts" in capsys.readouterr().err
+
+    def test_fit_then_inspect(self, tmp_path, capsys):
+        camp = tmp_path / "camp"
+        write_profile(camp, "scen--greedy--s1--abc")
+        write_profile(camp, "scen--greedy--s2--abc")
+        assert main(["learn", "fit", str(camp)]) == 0
+        out = capsys.readouterr().out
+        assert "6 rows" in out  # 2 cells x 3 phases
+        assert "newly ingested" in out
+        assert (camp / "learn" / "history.jsonl").is_file()
+        assert (camp / "learn" / "index.json").is_file()
+
+        assert main(["learn", "inspect", str(camp / "learn")]) == 0
+        out = capsys.readouterr().out
+        assert "scen--greedy--s1--abc" in out
+        assert "sensing interval: 20 its" in out  # cold -> paper f
+
+    def test_fit_idempotent(self, tmp_path, capsys):
+        camp = tmp_path / "camp"
+        write_profile(camp, "scen--greedy--s1--abc")
+        assert main(["learn", "fit", str(camp)]) == 0
+        capsys.readouterr()
+        assert main(["learn", "fit", str(camp)]) == 0
+        assert "0 newly ingested" in capsys.readouterr().out
+
+    def test_fit_custom_store_dir(self, tmp_path, capsys):
+        camp = tmp_path / "camp"
+        write_profile(camp, "scen--greedy--s1--abc")
+        store = tmp_path / "elsewhere"
+        assert (
+            main(["learn", "fit", str(camp), "--store", str(store)]) == 0
+        )
+        assert (store / "history.jsonl").is_file()

@@ -11,13 +11,15 @@ from repro.monitor.forecasting import (
     AdaptiveEnsembleForecaster,
     ARForecaster,
     LastValueForecaster,
+    ModelBackedForecaster,
     SlidingMeanForecaster,
     SlidingMedianForecaster,
     make_forecaster,
 )
+from repro.telemetry.spans import Tracer, activate
 from repro.util.errors import MonitorError
 
-ALL_KINDS = ["last", "mean", "median", "ar", "adaptive"]
+ALL_KINDS = ["last", "mean", "median", "ar", "adaptive", "model"]
 
 
 @pytest.mark.parametrize("kind", ALL_KINDS)
@@ -124,6 +126,59 @@ class TestAdaptiveEnsemble:
     def test_empty_members_rejected(self):
         with pytest.raises(MonitorError):
             AdaptiveEnsembleForecaster(members=[])
+
+
+class TestModelBacked:
+    def test_tracks_linear_ramp(self):
+        f = ModelBackedForecaster(window=10)
+        for v in np.linspace(0.1, 1.0, 10):
+            f.update(float(v))
+        # Extrapolates the fitted trend one step past the last value.
+        assert f.forecast() > 1.0
+
+    def test_cold_degrades_to_last_value(self):
+        f = ModelBackedForecaster(min_points=4)
+        f.update(0.3)
+        f.update(0.7)
+        assert f.forecast() == pytest.approx(0.7)
+
+    def test_cold_degrade_emits_event(self):
+        tracer = Tracer()
+        f = ModelBackedForecaster(min_points=4)
+        f.update(0.5)
+        with activate(tracer):
+            f.forecast()
+        cold = [e for e in tracer.events if e.name == "forecast.cold"]
+        assert len(cold) == 1
+        assert cold[0].attributes["forecaster"] == "ModelBackedForecaster"
+        assert cold[0].attributes["have"] == 1
+
+    def test_warm_forecast_emits_nothing(self):
+        tracer = Tracer()
+        f = ModelBackedForecaster()
+        for v in np.linspace(0.1, 1.0, 10):
+            f.update(float(v))
+        with activate(tracer):
+            f.forecast()
+        assert not any(e.name == "forecast.cold" for e in tracer.events)
+
+    def test_interval_brackets_forecast(self):
+        rng = np.random.default_rng(5)
+        f = ModelBackedForecaster(window=20)
+        for i in range(20):
+            f.update(0.2 + 0.01 * i + float(rng.normal(0, 0.005)))
+        lo, hi = f.forecast_interval()
+        assert lo < f.forecast() < hi
+
+    def test_bad_params(self):
+        with pytest.raises(MonitorError):
+            ModelBackedForecaster(window=2)
+        with pytest.raises(MonitorError):
+            ModelBackedForecaster(min_points=2)
+
+    def test_empty_still_raises(self):
+        with pytest.raises(MonitorError):
+            ModelBackedForecaster().forecast()
 
 
 def test_unknown_kind_rejected():

@@ -10,11 +10,14 @@ consumer.  This check walks the AST of ``src/`` for calls of the form::
     tracer.span("name", ...)
     tracer.add_span("name", ...)
     tracer.event("name", ...)
+    metrics.counter("name", ...)
+    metrics.gauge("name", ...)
+    metrics.histogram("name", ...)
 
-and fails when a literal first argument is not a registered span/event
-name (f-string names must start with a registered ``EVENT_PREFIXES``
-family such as ``health.`` or ``comm.``).  Non-literal names cannot be
-checked statically and are skipped.
+and fails when a literal first argument is not a registered span/event/
+metric name (f-string names must start with a registered
+``EVENT_PREFIXES`` family such as ``health.`` or ``comm.``).
+Non-literal names cannot be checked statically and are skipped.
 
 Run from the repo root (CI does)::
 
@@ -34,6 +37,7 @@ sys.path.insert(0, str(SRC))
 from repro.telemetry.names import (  # noqa: E402
     EVENT_PREFIXES,
     is_known_event,
+    is_known_metric,
     is_known_span,
 )
 
@@ -42,6 +46,9 @@ EMITTERS = {
     "span": "span",
     "add_span": "span",
     "event": "event",
+    "counter": "metric",
+    "gauge": "metric",
+    "histogram": "metric",
 }
 
 
@@ -81,6 +88,8 @@ def check_file(path: Path) -> list[str]:
             ok = any(text.startswith(p) for p in EVENT_PREFIXES)
         elif kind == "span":
             ok = is_known_span(text)
+        elif kind == "metric":
+            ok = is_known_metric(text)
         else:
             ok = is_known_event(text)
         if not ok:
