@@ -1,0 +1,240 @@
+"""Decision-provenance benchmark: write ``BENCH_explain.json``.
+
+Times the :mod:`repro.learn.audit` stack at its three cost centers:
+
+- **ledger append**: durably recording decisions to a
+  :class:`~repro.learn.audit.DecisionLedger` (fsync per row) and
+  re-opening it -- the per-decision price the runtime pays to keep a
+  complete causal account.
+- **reconciliation**: :func:`~repro.learn.audit.reconcile` throughput
+  over an in-memory ledger (calibration join + gate mix + forecast
+  scoring), the cost of one ``repro explain`` / ``/decisions`` render.
+- **oracle replay**: hindsight re-pricing of recorded gate decisions
+  (:func:`~repro.learn.audit.oracle_replay`), the regret analysis that
+  dominates reconciliation on gate-heavy ledgers.
+
+The artifact feeds ``repro bench-diff`` alongside the other BENCH
+files: ``*_per_wall_second`` keys diff as rates (higher is better,
+registered in :data:`repro.telemetry.benchdiff.RATE_KEYS`),
+``*_wall_seconds`` as wall time, counts as drift keys.
+
+Not pytest-collected -- CI runs it explicitly::
+
+    PYTHONPATH=src python benchmarks/bench_explain.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__
+from repro.learn import DecisionLedger, LearnConfig, RepartitionGate
+from repro.learn.audit import oracle_replay, reconcile
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_explain.json"
+
+LEDGER_ROWS = 400
+RECONCILE_ROWS = 5_000
+ORACLE_GATES = 2_000
+NUM_NODES = 8
+
+
+def _gate_record(rng: np.random.Generator, seq: int) -> dict:
+    """One self-consistent gate row: outputs really computed by the gate."""
+    loads = rng.uniform(50.0, 150.0, size=NUM_NODES)
+    caps = rng.uniform(0.05, 0.2, size=NUM_NODES)
+    beta = float(rng.uniform(0.001, 0.01))
+    migration = float(rng.uniform(0.1, 2.0))
+    gate = RepartitionGate(LearnConfig())
+    decision = gate.decide(
+        loads=loads,
+        capacities=caps,
+        horizon_iters=20,
+        beta=beta,
+        migration_seconds=migration,
+    )
+    return {
+        "seq": seq,
+        "kind": "gate",
+        "loads": loads.tolist(),
+        "capacities": caps.tolist(),
+        "horizon_iters": 20,
+        "beta": beta,
+        "migration_seconds": migration,
+        "gate_safety": 2.0,
+        "repartition": decision.repartition,
+        "reason": decision.reason,
+        "payoff_seconds": decision.payoff_seconds,
+        "cost_seconds": decision.cost_seconds,
+    }
+
+
+def _synthetic_rows(n: int, gates: int, seed: int = 5) -> list[dict]:
+    """A realistic record mix: predictions + outcomes + gates + forecasts."""
+    rng = np.random.default_rng(seed)
+    rows: list[dict] = []
+    t = 0.0
+    while len(rows) < n - gates:
+        seq = len(rows)
+        t += 1.2
+        roll = len(rows) % 10
+        if roll < 6:
+            x = float(rng.uniform(200.0, 800.0))
+            actual = 0.5 + 0.002 * x + float(rng.normal(0.0, 0.02))
+            rows.append(
+                {
+                    "seq": seq,
+                    "kind": "prediction",
+                    "iteration": seq,
+                    "t": t,
+                    "x": x,
+                    "predicted": 0.5 + 0.002 * x,
+                    "lo": 0.5 + 0.002 * x - 0.08,
+                    "hi": 0.5 + 0.002 * x + 0.08,
+                    "actual": actual,
+                    "cold": False,
+                }
+            )
+        elif roll < 8:
+            rows.append(
+                {
+                    "seq": seq,
+                    "kind": "outcome",
+                    "phase": "sense",
+                    "t": t,
+                    "capacities": rng.uniform(
+                        0.05, 0.2, size=NUM_NODES
+                    ).tolist(),
+                    "overhead_seconds": 0.01,
+                }
+            )
+        elif roll < 9:
+            rows.append(
+                {
+                    "seq": seq,
+                    "kind": "outcome",
+                    "phase": "migrate",
+                    "t": t,
+                    "seconds": float(rng.uniform(0.1, 2.0)),
+                    "bytes": int(rng.integers(1_000, 1_000_000)),
+                }
+            )
+        else:
+            sensed = rng.uniform(0.05, 0.2, size=NUM_NODES)
+            rows.append(
+                {
+                    "seq": seq,
+                    "kind": "forecast",
+                    "t": t,
+                    "lead_seconds": 2.4,
+                    "target_t": t + 2.4,
+                    "drift_rate": 0.001,
+                    "sensed": sensed.tolist(),
+                    "predicted": (sensed * 1.01).tolist(),
+                }
+            )
+    for _ in range(gates):
+        rows.append(_gate_record(rng, len(rows)))
+    return rows
+
+
+def bench_ledger() -> dict:
+    """Durable (fsync-per-append) decision recording + reopen."""
+    rng = np.random.default_rng(7)
+    scratch = Path(tempfile.mkdtemp(prefix="bench-explain-"))
+    try:
+        ledger = DecisionLedger(scratch / "ledger")
+        t0 = time.perf_counter()
+        for i in range(LEDGER_ROWS):
+            ledger.record(
+                "prediction",
+                iteration=i,
+                t=1.2 * i,
+                x=float(rng.uniform(200.0, 800.0)),
+                predicted=1.0,
+                lo=0.9,
+                hi=1.1,
+                actual=float(rng.uniform(0.9, 1.1)),
+                cold=False,
+            )
+        append_wall = time.perf_counter() - t0
+        ledger.checkpoint()
+
+        t0 = time.perf_counter()
+        reopened = DecisionLedger(scratch / "ledger")
+        reopen_wall = time.perf_counter() - t0
+        assert len(reopened) == LEDGER_ROWS, "lost rows on reopen"
+        return {
+            "ledger_rows": LEDGER_ROWS,
+            "append_wall_seconds": append_wall,
+            "appends_per_wall_second": LEDGER_ROWS / append_wall,
+            "reopen_wall_seconds": reopen_wall,
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def bench_reconcile() -> dict:
+    """Full reconciliation throughput over an in-memory ledger."""
+    rows = _synthetic_rows(RECONCILE_ROWS, gates=RECONCILE_ROWS // 50)
+    t0 = time.perf_counter()
+    report = reconcile(rows)
+    wall = time.perf_counter() - t0
+    assert report["records"] == RECONCILE_ROWS
+    assert report["calibration"]["coverage"] is not None
+    return {
+        "records": RECONCILE_ROWS,
+        "reconcile_wall_seconds": wall,
+        "decisions_per_wall_second": RECONCILE_ROWS / wall,
+    }
+
+
+def bench_oracle() -> dict:
+    """Hindsight replay throughput on a gate-heavy ledger."""
+    rows = _synthetic_rows(ORACLE_GATES + 500, gates=ORACLE_GATES)
+    t0 = time.perf_counter()
+    report = oracle_replay(rows)
+    wall = time.perf_counter() - t0
+    assert report["decisions"] == ORACLE_GATES
+    return {
+        "gate_records": ORACLE_GATES,
+        "oracle_wall_seconds": wall,
+        "replays_per_wall_second": ORACLE_GATES / wall,
+    }
+
+
+def main() -> None:
+    sections = {}
+    for name, fn in (
+        ("ledger", bench_ledger),
+        ("reconcile", bench_reconcile),
+        ("oracle", bench_oracle),
+    ):
+        sections[name] = fn()
+        pretty = ", ".join(
+            f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in sections[name].items()
+        )
+        print(f"{name}: {pretty}")
+    payload = {
+        "schema_version": 1,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        **sections,
+    }
+    OUTPUT.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

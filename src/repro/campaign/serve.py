@@ -21,6 +21,9 @@ directory name is its URL id).  Routes:
 - ``GET /campaigns/<id>/live`` -- a server-sent-events stream of the
   campaign's progress log: one frame per cell start/finish/failure,
   with running throughput and ETA.  Replays history, then tail-follows.
+- ``GET /campaigns/<id>/decisions`` -- the reconciled decision-ledger
+  report (calibration, regret, gate mix) when the campaign carries a
+  ``learn/decisions.jsonl`` audit ledger; 404 otherwise.
 - ``GET /campaigns/<id>/report`` -- self-contained HTML report.
 - ``GET /campaigns/<id>/dashboard`` -- the telemetry HTML dashboard,
   rendered from the orchestrator trace when present.
@@ -330,6 +333,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._artifact(campaign_id, directory, parts[3], parts[5])
         elif parts[2] == "live" and len(parts) == 3:
             self._stream_live(directory)
+        elif parts[2] == "decisions" and len(parts) == 3:
+            self._decisions(campaign_id, directory)
         elif parts[2] == "report" and len(parts) == 3:
             self._report(campaign_id, directory)
         elif parts[2] == "dashboard" and len(parts) == 3:
@@ -452,6 +457,38 @@ class _Handler(BaseHTTPRequestHandler):
             ARTIFACT_CONTENT_TYPES[kind],
         )
 
+    def _ledger_path(self, directory: Path) -> Path:
+        from repro.learn.audit import LEDGER_NAME
+
+        return directory / "learn" / LEDGER_NAME
+
+    def _decisions(self, campaign_id: str, directory: Path) -> None:
+        """Reconciled decision-ledger report for one campaign."""
+        from repro.learn.audit import load_ledger_rows, reconcile
+
+        path = self._ledger_path(directory)
+        if not path.is_file():
+            raise CampaignError(
+                f"campaign {campaign_id!r} has no decision ledger; "
+                f"run it with --ledger to record one"
+            )
+        signature = (_stat_entry(path),)
+
+        def render() -> bytes:
+            report = reconcile(load_ledger_rows(path))
+            payload = {"campaign": campaign_id, **report}
+            return (
+                json.dumps(payload, sort_keys=True, indent=1) + "\n"
+            ).encode("utf-8")
+
+        self._send_cached(
+            campaign_id,
+            "decisions",
+            signature,
+            render,
+            "application/json; charset=utf-8",
+        )
+
     def _metrics(self) -> None:
         """OpenMetrics over every campaign's progress log, self-checked.
 
@@ -469,6 +506,7 @@ class _Handler(BaseHTTPRequestHandler):
             registry_from_progress(
                 log.read(), registry, campaign=campaign_id
             )
+            self._decision_gauges(registry, campaign_id)
         text = registry.to_openmetrics()
         problems = openmetrics_selfcheck(text)
         if problems:
@@ -477,6 +515,48 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         self._send(200, text.encode("utf-8"), _OPENMETRICS_CONTENT_TYPE)
+
+    def _decision_gauges(
+        self, registry: MetricsRegistry, campaign_id: str
+    ) -> None:
+        """Calibration/regret gauges for a campaign's decision ledger.
+
+        Computed by the same :func:`repro.learn.audit.reconcile` that
+        backs ``/campaigns/<id>/decisions`` and ``repro explain``, so
+        the scrape, the route, and the CLI can never disagree.  A
+        campaign without a ledger contributes nothing; a corrupt one is
+        skipped rather than failing the whole exposition.
+        """
+        path = self._ledger_path(self.server.root / campaign_id)
+        if not path.is_file():
+            return
+        from repro.learn.audit import load_ledger_rows, reconcile
+        from repro.util.errors import ExperimentError
+
+        try:
+            report = reconcile(load_ledger_rows(path))
+        except ExperimentError:
+            return
+        cal = report["calibration"]
+        regret = report["regret"]
+        gauge = registry.gauge
+        gauge("decision.records", campaign=campaign_id).set(
+            float(report["records"])
+        )
+        gauge("decision.calibration_samples", campaign=campaign_id).set(
+            float(cal["predictions"])
+        )
+        if cal["coverage"] is not None:
+            gauge("decision.calibration_coverage", campaign=campaign_id).set(
+                float(cal["coverage"])
+            )
+        gauge(
+            "decision.cumulative_regret_seconds", campaign=campaign_id
+        ).set(float(regret["cumulative_regret_seconds"]))
+        if regret["agreement_rate"] is not None:
+            gauge(
+                "decision.oracle_agreement_rate", campaign=campaign_id
+            ).set(float(regret["agreement_rate"]))
 
     def _stream_live(self, directory: Path) -> None:
         """SSE stream over the campaign's progress log.

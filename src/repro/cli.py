@@ -22,6 +22,10 @@ Usage::
     python -m repro learn fit campaigns/a             # fit cost models
     python -m repro learn inspect campaigns/a/learn   # model fit state
     python -m repro learn replay campaigns/a/learn    # learned vs fixed-f
+    python -m repro run ablation-learn --ledger traces/ledger  # + provenance
+    python -m repro explain traces/ledger/chaos/all   # audit the decisions
+    python -m repro explain traces/ledger/chaos/all --decision 12
+    python -m repro explain traces/ledger/chaos/all --calibration --regret
 
 ``campaign`` executes a scenario × partitioner × seed × config grid
 (one JSON spec file) sharded across worker processes, checkpointing the
@@ -48,6 +52,16 @@ Linux-cluster scenario with the learned policies (adaptive sensing
 interval, payoff-gated repartitioning, transient capacity forecasting)
 warm-started from that store and compares against the paper's fixed
 f=20 loop.
+
+``explain`` audits a decision ledger (written when a run's
+:class:`~repro.learn.policy.LearnController` is given a
+:class:`~repro.learn.audit.DecisionLedger`, e.g. via
+``repro run ablation-learn --ledger DIR``): the default summary counts
+records and gate accepts/skips; ``--decision SEQ`` reconstructs one
+gate decision bit-exactly from its recorded inputs (exit 1 on any
+divergence); ``--calibration`` scores the 95% CI coverage of the
+one-step-ahead cost predictions; ``--regret`` re-prices every gate
+decision with hindsight costs and reports the cumulative regret.
 
 ``profile`` reconstructs the per-iteration critical path from the span
 stream (which rank's compute/exchange gated each step, slack per rank,
@@ -244,8 +258,10 @@ def _run_sweep_heterogeneity(quick: bool) -> str:
     return "\n".join(lines)
 
 
-def _run_ablation_learn(quick: bool) -> str:
-    data = ab.learn_ablation(iterations=60 if quick else 150)
+def _run_ablation_learn(quick: bool, ledger_dir: str | None = None) -> str:
+    data = ab.learn_ablation(
+        iterations=60 if quick else 150, ledger_dir=ledger_dir
+    )
     lines = [
         "learned-policy ablation vs fixed "
         f"f={data['sensing_interval']} "
@@ -266,6 +282,11 @@ def _run_ablation_learn(quick: bool) -> str:
                 f"({row['win_pct']:+5.1f}%, "
                 f"{row['num_sensings']} sensings{extra})"
             )
+    if ledger_dir is not None:
+        lines.append(
+            f"decision ledgers written under {ledger_dir}/<scenario>/"
+            "<variant> -- audit with `repro explain`"
+        )
     return "\n".join(lines)
 
 
@@ -1132,6 +1153,191 @@ def _run_learn(args) -> int:
     return 2
 
 
+def _fmt_audit_seconds(value) -> str:
+    """Render a reconciled seconds value ('-' for absent, 'inf' kept)."""
+    if value is None:
+        return "-"
+    return f"{value:.4g}"
+
+
+def _explain_summary(report: dict) -> list[str]:
+    gate = report["gate"]
+    cal = report["calibration"]
+    reg = report["regret"]
+    lines = [
+        f"{report['records']} ledger records: "
+        + ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(report["counts"].items())
+        ),
+        f"gate: {gate['decisions']} decisions, "
+        f"{gate['accepts']} repartitions, {gate['skips']} skips "
+        + "("
+        + ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(gate["reasons"].items())
+        )
+        + ")"
+        if gate["decisions"]
+        else "gate: no decisions recorded",
+    ]
+    if cal["predictions"]:
+        lines.append(
+            f"calibration: {cal['coverage']:.1%} of {cal['predictions']} "
+            f"warm 95% CIs contained the truth (target "
+            f"{cal['target']:.0%}; {cal['cold_predictions']} cold), "
+            f"mean |err| {_fmt_audit_seconds(cal['mean_abs_error_seconds'])}s"
+        )
+    if reg["decisions"]:
+        lines.append(
+            f"regret: {reg['cumulative_regret_seconds']:.4g}s vs the "
+            f"hindsight oracle ({reg['disagreements']}/{reg['decisions']} "
+            f"decisions differ, agreement {reg['agreement_rate']:.1%})"
+        )
+    fc = report["forecast"]
+    if fc["forecasts"]:
+        lines.append(
+            f"forecast: {fc['scored']}/{fc['forecasts']} capacity "
+            "forecasts scored against the next probe, mean |err| "
+            f"{_fmt_audit_seconds(fc['mean_abs_error'])}"
+        )
+    return lines
+
+
+def _explain_decision(rows: list[dict], seq: int) -> int:
+    """Reconstruct one gate decision bit-exactly; exit 1 on divergence."""
+    from repro.learn.audit import verify_decision
+
+    record = next(
+        (r for r in rows if int(r.get("seq", -1)) == seq), None
+    )
+    if record is None:
+        print(f"explain error: no record with seq {seq}", file=sys.stderr)
+        return 2
+    if record.get("kind") != "gate":
+        print(
+            f"decision {seq} is a {record.get('kind')!r} record:"
+        )
+        for key in sorted(record):
+            print(f"  {key} = {record[key]}")
+        return 0
+    check = verify_decision(record)
+    action = "repartition" if check["recorded"]["repartition"] else "skip"
+    print(
+        f"decision {seq} (iteration {record.get('iteration')}, "
+        f"t={record.get('t')}): {action} [{check['recorded']['reason']}]"
+    )
+    print(
+        f"  inputs: {len(record.get('loads', []))} nodes, "
+        f"horizon {record['horizon_iters']} its, "
+        f"beta={record.get('beta')}, "
+        f"migration_seconds={record.get('migration_seconds')}, "
+        f"gate_safety={record.get('gate_safety')}"
+    )
+    print(
+        f"  prediction: payoff {record.get('payoff_seconds')}s "
+        f"(95% CI [{record.get('payoff_lo_seconds')}, "
+        f"{record.get('payoff_hi_seconds')}]) "
+        f"vs cost {record.get('cost_seconds')}s"
+    )
+    print(
+        f"  model digest: iter n={record.get('iter_n')} "
+        f"slope={record.get('iter_slope')}, "
+        f"migration n={record.get('migration_n')}"
+    )
+    if check["match"]:
+        print("  replay: bit-exact (gate re-run from recorded inputs)")
+        return 0
+    print("  replay: DIVERGED on " + ", ".join(check["mismatches"]))
+    for name in check["mismatches"]:
+        print(
+            f"    {name}: recorded {check['recorded'][name]!r} "
+            f"vs replayed {check['replayed'][name]!r}"
+        )
+    return 1
+
+
+def _run_explain(args) -> int:
+    """Dispatch ``repro explain``; user errors exit 2, divergence 1."""
+    from repro.learn.audit import (
+        load_ledger_rows,
+        reconcile,
+        verify_decision,
+    )
+    from repro.util.errors import ExperimentError
+
+    try:
+        rows = load_ledger_rows(args.ledger)
+    except ExperimentError as exc:
+        print(f"explain error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.decision is not None:
+            return _explain_decision(rows, args.decision)
+        report = reconcile(rows)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        sections = []
+        if args.calibration:
+            sections.append("calibration")
+        if args.regret:
+            sections.append("regret")
+        for line in _explain_summary(report):
+            print(line)
+        if "calibration" in sections:
+            cal = report["calibration"]
+            print("calibration detail:")
+            for key in (
+                "predictions",
+                "cold_predictions",
+                "covered",
+                "coverage",
+                "target",
+                "mean_abs_error_seconds",
+                "mean_signed_error_seconds",
+            ):
+                print(f"  {key} = {cal[key]}")
+        if "regret" in sections:
+            reg = report["regret"]
+            print("regret detail (per gate decision):")
+            print(
+                f"  oracle beta={reg['oracle_beta']}, "
+                f"oracle migration={reg['oracle_migration_seconds']}"
+            )
+            for row in reg["per_decision"]:
+                mark = "agree" if row["agree"] else (
+                    f"DIFFER regret={row['regret_seconds']:.4g}s"
+                )
+                print(
+                    f"  seq {row['seq']:>4}: recorded="
+                    f"{'repartition' if row['recorded'] else 'skip'} "
+                    f"oracle="
+                    f"{'repartition' if row['oracle'] else 'skip'} "
+                    f"[{mark}]"
+                )
+        if args.verify:
+            checks = [
+                verify_decision(r) for r in rows if r.get("kind") == "gate"
+            ]
+            bad = [c for c in checks if not c["match"]]
+            print(
+                f"verify: {len(checks) - len(bad)}/{len(checks)} gate "
+                "decisions replay bit-exactly"
+            )
+            if bad:
+                for c in bad:
+                    print(
+                        f"  seq {c['seq']} diverged on "
+                        + ", ".join(c["mismatches"])
+                    )
+                return 1
+        return 0
+    except ExperimentError as exc:
+        print(f"explain error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1144,6 +1350,11 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument(
         "--quick", action="store_true",
         help="smaller configuration (fewer seeds/iterations)",
+    )
+    run.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="record decision provenance under DIR "
+        "(ablation-learn only; audit with `repro explain`)",
     )
     trace = sub.add_parser(
         "trace",
@@ -1341,6 +1552,36 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=11,
         help="cluster/load-script seed (default: 11)",
     )
+    explain = sub.add_parser(
+        "explain",
+        help="audit a decision ledger: reconstruct decisions, score "
+        "CI calibration, price regret vs the hindsight oracle",
+    )
+    explain.add_argument(
+        "ledger",
+        help="decision-ledger directory (or its decisions.jsonl)",
+    )
+    explain.add_argument(
+        "--decision", type=int, default=None, metavar="SEQ",
+        help="reconstruct one decision bit-exactly from its recorded "
+        "inputs (exit 1 on divergence)",
+    )
+    explain.add_argument(
+        "--calibration", action="store_true",
+        help="print the CI-coverage calibration detail",
+    )
+    explain.add_argument(
+        "--regret", action="store_true",
+        help="print the per-decision oracle-replay regret detail",
+    )
+    explain.add_argument(
+        "--verify", action="store_true",
+        help="replay every gate decision; exit 1 if any diverges",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit the full reconciliation report as JSON",
+    )
     bench = sub.add_parser(
         "bench-diff",
         help="compare two BENCH_*.json artifacts; flag perf regressions",
@@ -1383,6 +1624,15 @@ def main(argv: list[str] | None = None) -> int:
         fn = _lookup_experiment(args.experiment)
         if fn is None:
             return 2
+        if args.ledger is not None:
+            if fn is not _run_ablation_learn:
+                print(
+                    "repro run: --ledger only applies to ablation-learn",
+                    file=sys.stderr,
+                )
+                return 2
+            print(_run_ablation_learn(args.quick, args.ledger))
+            return 0
         print(fn(args.quick))
         return 0
 
@@ -1405,6 +1655,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args.root, args.host, args.port)
     if args.command == "learn":
         return _run_learn(args)
+    if args.command == "explain":
+        return _run_explain(args)
     if args.command == "bench-diff":
         return _run_bench_diff(
             args.old, args.new, args.tolerance, args.fail_on_regression,

@@ -3,7 +3,9 @@
 Every adaptive decision in :mod:`repro.learn.policy` is only as good as
 the history behind it, so the store borrows the campaign
 :class:`~repro.campaign.store.ResultStore` durability discipline
-wholesale:
+wholesale via the shared :class:`~repro.learn.durable.DurableJsonlStore`
+base (the decision ledger in :mod:`repro.learn.audit` rides the same
+machinery):
 
 - appends go to ``history.jsonl`` and are **fsynced** before the call
   returns -- a crash never loses an acknowledged observation;
@@ -27,12 +29,12 @@ row loops.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
-from typing import Any, Iterable, Iterator
+from typing import Any
 
 import numpy as np
 
+from repro.learn.durable import DurableJsonlStore
 from repro.util.errors import ExperimentError
 
 __all__ = ["ExecutionHistoryStore", "HISTORY_NAME", "INDEX_NAME"]
@@ -70,113 +72,26 @@ _NUMERIC = {
 }
 
 
-def _encode(row: dict[str, Any]) -> str:
-    return json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
-
-
-class ExecutionHistoryStore:
+class ExecutionHistoryStore(DurableJsonlStore):
     """Durable, columnar store of per-phase execution observations."""
 
+    DATA_NAME = HISTORY_NAME
+    INDEX_NAME = INDEX_NAME
+    SCHEMA_VERSION = HISTORY_SCHEMA_VERSION
+    REQUIRED_KEY = "phase"
+
     def __init__(self, directory: str | Path):
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self.history_path = self.directory / HISTORY_NAME
-        self.index_path = self.directory / INDEX_NAME
-        self._rows: list[dict[str, Any]] = []
         self._sources: set[str] = set()
-        self._trusted_bytes = 0
         self._columns: dict[str, np.ndarray] | None = None
-        self._load()
+        super().__init__(directory)
+        #: Back-compat alias for the append log (pre-extraction name).
+        self.history_path = self.data_path
 
-    # -- load / resume -------------------------------------------------
-    def _read_index(self) -> dict[str, int] | None:
-        if not self.index_path.is_file():
-            return None
-        try:
-            data = json.loads(self.index_path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            return None
-        if not isinstance(data, dict):
-            return None
-        try:
-            return {
-                "records": int(data["records"]),
-                "bytes": int(data["bytes"]),
-            }
-        except (KeyError, TypeError, ValueError):
-            return None
-
-    def _parse_lines(self, data: bytes) -> Iterator[dict[str, Any]]:
-        for line in data.split(b"\n"):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = json.loads(line.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                # Torn tail from a crash mid-append: the observation was
-                # never acknowledged (fsync happens before the caller
-                # returns), so dropping it is the correct resume.
-                continue
-            if isinstance(row, dict) and "phase" in row:
-                yield row
-
-    def _load(self) -> None:
-        if not self.history_path.is_file():
-            return
-        data = self.history_path.read_bytes()
-        tail_start = data.rfind(b"\n") + 1
-        if tail_start < len(data):
-            # Torn final line from a crash mid-append: the writer never
-            # acknowledged that row (fsync precedes the return), so
-            # physically truncate it -- appending after the torn bytes
-            # would otherwise weld the next acknowledged row onto them.
-            with open(self.history_path, "r+b") as fh:
-                fh.truncate(tail_start)
-                fh.flush()
-                os.fsync(fh.fileno())
-            data = data[:tail_start]
-        index = self._read_index()
-        trusted = 0
-        if index is not None and 0 <= index["bytes"] <= len(data):
-            # Exact resume: replay the indexed prefix verbatim, then
-            # re-validate only bytes appended after the last checkpoint.
-            prefix = list(self._parse_lines(data[: index["bytes"]]))
-            if len(prefix) == index["records"]:
-                trusted = index["bytes"]
-                self._rows.extend(prefix)
-        if trusted == 0:
-            self._rows = list(self._parse_lines(data))
-            # Everything parseable was absorbed; trust up to the last
-            # newline so the next checkpoint covers the whole file.
-            trusted = data.rfind(b"\n") + 1
-        else:
-            self._rows.extend(self._parse_lines(data[trusted:]))
-            tail_end = data.rfind(b"\n") + 1
-            trusted = max(trusted, tail_end)
-        self._trusted_bytes = trusted
-        for row in self._rows:
-            self._renumber(row)
-            if row.get("cell_key"):
-                self._sources.add(str(row["cell_key"]))
-
-    def _renumber(self, row: dict[str, Any]) -> None:
+    def _absorb(self, row: dict[str, Any]) -> None:
         row["seq"] = int(row.get("seq", len(self._rows)))
-
-    def checkpoint(self) -> None:
-        """Atomically publish the exact-resume index."""
-        doc = {
-            "schema_version": HISTORY_SCHEMA_VERSION,
-            "records": len(self._rows),
-            "bytes": self._trusted_bytes,
-        }
-        tmp = self.index_path.with_name(self.index_path.name + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(doc, fh, sort_keys=True)
-            fh.write("\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        tmp.replace(self.index_path)
+        if row.get("cell_key"):
+            self._sources.add(str(row["cell_key"]))
+        self._columns = None
 
     # -- ingest --------------------------------------------------------
     def record(
@@ -207,17 +122,7 @@ class ExecutionHistoryStore:
             "capacity": float(capacity),
             "count": int(count),
         }
-        encoded = _encode(row)
-        with open(self.history_path, "a", encoding="utf-8") as fh:
-            fh.write(encoded)
-            fh.flush()
-            os.fsync(fh.fileno())
-        self._trusted_bytes = self.history_path.stat().st_size
-        self._rows.append(row)
-        if row["cell_key"]:
-            self._sources.add(row["cell_key"])
-        self._columns = None
-        return row
+        return self._append_row(row)
 
     def ingest_digest(self, digest: Any) -> int:
         """Ingest a :class:`~repro.telemetry.live.TelemetryDigest`.
@@ -293,9 +198,6 @@ class ExecutionHistoryStore:
         return added
 
     # -- queries -------------------------------------------------------
-    def __len__(self) -> int:
-        return len(self._rows)
-
     def sources(self) -> tuple[str, ...]:
         return tuple(sorted(self._sources))
 
@@ -354,6 +256,3 @@ class ExecutionHistoryStore:
         """(work, seconds) pairs for one phase on one node."""
         view = self.query(phase=phase, node=node)
         return view["work"], view["seconds"]
-
-    def iter_rows(self) -> Iterable[dict[str, Any]]:
-        return iter(self._rows)

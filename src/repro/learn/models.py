@@ -172,6 +172,28 @@ class OnlineLinearModel:
         half = _t95(self.n - 2) * se
         return (yhat - half, yhat + half)
 
+    def prediction_interval(self, x: float) -> tuple[float, float]:
+        """95 % interval for one *new observation* at ``x``.
+
+        Wider than :meth:`predict_interval` by the residual-variance
+        term: the mean-response CI shrinks with n, but an individual
+        outcome keeps its noise floor.  This is the interval whose
+        coverage the decision-ledger calibration scores -- a
+        well-calibrated model contains the truth ~95% of the time.
+        """
+        if self.is_cold:
+            return (-math.inf, math.inf)
+        x = float(x)
+        var = self.residual_variance()
+        sxx_c = self._sxx_centered
+        mean_x = self.sx / self.n
+        se = math.sqrt(
+            var * (1.0 + 1.0 / self.n + (x - mean_x) ** 2 / sxx_c)
+        )
+        yhat = self.predict(x)
+        half = _t95(self.n - 2) * se
+        return (yhat - half, yhat + half)
+
     def slope_interval(self) -> tuple[float, float]:
         """95 % CI of the slope (closed form)."""
         if self.is_cold:

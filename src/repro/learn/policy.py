@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.learn.audit import DecisionLedger, encode_float
 from repro.learn.history import ExecutionHistoryStore
 from repro.learn.models import (
     AmdahlCostModel,
@@ -222,6 +223,13 @@ class LearnController:
     A ``history`` store persists every observation durably; ``None``
     keeps the controller purely in-memory (the ablation mode).  Models
     can be pre-seeded from a fitted store via :meth:`warm_start`.
+
+    A ``ledger`` (:class:`~repro.learn.audit.DecisionLedger`) records
+    every decision's full provenance -- inputs, model-state digest,
+    prediction with CI, action, reason -- plus the measured outcomes
+    the reconciler joins against, and mirrors each record as a
+    ``decision.*`` trace event.  ``None`` (the default) records and
+    emits nothing: runs without a ledger stay byte-identical.
     """
 
     enabled = True
@@ -232,9 +240,11 @@ class LearnController:
         *,
         history: ExecutionHistoryStore | None = None,
         run_id: str = "live",
+        ledger: DecisionLedger | None = None,
     ):
         self.config = config or LearnConfig()
         self.history = history
+        self.ledger = ledger
         self.run_id = str(run_id)
         self.tracer = None  # bound by the runtime (see bind())
         cfg = self.config
@@ -276,12 +286,39 @@ class LearnController:
             return self.tracer.metrics
         return None
 
+    def _decision(self, kind: str, **fields) -> dict | None:
+        """Ledger one decision record and mirror it as a trace event.
+
+        No ledger configured -> records nothing, emits nothing: the
+        ledger-less path (enabled or not) stays byte-identical.
+        """
+        if self.ledger is None:
+            return None
+        row = self.ledger.record(kind, **fields)
+        self._event(
+            f"decision.{kind}",
+            **{k: v for k, v in row.items() if k != "kind"},
+        )
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter("decision.records").inc()
+        return row
+
     # -- observations --------------------------------------------------
     def observe_sense(
         self, t: float, capacities: np.ndarray, overhead_seconds: float
     ) -> None:
         if self.capacity_model is None:
             self.bind(self.tracer, len(capacities))
+        # Probed capacities are the ground truth the reconciler scores
+        # capacity forecasts against; ledger them before folding.
+        self._decision(
+            "outcome",
+            phase="sense",
+            t=float(t),
+            capacities=np.asarray(capacities, dtype=float),
+            overhead_seconds=float(overhead_seconds),
+        )
         self.capacity_model.observe(t, capacities)
         self.probe_model.observe(overhead_seconds)
         metrics = self._metrics()
@@ -320,6 +357,22 @@ class LearnController:
                     node, loads[node], float(compute[node])
                 )
         bottleneck = float((loads / caps).max()) if loads.size else 0.0
+        if self.ledger is not None:
+            # One-step-ahead prediction, captured *before* the measured
+            # point folds into the model: honest out-of-sample CI
+            # coverage for the calibration score.
+            lo, hi = self.iter_model.prediction_interval(bottleneck)
+            self._decision(
+                "prediction",
+                iteration=int(iteration),
+                t=float(t),
+                x=bottleneck,
+                predicted=float(self.iter_model.predict(bottleneck)),
+                lo=lo,
+                hi=hi,
+                actual=float(cost.total),
+                cold=self.iter_model.is_cold,
+            )
         self.iter_model.observe(bottleneck, float(cost.total))
         self.iter_seconds.observe(float(cost.total))
         metrics = self._metrics()
@@ -347,6 +400,20 @@ class LearnController:
     def observe_repartition(
         self, t: float, migration_seconds: float, migration_bytes: int
     ) -> None:
+        self._decision(
+            "outcome",
+            phase="migrate",
+            t=float(t),
+            # Pre-fold model mean: what the gate believed a migration
+            # cost *before* this one was measured.
+            predicted_seconds=(
+                self.migration_model.mean
+                if not self.migration_model.is_cold
+                else None
+            ),
+            seconds=float(migration_seconds),
+            bytes=int(migration_bytes),
+        )
         self.migration_model.observe(float(migration_seconds))
         metrics = self._metrics()
         if metrics is not None:
@@ -359,6 +426,34 @@ class LearnController:
                 work=float(migration_bytes),
                 t=float(t),
             )
+
+    def observe_recover(
+        self,
+        t: float,
+        dead_nodes,
+        migration_seconds: float,
+        migration_bytes: int,
+        evacuated_bytes: int = 0,
+    ) -> None:
+        """Ledger a recovery repartition's provenance.
+
+        Call *before* :meth:`observe_repartition` folds the measured
+        migration so the recorded prediction is what the model believed
+        going in.  Without a ledger this is a no-op.
+        """
+        self._decision(
+            "recover",
+            t=float(t),
+            dead_nodes=[int(n) for n in dead_nodes],
+            predicted_migration_seconds=(
+                self.migration_model.mean
+                if not self.migration_model.is_cold
+                else None
+            ),
+            migration_seconds=float(migration_seconds),
+            migration_bytes=int(migration_bytes),
+            evacuated_bytes=int(evacuated_bytes),
+        )
 
     # -- decisions -----------------------------------------------------
     def sensing_interval(self) -> int:
@@ -380,6 +475,19 @@ class LearnController:
                 fitted=fitted,
                 drift_rate=drift,
             )
+            cfg = self.config
+            self._decision(
+                "sense_interval",
+                interval=int(interval),
+                fitted=bool(fitted),
+                previous_interval=self._last_interval,
+                drift_rate=float(drift),
+                seconds_per_iteration=float(spi),
+                drift_tolerance=cfg.drift_tolerance,
+                fallback_interval=cfg.fallback_interval,
+                min_interval=cfg.min_interval,
+                max_interval=cfg.max_interval,
+            )
             self._last_interval = interval
         metrics = self._metrics()
         if metrics is not None:
@@ -397,8 +505,15 @@ class LearnController:
         loads: np.ndarray,
         capacities: np.ndarray,
         horizon_iters: int,
+        *,
+        iteration: int = -1,
+        t: float = 0.0,
     ) -> GateDecision:
-        """Gate a sense-triggered repartition on predicted payoff."""
+        """Gate a sense-triggered repartition on predicted payoff.
+
+        ``iteration`` and ``t`` only stamp the ledger record (when a
+        ledger is configured); they never influence the decision.
+        """
         beta = None
         if not self.iter_model.is_cold and self.iter_model.slope > 0.0:
             beta = self.iter_model.slope
@@ -419,14 +534,70 @@ class LearnController:
             "learn.gate",
             repartition=decision.repartition,
             reason=decision.reason,
-            payoff_seconds=(
-                decision.payoff_seconds
-                if math.isfinite(decision.payoff_seconds)
-                else None
-            ),
-            cost_seconds=decision.cost_seconds,
+            # Explicit "inf" sentinel: a cold gate's infinite payoff
+            # must survive the JSON round trip, not vanish into null.
+            payoff_seconds=encode_float(decision.payoff_seconds),
+            cost_seconds=encode_float(decision.cost_seconds),
             horizon_iters=decision.horizon_iters,
         )
+        if self.ledger is not None:
+            loads_arr = np.asarray(loads, dtype=float)
+            caps_arr = np.maximum(
+                np.asarray(capacities, dtype=float), 1e-9
+            )
+            total = float(loads_arr.sum())
+            bottleneck = (
+                float((loads_arr / caps_arr).max())
+                if loads_arr.size
+                else 0.0
+            )
+            excess = max(bottleneck - total, 0.0)
+            slope_lo, slope_hi = self.iter_model.slope_interval()
+            horizon = decision.horizon_iters
+            self._decision(
+                "gate",
+                iteration=int(iteration),
+                t=float(t),
+                # Inputs: everything decide() consumed, verbatim, so
+                # `repro explain --decision` replays bit-exactly.
+                loads=loads_arr,
+                capacities=np.asarray(capacities, dtype=float),
+                horizon_iters=horizon,
+                beta=beta,
+                migration_seconds=migration,
+                gate_safety=self.config.gate_safety,
+                # Derived terms + the prediction with its CI.
+                total_work=total,
+                bottleneck_work=bottleneck,
+                excess_work=excess,
+                payoff_seconds=decision.payoff_seconds,
+                payoff_lo_seconds=(
+                    slope_lo * excess * horizon
+                    if beta is not None
+                    else None
+                ),
+                payoff_hi_seconds=(
+                    slope_hi * excess * horizon
+                    if beta is not None
+                    else None
+                ),
+                cost_seconds=decision.cost_seconds,
+                # The action and the model-state digest behind it.
+                repartition=decision.repartition,
+                reason=decision.reason,
+                iter_n=self.iter_model.n,
+                iter_slope=(
+                    self.iter_model.slope
+                    if not self.iter_model.is_cold
+                    else None
+                ),
+                iter_intercept=(
+                    self.iter_model.intercept
+                    if not self.iter_model.is_cold
+                    else None
+                ),
+                migration_n=self.migration_model.n,
+            )
         metrics = self._metrics()
         if metrics is not None:
             if decision.repartition:
@@ -459,6 +630,15 @@ class LearnController:
             "learn.capacity_forecast",
             lead_seconds=lead,
             drift_rate=model.drift_rate(),
+        )
+        self._decision(
+            "forecast",
+            t=float(t),
+            lead_seconds=float(lead),
+            target_t=float(t) + float(lead),
+            drift_rate=model.drift_rate(),
+            sensed=np.asarray(capacities, dtype=float),
+            predicted=predicted,
         )
         return predicted
 
@@ -517,6 +697,11 @@ class LearnController:
                 "decisions": len(self.gate_decisions),
                 "skips": gate_skips,
             },
+            "ledger": (
+                {"records": len(self.ledger)}
+                if self.ledger is not None
+                else None
+            ),
         }
 
     def warm_start(self, store: ExecutionHistoryStore) -> dict:

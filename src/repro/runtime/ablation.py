@@ -23,6 +23,7 @@ Two more isolate design choices of the reproduction itself:
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -375,6 +376,7 @@ def learn_ablation(
     regrid_interval: int = 7,
     seed: int = 11,
     drift_tolerance: float = 0.02,
+    ledger_dir: str | None = None,
 ) -> dict:
     """Attribute the learned loop's win per piece (repro.learn).
 
@@ -393,8 +395,12 @@ def learn_ablation(
     regrid=5, every sensing lands on a regrid and the gate would have
     nothing to decide).  Returns per-scenario rows with the win over
     fixed-f attributed to each piece.
+
+    With ``ledger_dir`` set, every learned variant records its decision
+    provenance to ``<ledger_dir>/<scenario>/<variant>`` for
+    ``repro explain``; decisions themselves are unchanged.
     """
-    from repro.learn import LearnConfig, LearnController
+    from repro.learn import DecisionLedger, LearnConfig, LearnController
     from repro.resilience import FaultInjector, FaultPlan
     from repro.resilience.checkpoint import ResilienceConfig
 
@@ -440,7 +446,9 @@ def learn_ablation(
         ),
     ]
 
-    def run_variant(scenario: str, learn_cfg: LearnConfig | None) -> dict:
+    def run_variant(
+        scenario: str, name: str, learn_cfg: LearnConfig | None
+    ) -> dict:
         cluster = Cluster.paper_linux_cluster(
             8, seed=seed, dynamic=True, horizon_s=horizon
         )
@@ -455,9 +463,14 @@ def learn_ablation(
             )
             FaultInjector(cluster, monitor=monitor).arm(plan)
             resilience = ResilienceConfig()
-        learn = (
-            LearnController(learn_cfg) if learn_cfg is not None else None
-        )
+        learn = None
+        if learn_cfg is not None:
+            ledger = None
+            if ledger_dir is not None:
+                ledger = DecisionLedger(
+                    Path(ledger_dir) / scenario / name
+                )
+            learn = LearnController(learn_cfg, ledger=ledger)
         runtime = SamrRuntime(
             workload,
             cluster,
@@ -491,7 +504,10 @@ def learn_ablation(
         rows = []
         baseline_s: float | None = None
         for name, learn_cfg in variants:
-            row = {"variant": name, **run_variant(scenario, learn_cfg)}
+            row = {
+                "variant": name,
+                **run_variant(scenario, name, learn_cfg),
+            }
             if name == "fixed-f":
                 baseline_s = row["seconds"]
             row["win_pct"] = (

@@ -292,7 +292,11 @@ class DistributedAmrRun:
                             else cfg.sensing_interval or 1
                         )
                         decision = learn.repartition_decision(
-                            self.owned_loads(), self._capacities, horizon
+                            self.owned_loads(),
+                            self._capacities,
+                            horizon,
+                            iteration=step,
+                            t=self.cluster.clock.now,
                         )
                         if decision.repartition:
                             out = self.pipeline.repartition(

@@ -442,7 +442,11 @@ class SamrRuntime:
                         it % cfg.regrid_interval
                     )
                     decision = learn.repartition_decision(
-                        loads, capacities, horizon
+                        loads,
+                        capacities,
+                        horizon,
+                        iteration=it,
+                        t=self.cluster.clock.now,
                     )
                     repartition = decision.repartition
                 if repartition:

@@ -470,6 +470,15 @@ class RepartitionPipeline:
             metrics.counter("migration_seconds").inc(mig_seconds)
             metrics.counter("evacuated_bytes").inc(int(evac_bytes))
         if self.learner.enabled:
+            # Provenance first: observe_recover must see the migration
+            # model *before* this migration folds into it.
+            self.learner.observe_recover(
+                self.cluster.clock.now,
+                list(dead_owners),
+                mig_seconds,
+                mig_bytes,
+                int(evac_bytes),
+            )
             self.learner.observe_repartition(
                 self.cluster.clock.now, mig_seconds, mig_bytes
             )

@@ -48,8 +48,8 @@ from typing import Any
 
 from repro.util.errors import TelemetryError
 
-__all__ = ["BenchComparison", "BenchDelta", "diff_bench", "diff_bench_files",
-           "format_diff", "flatten_bench"]
+__all__ = ["BenchComparison", "BenchDelta", "RATE_KEYS", "diff_bench",
+           "diff_bench_files", "format_diff", "flatten_bench"]
 
 #: Relative slowdown beyond which a wall-clock key is a regression.
 DEFAULT_TOLERANCE = 0.20
@@ -78,6 +78,29 @@ _PATH_COMPONENT_TOKENS = {
     "sync_s": ("sync",),
     "barrier_s": ("barrier",),
 }
+
+#: Exact flattened keys compared with *inverted* direction (throughputs:
+#: higher is better, a drop is the regression).  The generic
+#: ``per_wall_second``/``wall_speedup`` substrings in :func:`_is_rate_key`
+#: already catch conventionally named rates; registering the
+#: ``BENCH_learn.json`` and ``BENCH_explain.json`` throughput keys by
+#: name makes the contract explicit and testable -- a rename that loses
+#: the substring cannot silently demote a learn-bench regression to
+#: non-gating sim drift (``tests/telemetry/test_benchdiff.py`` locks
+#: each entry to the regression direction).
+RATE_KEYS = frozenset(
+    {
+        # BENCH_learn.json
+        "history.appends_per_wall_second",
+        "gate.gate_decisions_per_wall_second",
+        "models.capacity_fits_per_wall_second",
+        "models.ols_observations_per_wall_second",
+        # BENCH_explain.json
+        "ledger.appends_per_wall_second",
+        "reconcile.decisions_per_wall_second",
+        "oracle.replays_per_wall_second",
+    }
+)
 
 
 @dataclass(slots=True)
@@ -186,7 +209,11 @@ def _is_wall_key(key: str) -> bool:
 
 def _is_rate_key(key: str) -> bool:
     """Wall-derived throughput: higher is better."""
-    return "per_wall_second" in key or "wall_speedup" in key
+    return (
+        key in RATE_KEYS
+        or "per_wall_second" in key
+        or "wall_speedup" in key
+    )
 
 
 def _onpath_tokens(flat: dict[str, float]) -> frozenset[str] | None:

@@ -84,6 +84,14 @@ EVENT_NAMES = frozenset(
         "learn.sense_interval",
         "learn.gate",
         "learn.capacity_forecast",
+        # decision-provenance ledger mirrors (repro.learn.audit): one
+        # event per ledgered record, same fields minus the arrays
+        "decision.gate",
+        "decision.sense_interval",
+        "decision.forecast",
+        "decision.recover",
+        "decision.prediction",
+        "decision.outcome",
     }
 )
 
@@ -99,6 +107,7 @@ EVENT_PREFIXES = (
     "live.",
     "forecast.",
     "learn.",
+    "decision.",
 )
 
 #: Every metric name (counter, gauge or histogram) the instrumentation
@@ -160,6 +169,13 @@ METRIC_NAMES = frozenset(
         "learn.gate_skips",
         "learn.sensing_interval",
         "learn.capacity_drift_rate",
+        # decision provenance (repro.learn.audit): ledger volume plus
+        # the reconciler's calibration and regret scores
+        "decision.records",
+        "decision.calibration_coverage",
+        "decision.calibration_samples",
+        "decision.cumulative_regret_seconds",
+        "decision.oracle_agreement_rate",
     }
 )
 

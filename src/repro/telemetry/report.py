@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import html
 import json
+import math
 import os
 from typing import Any, Iterable, Sequence
 
@@ -855,6 +856,12 @@ svg .hm-derated {{ stroke: var(--critical); stroke-width: 1.4; }}
 .bar {{ background: var(--grid); border-radius: 3px; height: 8px;
   min-width: 120px; }}
 .bar-fill {{ background: var(--s1); border-radius: 3px; height: 8px; }}
+.bar-cost {{ background: var(--warning); }}
+.bar + .bar {{ margin-top: 2px; }}
+svg .cal-band {{ fill: var(--s1); opacity: 0.16; }}
+svg .cal-line {{ stroke: var(--s1); stroke-width: 2; }}
+svg .cal-hit {{ fill: var(--s1); }}
+svg .cal-miss {{ fill: var(--critical); }}
 .muted {{ color: var(--muted); font-size: 12px; }}
 table {{ border-collapse: collapse; width: 100%; font-size: 13px; }}
 th, td {{ text-align: left; padding: 5px 10px;
@@ -887,6 +894,241 @@ def _fault_section(fault_events: list[dict[str, Any]]) -> str:
     )
 
 
+def _decision_rows(
+    decision_events: list[dict[str, Any]],
+) -> list[dict[str, Any]]:
+    """Map ``decision.*`` trace events back to ledger-shaped records.
+
+    Each event mirrors its full ledger row (the ``kind`` rides in the
+    event name), so :func:`repro.learn.audit.reconcile` computes the
+    same calibration and regret numbers from a trace that
+    ``repro explain`` computes from the ledger file.
+    """
+    rows = []
+    for e in decision_events:
+        attrs = dict(e.get("attributes") or {})
+        kind = str(e.get("name", ""))[len("decision."):]
+        rows.append({"kind": kind, **attrs})
+    rows.sort(key=lambda r: int(r.get("seq", 0)))
+    return rows
+
+
+def _gate_table(
+    gate_rows: list[dict[str, Any]],
+    per_decision: list[dict[str, Any]],
+) -> str:
+    """Accept/skip timeline with predicted-payoff vs migration-cost bars."""
+    from repro.learn.audit import decode_float
+
+    if not gate_rows:
+        return (
+            "<p class='muted'>no gate decisions in this run's trace</p>"
+        )
+    oracle_by_seq = {int(d["seq"]): d for d in per_decision}
+    finite = [
+        v
+        for r in gate_rows
+        for v in (
+            decode_float(r.get("payoff_seconds")),
+            decode_float(r.get("cost_seconds")),
+        )
+        if v is not None and math.isfinite(v)
+    ]
+    scale = max(finite) if finite else 1.0
+    scale = scale if scale > 0 else 1.0
+    rows = []
+    for r in gate_rows:
+        payoff = decode_float(r.get("payoff_seconds"))
+        cost = decode_float(r.get("cost_seconds")) or 0.0
+        accept = bool(r.get("repartition"))
+        badge = "info" if accept else "warning"
+        if payoff is not None and math.isinf(payoff):
+            payoff_label, payoff_w = "∞ (cold)", 100.0
+        else:
+            payoff_label = _fmt_seconds(payoff or 0.0)
+            payoff_w = min(100.0, 100.0 * (payoff or 0.0) / scale)
+        cost_w = min(100.0, 100.0 * cost / scale)
+        oracle = oracle_by_seq.get(int(r.get("seq", -1)))
+        if oracle is None:
+            verdict = "—"
+        elif oracle["agree"]:
+            verdict = "agrees"
+        else:
+            verdict = (
+                f"differs (+{_fmt_seconds(oracle['regret_seconds'])} "
+                f"regret)"
+            )
+        rows.append(
+            "<tr>"
+            f"<td>{int(r.get('seq', -1))}</td>"
+            f"<td>{float(decode_float(r.get('t')) or 0.0):.2f}</td>"
+            f"<td><span class='badge badge-{badge}'>"
+            f"{'accept' if accept else 'skip'}</span></td>"
+            f"<td>{_esc(str(r.get('reason', '?')))}</td>"
+            f"<td>{_esc(payoff_label)}</td>"
+            f"<td>{_fmt_seconds(cost)}</td>"
+            "<td>"
+            f"<div class='bar'><div class='bar-fill' "
+            f"style='width:{payoff_w:.1f}%'></div></div>"
+            f"<div class='bar'><div class='bar-fill bar-cost' "
+            f"style='width:{cost_w:.1f}%'></div></div>"
+            "</td>"
+            f"<td>{_esc(verdict)}</td>"
+            "</tr>"
+        )
+    legend = (
+        "<div class='legend'>"
+        "<span class='chip'><i class='sw' style='background:var(--s1)'>"
+        "</i>predicted payoff</span>"
+        "<span class='chip'><i class='sw' "
+        "style='background:var(--warning)'></i>migration cost</span>"
+        "</div>"
+    )
+    return legend + (
+        "<table><thead><tr><th>seq</th><th>sim t (s)</th><th>action</th>"
+        "<th>reason</th><th>payoff</th><th>cost</th>"
+        "<th>payoff vs cost</th><th>hindsight oracle</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _calibration_svg(rows: list[dict[str, Any]]) -> str:
+    """Predicted iteration cost with its 95% CI band vs the measured truth."""
+    from repro.learn.audit import decode_float
+
+    pts = []
+    for r in rows:
+        if r.get("kind") != "prediction":
+            continue
+        lo = decode_float(r.get("lo"))
+        hi = decode_float(r.get("hi"))
+        predicted = decode_float(r.get("predicted"))
+        actual = decode_float(r.get("actual"))
+        if predicted is None or actual is None:
+            continue
+        if lo is None or hi is None or not (
+            math.isfinite(lo) and math.isfinite(hi)
+        ):
+            continue  # cold model: an infinite band draws as nothing
+        pts.append((int(r.get("iteration", len(pts))), predicted, lo, hi,
+                    actual))
+    if len(pts) < 2:
+        return (
+            "<p class='muted'>fewer than two warm predictions: no "
+            "calibration signal to draw</p>"
+        )
+    pts.sort(key=lambda p: p[0])
+    xs = [p[0] for p in pts]
+    y_lo = min(min(p[2] for p in pts), min(p[4] for p in pts))
+    y_hi = max(max(p[3] for p in pts), max(p[4] for p in pts))
+    pad = 0.05 * (y_hi - y_lo or 1.0)
+    width, height = 920, 220
+    left, right, top, bottom = 56, 12, 10, 28
+    x = _Scale(min(xs), max(xs) or 1, left, width - right)
+    y = _Scale(y_lo - pad, y_hi + pad, height - bottom, top)
+    parts = [
+        f"<svg viewBox='0 0 {width} {height}' width='100%' role='img' "
+        f"aria-label='predicted iteration cost with 95% CI vs measured' "
+        f"xmlns='http://www.w3.org/2000/svg'>"
+    ]
+    for t in _ticks(y_lo, y_hi, 4):
+        parts.append(
+            f"<line x1='{left}' y1='{y(t):.1f}' x2='{width - right}' "
+            f"y2='{y(t):.1f}' class='grid'/>"
+            f"<text x='{left - 6}' y='{y(t) + 4:.1f}' class='axis' "
+            f"text-anchor='end'>{t:.3g}s</text>"
+        )
+    for t in _ticks(min(xs), max(xs)):
+        parts.append(
+            f"<text x='{x(t):.1f}' y='{height - 8}' class='axis' "
+            f"text-anchor='middle'>{t:g}</text>"
+        )
+    band = " ".join(
+        f"{x(p[0]):.1f},{y(p[3]):.1f}" for p in pts
+    ) + " " + " ".join(
+        f"{x(p[0]):.1f},{y(p[2]):.1f}" for p in reversed(pts)
+    )
+    parts.append(f"<polygon points='{band}' class='cal-band'/>")
+    parts.append(
+        f"<polyline fill='none' class='cal-line' "
+        f"points='{_line_path([(x(p[0]), y(p[1])) for p in pts])}'/>"
+    )
+    for it, predicted, lo, hi, actual in pts:
+        covered = lo <= actual <= hi
+        cls = "cal-hit" if covered else "cal-miss"
+        parts.append(
+            f"<circle cx='{x(it):.1f}' cy='{y(actual):.1f}' r='2.5' "
+            f"class='{cls}'><title>"
+            f"{_esc(f'iteration {it}: measured {actual:.4f}s, predicted {predicted:.4f}s, 95% CI [{lo:.4f}, {hi:.4f}]' + ('' if covered else ' — missed'))}"
+            f"</title></circle>"
+        )
+    parts.append("</svg>")
+    legend = (
+        "<div class='legend'>"
+        "<span class='chip'><i class='sw' style='background:var(--s1)'>"
+        "</i>predicted cost (line) and 95% CI (band)</span>"
+        "<span class='chip'><i class='sw cal-sw-miss' "
+        "style='background:var(--critical)'></i>measured outside the CI"
+        "</span></div>"
+    )
+    return legend + "".join(parts)
+
+
+def _decision_section(decision_events: list[dict[str, Any]]) -> str:
+    """Decision-provenance section: omitted when no learner ran.
+
+    One card per traced run carrying ``decision.*`` events: the gate
+    accept/skip timeline with payoff-vs-cost bars, and the calibration
+    plot of one-step-ahead cost predictions against measured truth.
+    The headline numbers come from the same
+    :func:`repro.learn.audit.reconcile` that backs ``repro explain``
+    and ``/campaigns/<id>/decisions``.
+    """
+    if not decision_events:
+        return ""
+    from repro.learn.audit import reconcile
+
+    pids = sorted({e.get("pid", 0) for e in decision_events})
+    parts = ["<h2>Decision provenance</h2>"]
+    for pid in pids:
+        rows = _decision_rows(
+            [e for e in decision_events if e.get("pid", 0) == pid]
+        )
+        report = reconcile(rows)
+        gate = report["gate"]
+        cal = report["calibration"]
+        regret = report["regret"]
+        coverage = (
+            f"{cal['coverage']:.1%} of {cal['predictions']} warm CIs"
+            if cal["coverage"] is not None
+            else "no warm predictions"
+        )
+        agreement = (
+            f"{regret['agreement_rate']:.0%} oracle agreement, "
+            f"{_fmt_seconds(regret['cumulative_regret_seconds'])} "
+            f"cumulative regret"
+            if regret["agreement_rate"] is not None
+            else "no gate decisions to replay"
+        )
+        sub = (
+            f"{report['records']} decision records — "
+            f"{gate['decisions']} gate decisions "
+            f"({gate['accepts']} accepts, {gate['skips']} skips); "
+            f"95% CI covered {coverage}; {agreement}."
+        )
+        head = (
+            f"<h3>Run {pid}</h3>" if len(pids) > 1 else ""
+        )
+        parts.append(
+            f"{head}<p class='muted'>{_esc(sub)}</p>"
+            "<div class='card'><h3>Repartition gate timeline</h3>"
+            f"{_gate_table([r for r in rows if r.get('kind') == 'gate'], regret['per_decision'])}</div>"
+            "<div class='card'><h3>Prediction calibration</h3>"
+            f"{_calibration_svg(rows)}</div>"
+        )
+    return "".join(parts)
+
+
 # ----------------------------------------------------------------------
 def render_dashboard(
     source: Tracer | NullTracer | str | os.PathLike | Iterable[dict[str, Any]],
@@ -911,6 +1153,12 @@ def render_dashboard(
         for r in records
         if r.get("type") == "event"
         and str(r.get("name", "")).startswith(("fault.", "recovery."))
+    ]
+    decision_events = [
+        r
+        for r in records
+        if r.get("type") == "event"
+        and str(r.get("name", "")).startswith("decision.")
     ]
     pids = sorted({s["pid"] for s in spans})
     runs: list[dict[str, Any]] = []
@@ -977,6 +1225,7 @@ snapshots, {len(events)} anomalies — generated offline, no external
 resources.</p>
 {_stat_tiles(runs, snapshots, events)}
 {_fault_section(fault_events)}
+{_decision_section(decision_events)}
 <h2>Anomalies</h2>
 <div class="card">{_events_table(events)}</div>
 <h2>Run summary</h2>

@@ -385,3 +385,82 @@ class TestServerConstruction:
             assert server.campaign_ids() == []
         finally:
             server.server_close()
+
+
+class TestDecisionsRoute:
+    @staticmethod
+    def write_ledger(directory):
+        from repro.learn import DecisionLedger
+
+        ledger = DecisionLedger(directory / "learn")
+        for i in range(4):
+            ledger.record(
+                "prediction",
+                iteration=i,
+                t=float(i),
+                x=1.0 * i,
+                predicted=1.0,
+                lo=0.9,
+                hi=1.1,
+                actual=1.0 if i < 3 else 1.5,
+                cold=False,
+            )
+        ledger.record(
+            "gate",
+            iteration=3,
+            t=3.0,
+            loads=[8.0, 2.0],
+            capacities=[0.5, 0.5],
+            horizon_iters=10,
+            beta=0.1,
+            migration_seconds=0.5,
+            gate_safety=1.0,
+            repartition=True,
+            reason="payoff",
+            payoff_seconds=6.0,
+            cost_seconds=0.5,
+        )
+
+    def test_no_ledger_404(self, served):
+        _, base = served
+        status, _, body = get(f"{base}/campaigns/web/decisions")
+        assert status == 404
+        assert "no decision ledger" in json.loads(body)["error"]
+
+    def test_route_and_metrics_agree(self, served):
+        import shutil
+
+        server, base = served
+        directory = server.root / "web"
+        self.write_ledger(directory)
+        try:
+            status, _, body = get(f"{base}/campaigns/web/decisions")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["campaign"] == "web"
+            assert payload["records"] == 5
+            assert payload["gate"]["decisions"] == 1
+            assert payload["calibration"]["predictions"] == 4
+            assert payload["calibration"]["coverage"] == 0.75
+
+            status, _, body = get(f"{base}/metrics")
+            assert status == 200
+            text = body.decode()
+            lines = {
+                line.split("{")[0]: line
+                for line in text.splitlines()
+                if line.startswith("decision_")
+            }
+            assert 'campaign="web"' in lines["decision_records"]
+            assert lines["decision_records"].split()[-1] in ("5", "5.0")
+            assert lines["decision_calibration_coverage"].endswith(" 0.75")
+            assert "decision_cumulative_regret_seconds" in lines
+            assert "decision_oracle_agreement_rate" in lines
+        finally:
+            shutil.rmtree(directory / "learn")
+
+    def test_metrics_skip_campaigns_without_ledger(self, served):
+        _, base = served
+        status, _, body = get(f"{base}/metrics")
+        assert status == 200
+        assert "decision_records" not in body.decode()

@@ -115,6 +115,32 @@ class TestGate:
         assert d.payoff_seconds == pytest.approx(6.0)
         assert d.cost_seconds == pytest.approx(0.5)
 
+    def test_cold_gate_event_round_trips_infinite_payoff(self):
+        """The learn.gate event keeps inf via the "inf" sentinel.
+
+        Regression test: the old ``math.isfinite`` special-case dropped
+        a cold gate's infinite payoff to null in the trace, so a trace
+        reader could not tell a cold accept from a zero-payoff one.
+        """
+        import json
+
+        from repro.learn import decode_float
+        from repro.telemetry.spans import Tracer
+
+        tracer = Tracer()
+        learn = LearnController(LearnConfig())
+        learn.bind(tracer, 2)
+        d = learn.repartition_decision(
+            np.array([1.0, 5.0]), np.array([0.5, 0.5]), 5
+        )
+        assert d.reason == "cold" and math.isinf(d.payoff_seconds)
+        (event,) = [e for e in tracer.events if e.name == "learn.gate"]
+        # Through a JSON round trip -- the trace file is the contract.
+        attrs = json.loads(json.dumps(event.attributes))
+        assert attrs["payoff_seconds"] == "inf"
+        assert decode_float(attrs["payoff_seconds"]) == math.inf
+        assert decode_float(attrs["cost_seconds"]) == 0.0
+
     def test_safety_factor_scales_cost(self):
         loose = RepartitionGate(LearnConfig(gate_safety=1.0))
         strict = RepartitionGate(LearnConfig(gate_safety=100.0))

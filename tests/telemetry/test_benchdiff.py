@@ -254,3 +254,47 @@ class TestCriticalPathGating:
         assert any(
             d.key == "runtime.comm.bytes_total" for d in cmp.drifts
         )
+
+
+class TestRegisteredRateKeys:
+    """The explicit RATE_KEYS registry: BENCH_learn / BENCH_explain
+    throughputs gate with inverted direction even if a rename were to
+    lose the generic `per_wall_second` substring."""
+
+    def test_registry_names_learn_and_explain_keys(self):
+        from repro.telemetry.benchdiff import RATE_KEYS
+
+        assert "history.appends_per_wall_second" in RATE_KEYS
+        assert "gate.gate_decisions_per_wall_second" in RATE_KEYS
+        assert "ledger.appends_per_wall_second" in RATE_KEYS
+        assert "reconcile.decisions_per_wall_second" in RATE_KEYS
+        assert "oracle.replays_per_wall_second" in RATE_KEYS
+
+    def test_every_registered_key_gates_on_drop(self):
+        from repro.telemetry.benchdiff import RATE_KEYS
+
+        for key in sorted(RATE_KEYS):
+            section, metric = key.split(".", 1)
+            old = {section: {metric: 1000.0}}
+            new = {section: {metric: 700.0}}  # -30% > 20% tolerance
+            comparison = diff_bench(old, new)
+            assert [d.key for d in comparison.regressions] == [key], key
+            # And the inverse direction is an improvement, never drift.
+            comparison = diff_bench(new, old)
+            assert [d.key for d in comparison.improvements] == [key], key
+            assert not comparison.drifts
+
+    def test_committed_learn_artifact_keys_classified_as_rates(self):
+        """Every *_per_wall_second key in BENCH_learn.json is a rate."""
+        import json
+        from pathlib import Path
+
+        from repro.telemetry.benchdiff import _is_rate_key, flatten_bench
+
+        repo = Path(__file__).resolve().parents[2]
+        for name in ("BENCH_learn.json", "BENCH_explain.json"):
+            flat = flatten_bench(json.loads((repo / name).read_text()))
+            rates = {k for k in flat if "per_wall_second" in k}
+            assert rates, name
+            for key in rates:
+                assert _is_rate_key(key), key

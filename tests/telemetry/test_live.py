@@ -148,6 +148,84 @@ class TestProgressLog:
         assert offset == 0
 
 
+class TestConcurrentReaders:
+    """Two independent consumers of one events.jsonl.
+
+    The serving layer runs exactly this shape: the SSE tailer and the
+    metrics/decision reconciler each hold their own ``ProgressLog``
+    instance over the same file.  Offsets are per-reader cursors, not
+    shared state -- one reader's progress must never advance or stall
+    the other's.
+    """
+
+    def test_readers_hold_independent_offsets(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        writer = ProgressLog(path)
+        tailer, reconciler = ProgressLog(path), ProgressLog(path)
+        writer.append("live.cell_started", cell_key="a")
+        writer.append("live.cell_finished", cell_key="a")
+
+        seen_tail, tail_off = tailer.read_from(0)
+        assert len(seen_tail) == 2
+        # The reconciler starting later still sees everything.
+        seen_rec, rec_off = reconciler.read_from(0)
+        assert [r["name"] for r in seen_rec] == [
+            r["name"] for r in seen_tail
+        ]
+        assert rec_off == tail_off
+
+        writer.append("live.cell_started", cell_key="b")
+        # The tailer consuming the new record does not move the
+        # reconciler's cursor: a fresh read from its own offset sees
+        # the same record once.
+        new_tail, _ = tailer.read_from(tail_off)
+        assert [r["name"] for r in new_tail] == ["live.cell_started"]
+        new_rec, _ = reconciler.read_from(rec_off)
+        assert [r["name"] for r in new_rec] == ["live.cell_started"]
+
+    def test_torn_tail_unconsumed_by_both_readers(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        writer = ProgressLog(path)
+        writer.append("live.cell_started", cell_key="a")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"name": "live.cell_fin')  # writer mid-append
+        tailer, reconciler = ProgressLog(path), ProgressLog(path)
+        tail_records, tail_off = tailer.read_from(0)
+        rec_records, rec_off = reconciler.read_from(0)
+        # Both stop at the last complete line: same view, same offset.
+        assert len(tail_records) == len(rec_records) == 1
+        assert tail_off == rec_off
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('ished", "attributes": {}}\n')
+        # Once the writer completes the line, each reader consumes it
+        # exactly once from its own cursor.
+        for reader, offset in ((tailer, tail_off), (reconciler, rec_off)):
+            more, after = reader.read_from(offset)
+            assert [r["name"] for r in more] == ["live.cell_finished"]
+            again, _ = reader.read_from(after)
+            assert again == []
+
+    def test_interleaved_consumption_sees_every_record_once(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        writer = ProgressLog(path)
+        tailer, reconciler = ProgressLog(path), ProgressLog(path)
+        tail_off = rec_off = 0
+        tail_seen: list[str] = []
+        rec_seen: list[str] = []
+        for i in range(9):
+            writer.append("live.cell_finished", cell_key=f"c{i}")
+            # The tailer polls every append; the reconciler only every
+            # third -- batched catch-up must not skip or duplicate.
+            records, tail_off = tailer.read_from(tail_off)
+            tail_seen += [r["attributes"]["cell_key"] for r in records]
+            if i % 3 == 2:
+                records, rec_off = reconciler.read_from(rec_off)
+                rec_seen += [r["attributes"]["cell_key"] for r in records]
+        expected = [f"c{i}" for i in range(9)]
+        assert tail_seen == expected
+        assert rec_seen == expected
+
+
 def event(name: str, wall: float = 0.0, **attrs) -> dict:
     return {"name": name, "wall": wall, "attributes": attrs}
 

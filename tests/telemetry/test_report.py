@@ -174,3 +174,63 @@ class TestProfilingPanels:
         # Synthetic add_span traces carry no critical_rank attrs either;
         # the analyzer falls back to argmax-busy attribution.
         assert "Critical path" in html
+
+
+def learned_traced_run(tmp_path, iterations=30):
+    """A traced run with a learning controller and a decision ledger."""
+    from repro.learn import DecisionLedger, LearnConfig, LearnController
+
+    tracer = Tracer()
+    ledger = DecisionLedger(tmp_path / "ledger")
+    SamrRuntime(
+        moving_blob_trace(domain_shape=(32, 32), num_regrids=4, max_levels=2),
+        Cluster.paper_linux_cluster(4, seed=7, dynamic=True, horizon_s=40.0),
+        ACEHeterogeneous(),
+        config=RuntimeConfig(
+            iterations=iterations, regrid_interval=7, sensing_interval=4
+        ),
+        learn=LearnController(LearnConfig(), ledger=ledger),
+        tracer=tracer,
+    ).run()
+    return tracer, ledger
+
+
+class TestDecisionPanel:
+    def test_panel_renders_from_ledgered_run(self, tmp_path):
+        tracer, ledger = learned_traced_run(tmp_path)
+        assert len(ledger) > 0
+        html = render_dashboard(tracer)
+        assert "Decision provenance" in html
+        assert "Repartition gate timeline" in html
+        assert "Prediction calibration" in html
+        assert "decision records" in html
+        # The gate table draws payoff-vs-cost bars and oracle verdicts.
+        assert "bar-cost" in html
+        assert "hindsight oracle" in html
+
+    def test_panel_numbers_match_reconcile(self, tmp_path):
+        from repro.learn.audit import load_ledger_rows, reconcile
+
+        tracer, _ = learned_traced_run(tmp_path)
+        report = reconcile(load_ledger_rows(tmp_path / "ledger"))
+        html = render_dashboard(tracer)
+        gate = report["gate"]
+        assert (
+            f"{gate['decisions']} gate decisions "
+            f"({gate['accepts']} accepts, {gate['skips']} skips)"
+        ) in html
+        cal = report["calibration"]
+        if cal["coverage"] is not None:
+            assert f"{cal['coverage']:.1%}" in html
+
+    def test_panel_absent_without_learner(self):
+        html = render_dashboard(traced_run())
+        assert "Decision provenance" not in html
+
+    def test_panel_survives_jsonl_round_trip(self, tmp_path):
+        tracer, _ = learned_traced_run(tmp_path)
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer, path)
+        html = render_dashboard(str(path))
+        assert "Decision provenance" in html
+        assert "Prediction calibration" in html

@@ -46,6 +46,10 @@ EMITTERS = {
     "span": "span",
     "add_span": "span",
     "event": "event",
+    # LearnController's private event helpers: `_event` forwards its
+    # name argument to tracer.event verbatim (the `decision.*` ledger
+    # mirror rides through it), so it obeys the same registry.
+    "_event": "event",
     "counter": "metric",
     "gauge": "metric",
     "histogram": "metric",
